@@ -1,0 +1,9 @@
+"""A6 — Band packing: PE occupancy on ViL's multi-band window."""
+
+from conftest import run_and_render
+
+
+def test_ablation_band_packing(benchmark):
+    res = run_and_render(benchmark, "ablation_band_packing")
+    packed = res.row_for("pack_bands", True)
+    assert packed["utilization"] > 0.75

@@ -1,0 +1,9 @@
+"""A3 — Diagonal-reuse dataflow vs naive mapping: DRAM traffic."""
+
+from conftest import run_and_render
+
+
+def test_ablation_dataflow(benchmark):
+    res = run_and_render(benchmark, "ablation_dataflow")
+    lf = res.row_for("workload", "Longformer")
+    assert lf["reuse_factor"] > 10.0

@@ -1,0 +1,8 @@
+"""A4 — PWL exponential LUT size vs approximation error."""
+
+from conftest import run_and_render
+
+
+def test_ablation_exp_lut(benchmark):
+    res = run_and_render(benchmark, "ablation_exp_lut", fast=True)
+    assert all(row["attention_sqnr_db"] > 15 for row in res.rows)

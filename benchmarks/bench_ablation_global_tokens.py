@@ -1,0 +1,9 @@
+"""A5 — Global token capacity bound (Section 5.2)."""
+
+from conftest import run_and_render
+
+
+def test_ablation_global_tokens(benchmark):
+    res = run_and_render(benchmark, "ablation_global_tokens", rounds=2)
+    for row in res.rows:
+        assert row["schedulable"] == (row["global_tokens"] <= row["bound"])

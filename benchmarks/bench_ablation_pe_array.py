@@ -1,0 +1,9 @@
+"""A1 — PE array size design sweep (latency/area/power/EDP)."""
+
+from conftest import run_and_render
+
+
+def test_ablation_pe_array(benchmark):
+    res = run_and_render(benchmark, "ablation_pe_array", fast=True)
+    lat = res.column("latency_ms")
+    assert lat == sorted(lat, reverse=True)  # larger arrays are faster

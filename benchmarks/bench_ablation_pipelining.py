@@ -1,0 +1,9 @@
+"""A7 (extension) — inter-pass pipelining with double-buffered accumulators."""
+
+from conftest import run_and_render
+
+
+def test_ablation_pipelining(benchmark):
+    res = run_and_render(benchmark, "ablation_pipelining")
+    for row in res.rows:
+        assert 1.0 < row["speedup"] < 2.0

@@ -1,0 +1,9 @@
+"""A2 — Window splitting exactness and cost (Eq. 2 renormalisation)."""
+
+from conftest import run_and_render
+
+
+def test_ablation_splitting(benchmark):
+    res = run_and_render(benchmark, "ablation_splitting")
+    for row in res.rows:
+        assert row["max_err_vs_oracle"] < 1e-10

@@ -1,0 +1,9 @@
+"""DSE (extension) — design-space sweep around the Table 1 operating point."""
+
+from conftest import run_and_render
+
+
+def test_design_space(benchmark):
+    res = run_and_render(benchmark, "design_space", fast=True)
+    assert any(row["pareto"] for row in res.rows)
+    assert sum(row["best_edp"] for row in res.rows) == 1

@@ -1,0 +1,65 @@
+"""Library-level performance benchmarks: scheduler, engines, micro-sim.
+
+Not a paper artefact — these track the simulator's own throughput so
+regressions in the reproduction infrastructure are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.functional import FunctionalEngine
+from repro.accelerator.systolic import SystolicSimulator
+from repro.accelerator.timing import plan_timing
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+def test_scheduler_longformer_4096(benchmark):
+    scheduler = DataScheduler(HardwareConfig())
+    pattern = longformer_pattern(4096, 512, (0,))
+    plan = benchmark.pedantic(
+        lambda: scheduler.schedule(pattern, heads=12, head_dim=64), rounds=3, iterations=1
+    )
+    assert len(plan.passes) > 1000
+
+
+def test_timing_model_longformer(benchmark):
+    plan = DataScheduler(HardwareConfig()).schedule(
+        longformer_pattern(4096, 512, (0,)), heads=12, head_dim=64
+    )
+    t = benchmark.pedantic(lambda: plan_timing(plan), rounds=3, iterations=1)
+    assert t.cycles > 0
+
+
+def test_functional_engine_medium(benchmark):
+    """Functional simulation of a 512-token Longformer layer (1 head)."""
+    config = HardwareConfig()
+    plan = DataScheduler(config).schedule(longformer_pattern(512, 64, (0,)), heads=1, head_dim=64)
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.standard_normal((512, 64)) for _ in range(3))
+    engine = FunctionalEngine(plan)
+    res = benchmark.pedantic(lambda: engine.run(q, k, v), rounds=2, iterations=1)
+    assert res.output.shape == (512, 64)
+
+
+def test_micro_simulator_small(benchmark):
+    """Cycle-accurate simulation of a small pass sequence."""
+    config = HardwareConfig(pe_rows=8, pe_cols=8)
+    plan = DataScheduler(config).schedule(longformer_pattern(32, 8, (0,)), heads=1, head_dim=8)
+    rng = np.random.default_rng(1)
+    q, k, v = (rng.standard_normal((32, 8)) for _ in range(3))
+    sim = SystolicSimulator(plan)
+    res = benchmark.pedantic(lambda: sim.run(q, k, v), rounds=2, iterations=1)
+    assert res.cycles == plan_timing(plan).cycles
+
+
+def test_attend_end_to_end_vil(benchmark):
+    """Full attend() on a reduced ViL grid with the quantised datapath."""
+    salo = SALO()
+    pattern = vil_pattern(12, 12, 5, (0,))
+    rng = np.random.default_rng(2)
+    q, k, v = (rng.standard_normal((144, 64)) for _ in range(3))
+    res = benchmark.pedantic(lambda: salo.attend(pattern, q, k, v, heads=1), rounds=2, iterations=1)
+    assert res.output.shape == (144, 64)

@@ -1,0 +1,26 @@
+"""E4 — Figure 7a: SALO speedup over CPU and GPU on the three workloads."""
+
+import pytest
+
+from conftest import run_and_render
+from repro.core.salo import SALO
+from repro.workloads.configs import PAPER_WORKLOADS
+
+
+def test_fig7a(benchmark):
+    res = run_and_render(benchmark, "fig7a_speedup")
+    avg = res.row_for("workload", "Average")
+    assert avg["speedup_cpu"] == pytest.approx(89.33, rel=0.1)
+    assert avg["speedup_gpu"] == pytest.approx(17.66, rel=0.1)
+
+
+@pytest.mark.parametrize("name", list(PAPER_WORKLOADS))
+def test_salo_estimation_speed(benchmark, name):
+    """Scheduling + timing/energy estimation per workload."""
+    w = PAPER_WORKLOADS[name]
+    salo = SALO()
+    benchmark.pedantic(
+        lambda: salo.estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim),
+        rounds=2,
+        iterations=1,
+    )

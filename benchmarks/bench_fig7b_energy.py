@@ -1,0 +1,16 @@
+"""E5 — Figure 7b: SALO energy saving over CPU and GPU."""
+
+import pytest
+
+from conftest import run_and_render
+
+
+def test_fig7b(benchmark):
+    res = run_and_render(benchmark, "fig7b_energy")
+    avg = res.row_for("workload", "Average")
+    assert avg["saving_cpu"] == pytest.approx(183.86, rel=0.15)
+    assert avg["saving_gpu"] == pytest.approx(272.04, rel=0.15)
+    # Shape: energy savings exceed the corresponding speedups.
+    lf = res.row_for("workload", "Longformer")
+    assert lf["saving_cpu"] > 83.0
+    assert lf["saving_gpu"] > 7.4

@@ -1,0 +1,26 @@
+"""E1 — Section 2.1: quadratic latency growth of dense attention.
+
+Regenerates the motivation measurement (BERT-base layer latency vs
+sequence length; paper anchors 9.20 ms @ 2048 and 145.70 ms @ 8192 on a
+GTX 1080Ti) and benchmarks the host-side dense attention reference.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_and_render
+from repro.baselines.dense_attention import multi_head_dense_attention
+
+
+def test_sec21_table(benchmark):
+    res = run_and_render(benchmark, "sec21_quadratic", fast=True)
+    r2048 = res.row_for("n", 2048)
+    assert r2048["gpu_model_ms"] == pytest.approx(9.20, rel=0.05)
+
+
+@pytest.mark.parametrize("n", [256, 512, 1024])
+def test_dense_attention_host_latency(benchmark, n):
+    """Quadratic growth is directly observable on the host CPU."""
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.standard_normal((n, 768)) for _ in range(3))
+    benchmark(multi_head_dense_attention, q, k, v, 12)

@@ -1,0 +1,19 @@
+"""E6 — Section 6.3: SALO vs Sanger at equal PEs, frequency and sparsity."""
+
+import pytest
+
+from conftest import run_and_render
+from repro.baselines.sanger import SangerModel
+from repro.workloads.configs import LONGFORMER_BASE_4096
+
+
+def test_sec63(benchmark):
+    res = run_and_render(benchmark, "sec63_sanger")
+    lf = res.row_for("workload", "Longformer")
+    assert lf["salo_speedup"] == pytest.approx(1.33, rel=0.15)
+    assert lf["salo_util"] > 0.75
+
+
+def test_sanger_model_speed(benchmark):
+    model = SangerModel()
+    benchmark(model.estimate_workload, LONGFORMER_BASE_4096)

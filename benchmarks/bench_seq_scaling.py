@@ -1,0 +1,14 @@
+"""E8 (extension) — sequence-length scaling up to Longformer's 16k tokens."""
+
+from conftest import run_and_render
+
+
+def test_seq_scaling(benchmark):
+    res = run_and_render(benchmark, "seq_scaling", fast=True)
+    ns = res.column("n")
+    salo = res.column("salo_ms")
+    # Linear growth: doubling n roughly doubles SALO latency.
+    assert salo[-1] / salo[0] < 1.3 * (ns[-1] / ns[0])
+    # Dense GPU is quadratic, so the dense speedup grows with n.
+    dense = res.column("speedup_vs_dense")
+    assert dense == sorted(dense)

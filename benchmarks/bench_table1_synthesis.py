@@ -1,0 +1,19 @@
+"""E2 — Table 1: synthesis report (area/power) regeneration."""
+
+import pytest
+
+from conftest import run_and_render
+from repro.accelerator.synthesis import TABLE1, synthesize
+from repro.core.config import HardwareConfig
+
+
+def test_table1(benchmark):
+    res = run_and_render(benchmark, "table1_synthesis", rounds=3)
+    power = res.row_for("parameter", "Power (mW)")
+    assert power["ours"] == pytest.approx(TABLE1["power_mw"], rel=0.02)
+
+
+def test_synthesis_model_speed(benchmark):
+    """The analytic model itself is microseconds-fast (used inside sweeps)."""
+    config = HardwareConfig()
+    benchmark(synthesize, config)

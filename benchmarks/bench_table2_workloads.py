@@ -1,0 +1,22 @@
+"""E3 — Table 2: workload parameters and the sparsity column."""
+
+import pytest
+
+from conftest import run_and_render
+from repro.workloads.configs import LONGFORMER_BASE_4096
+
+
+def test_table2(benchmark):
+    res = run_and_render(benchmark, "table2_workloads", rounds=2)
+    lf = res.row_for("workload", "Longformer")
+    assert lf["nominal_sparsity"] == pytest.approx(0.125, abs=0.001)
+
+
+def test_pattern_construction_speed(benchmark):
+    """Pattern IR construction + nnz accounting at Longformer scale."""
+    def build():
+        p = LONGFORMER_BASE_4096.pattern()
+        return p.nnz()
+
+    nnz = benchmark(build)
+    assert nnz > 0

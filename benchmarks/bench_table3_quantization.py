@@ -1,0 +1,17 @@
+"""E7 — Table 3: original vs quantised accuracy (trains three models).
+
+The heaviest benchmark: trains a Longformer-style sentiment classifier, a
+Longformer-style phrase classifier and a ViL-style texture classifier,
+then quantises their attention to the SALO datapath and finetunes.
+"""
+
+import pytest
+
+from conftest import run_and_render
+
+
+def test_table3(benchmark):
+    res = run_and_render(benchmark, "table3_quantization", fast=True)
+    for row in res.rows:
+        assert row["original_%"] > 70.0, row["task"]
+        assert abs(row["degradation_pts"]) < 8.0, row["task"]

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md §4): the benchmark body runs the experiment driver and prints
+the regenerated table, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section end to end.  Expensive experiments run
+with ``rounds=1`` via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_render(benchmark, name: str, fast: bool = False, rounds: int = 1):
+    """Benchmark one experiment driver and print its table."""
+    from repro.experiments import get_experiment
+
+    fn = get_experiment(name)
+    result = benchmark.pedantic(lambda: fn(fast=fast), rounds=rounds, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,71 @@
+"""Define and run a custom hybrid sparse attention pattern.
+
+SALO's data scheduler accepts *any* overlap-free combination of (possibly
+dilated) bands plus global tokens — not just the published Longformer/ViL
+patterns.  This example builds a custom pattern mixing a local window, a
+dilated long-range band and two global tokens; shows the Star-Transformer
+and Sparse-Transformer presets; and verifies the custom pattern executes
+exactly.
+
+Run:  python examples/custom_pattern.py
+"""
+
+import numpy as np
+
+from repro import SALO, Band, HardwareConfig, HybridSparsePattern
+from repro.baselines import masked_attention
+from repro.patterns import render_ascii, star_transformer_pattern, sparse_transformer_pattern
+from repro.scheduler import PatternMetadata
+
+
+def build_custom() -> HybridSparsePattern:
+    """Local context + dilated long-range + [CLS]-style globals."""
+    n = 48
+    bands = [
+        Band(-3, 3),              # 7-wide local window
+        Band(-24, -8, dilation=8),  # dilated look-back every 8 tokens
+        Band(8, 24, dilation=8),    # dilated look-ahead
+    ]
+    return HybridSparsePattern(n, bands, global_tokens=(0, 24))
+
+
+def main() -> None:
+    pattern = build_custom()
+    print("=== custom hybrid pattern (48 tokens) ===")
+    print(render_ascii(pattern))
+    meta = PatternMetadata.from_pattern(pattern)
+    print(f"\nbands={meta.num_bands}, window={meta.window_size}, "
+          f"max dilation={meta.max_dilation}, globals={meta.num_global_tokens}, "
+          f"sparsity={meta.sparsity:.3f}")
+
+    # Schedule on a small array so splitting/reordering is visible.
+    salo = SALO(HardwareConfig(pe_rows=8, pe_cols=8))
+    plan = salo.schedule(pattern, heads=2, head_dim=16)
+    print(f"\nscheduled: {len(plan.passes)} structural passes "
+          f"({plan.num_total_passes} with heads), reordering applied: "
+          f"{plan.reorder_applied}")
+
+    # Execute and validate.
+    rng = np.random.default_rng(11)
+    q, k, v = (rng.standard_normal((48, 32)) for _ in range(3))
+    result = salo.attend(pattern, q, k, v, heads=2)
+    ref = np.concatenate(
+        [
+            masked_attention(q[:, i * 16:(i + 1) * 16], k[:, i * 16:(i + 1) * 16],
+                             v[:, i * 16:(i + 1) * 16], pattern)
+            for i in range(2)
+        ],
+        axis=1,
+    )
+    print(f"fixed-point max |err| vs oracle: {np.abs(result.output - ref).max():.4f}")
+    print(result.stats.summary())
+
+    # Presets from the pattern library (Figure 2 of the paper).
+    print("\n=== Star-Transformer (ring + relay) ===")
+    print(render_ascii(star_transformer_pattern(24, ring_window=3)))
+    print("\n=== Sparse-Transformer (local + strided) ===")
+    print(render_ascii(sparse_transformer_pattern(24, block=4)))
+
+
+if __name__ == "__main__":
+    main()

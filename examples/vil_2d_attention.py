@@ -1,0 +1,68 @@
+"""ViL: 2-D windowed attention on image patch grids (Figure 2c / Table 2).
+
+Shows how the data scheduler turns ViL's 15x15 2-D local window into
+SALO-schedulable sliding-window bands (flattening + band packing), prints
+a small pattern rendering, and runs a reduced grid functionally.
+
+Run:  python examples/vil_2d_attention.py
+"""
+
+import numpy as np
+
+from repro import SALO, HardwareConfig, vil_pattern
+from repro.baselines import masked_attention
+from repro.patterns import render_ascii
+from repro.scheduler import PatternMetadata
+from repro.workloads import VIL_STAGE1, VIL_STAGE2
+
+
+def show_flattening() -> None:
+    """A 2-D window flattens into one band per row offset."""
+    tiny = vil_pattern(6, 6, 3, global_tokens=(0,))
+    print("=== 6x6 grid, 3x3 window, global patch (0,0) — flattened mask ===")
+    print(render_ascii(tiny, max_n=36))
+    meta = PatternMetadata.from_pattern(tiny)
+    print(f"\nbands: {meta.num_bands} (one per row offset), "
+          f"window size: {meta.window_size}, sparsity: {meta.sparsity:.3f}")
+
+
+def paper_operating_points() -> None:
+    salo = SALO()
+    print("\n=== Table 2 operating points ===")
+    for w in (VIL_STAGE1, VIL_STAGE2):
+        stats = salo.estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim)
+        print(f"{w.name}: grid={w.grid[0]}x{w.grid[1]}, hidden={w.hidden} -> "
+              f"latency {stats.latency_ms:.3f} ms, utilisation {stats.utilization:.1%}")
+    print("(band packing keeps 15-wide bands >75% utilised on the 32-column array)")
+
+    # Packing ablation on ViL-stage1:
+    unpacked = SALO(HardwareConfig(pack_bands=False))
+    w = VIL_STAGE1
+    s = unpacked.estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim)
+    print(f"without packing: latency {s.latency_ms:.3f} ms, utilisation {s.utilization:.1%}")
+
+
+def reduced_scale_run() -> None:
+    grid, win, heads, d = 12, 5, 2, 32
+    pattern = vil_pattern(grid, grid, win, (0,))
+    rng = np.random.default_rng(3)
+    q, k, v = (rng.standard_normal((grid * grid, heads * d)) for _ in range(3))
+    result = SALO().attend(pattern, q, k, v, heads=heads)
+    ref = np.concatenate(
+        [
+            masked_attention(q[:, h * d:(h + 1) * d], k[:, h * d:(h + 1) * d],
+                             v[:, h * d:(h + 1) * d], pattern)
+            for h in range(heads)
+        ],
+        axis=1,
+    )
+    print(f"\n=== reduced 12x12 grid functional run ===")
+    print(f"max |err| vs oracle: {np.abs(result.output - ref).max():.4f}")
+    print(f"passes: {result.stats.timing.num_passes}, "
+          f"utilisation {result.stats.utilization:.1%}")
+
+
+if __name__ == "__main__":
+    show_flattening()
+    paper_operating_points()
+    reduced_scale_run()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` works in offline environments whose
+pip/setuptools cannot perform PEP 660 editable installs (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — reproduction of SALO (DAC 2022).
+
+SALO is a spatial accelerator enabling hybrid sparse attention mechanisms
+(sliding windows, dilated windows, global tokens) for long sequences.
+This package implements the full system in Python: the sparse-attention
+pattern IR, the data scheduler (splitting + reordering), a cycle-accurate
+spatial-accelerator model with fixed-point numerics, baseline CPU/GPU and
+Sanger performance models, the Longformer/ViL/BERT workloads of the
+evaluation, and one experiment driver per table/figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SALO, longformer_pattern
+
+    pattern = longformer_pattern(n=1024, window=128, global_tokens=(0,))
+    salo = SALO()  # defaults to the 32x32 configuration of Table 1
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.standard_normal((1024, 768)) for _ in range(3))
+    result = salo.attend(pattern, q, k, v, heads=12)
+    print(result.stats.summary())
+"""
+
+from .core.config import ConfigError, HardwareConfig, NumericsConfig
+from .patterns import (
+    AttentionPattern,
+    Band,
+    DilatedWindowPattern,
+    GlobalAttentionPattern,
+    HybridSparsePattern,
+    Local2DPattern,
+    PatternError,
+    SlidingWindowPattern,
+    longformer_pattern,
+    sparse_transformer_pattern,
+    star_transformer_pattern,
+    vil_pattern,
+)
+from .scheduler import DataScheduler, ExecutionPlan, SchedulerError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HardwareConfig",
+    "NumericsConfig",
+    "ConfigError",
+    "AttentionPattern",
+    "Band",
+    "SlidingWindowPattern",
+    "DilatedWindowPattern",
+    "GlobalAttentionPattern",
+    "HybridSparsePattern",
+    "Local2DPattern",
+    "PatternError",
+    "longformer_pattern",
+    "vil_pattern",
+    "star_transformer_pattern",
+    "sparse_transformer_pattern",
+    "DataScheduler",
+    "ExecutionPlan",
+    "SchedulerError",
+    "__version__",
+]
+
+# The top-level SALO engine is imported last to avoid a circular import
+# (core.salo builds on scheduler + accelerator).
+from .core.salo import SALO, AttentionResult  # noqa: E402
+
+__all__ += ["SALO", "AttentionResult"]

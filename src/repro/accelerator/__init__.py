@@ -1,0 +1,31 @@
+"""Spatial accelerator models (paper Section 5).
+
+Layered fidelity (see DESIGN.md §5): a cycle-accurate micro-simulator, a
+bit-identical vectorised functional engine, and an analytic timing model
+validated against the micro-simulator.
+"""
+
+from .datapath import Datapath
+from .exp_unit import PWLExpUnit, max_pwl_error
+from .fixed_point import FixedPointError, FixedPointFormat
+from .functional import EngineError, FunctionalEngine, FunctionalResult
+from .recip_unit import ReciprocalUnit
+from .timing import PassTiming, TimingResult, pass_cycles, plan_timing
+from .weighted_sum import WeightedSumModule
+
+__all__ = [
+    "Datapath",
+    "PWLExpUnit",
+    "max_pwl_error",
+    "FixedPointFormat",
+    "FixedPointError",
+    "FunctionalEngine",
+    "FunctionalResult",
+    "EngineError",
+    "ReciprocalUnit",
+    "PassTiming",
+    "TimingResult",
+    "pass_cycles",
+    "plan_timing",
+    "WeightedSumModule",
+]

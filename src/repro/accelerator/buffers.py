@@ -1,0 +1,158 @@
+"""On-chip buffer and memory-traffic model (Table 1 buffers, Section 4.1).
+
+SALO's dataflow exists to minimise memory traffic: within a pass, the
+diagonal k/v connections let ``rows + cols - 1`` distinct key vectors serve
+``rows x cols`` PE cells, and across the window chunks of one query block
+the query vectors stay resident in the query buffer.  This module counts:
+
+* **DRAM traffic** — bytes fetched per operand, assuming the pass order
+  emitted by the scheduler (query block outer, column group inner) and no
+  inter-block reuse (successive blocks shift the window by a full block,
+  so their key sets are disjoint for aligned chunks);
+* **SRAM traffic** — one buffer read per streamed element (systolic
+  forwarding makes every further use register-to-register) and one output
+  write per produced element, plus weighted-sum read-modify-write;
+* the **naive** key/value traffic a reuse-free mapping would need
+  (``rows x cols`` vector fetches per pass), used by the dataflow ablation
+  (DESIGN.md A3).
+
+Buffer capacity checks verify the per-pass working set fits the Table 1
+buffer sizes (with double buffering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.config import HardwareConfig
+from ..scheduler.plan import ExecutionPlan
+
+__all__ = ["TrafficResult", "BufferFit", "plan_traffic", "check_buffer_fit"]
+
+
+@dataclass
+class TrafficResult:
+    """Byte counts for one plan execution (all heads)."""
+
+    dram_bytes: Dict[str, int]
+    sram_reads: int
+    sram_writes: int
+    naive_kv_dram_bytes: int
+
+    @property
+    def dram_total(self) -> int:
+        return sum(self.dram_bytes.values())
+
+    @property
+    def kv_reuse_factor(self) -> float:
+        """Naive / actual key+value DRAM traffic (the dataflow's win)."""
+        actual = self.dram_bytes["k"] + self.dram_bytes["v"]
+        return self.naive_kv_dram_bytes / actual if actual else 1.0
+
+
+@dataclass
+class BufferFit:
+    """Worst-case per-pass working set vs buffer capacity."""
+
+    query_bytes: int
+    key_bytes: int
+    value_bytes: int
+    output_bytes: int
+    fits: bool
+    violations: List[str] = field(default_factory=list)
+
+
+def _pass_key_stats(plan: ExecutionPlan) -> Tuple[int, int, int, int]:
+    """(distinct kv vectors, naive kv cells, q vector loads, out vectors).
+
+    Counted over all structural passes for a single head.
+    """
+    n = plan.n
+    g = plan.global_set
+    distinct = 0
+    naive = 0
+    q_loads = 0
+    out_vectors = 0
+    last_block: Tuple[int, int, Tuple[int, ...]] = (-1, -1, ())
+    for tp in plan.passes:
+        ids = tp.key_ids(n, exclude=g)
+        valid = ids >= 0
+        distinct += len(np.unique(ids[valid]))
+        naive += int(valid.sum())
+        block_key = (tp.query_residue, tp.dilation, tp.q_positions)
+        if block_key != last_block:
+            q_loads += tp.rows_used  # new query block enters the query buffer
+            last_block = block_key
+        out_vectors += int(valid.any(axis=1).sum())
+    return distinct, naive, q_loads, out_vectors
+
+
+def plan_traffic(plan: ExecutionPlan) -> TrafficResult:
+    """Memory traffic of executing ``plan`` across all heads."""
+    numerics = plan.config.numerics
+    in_bytes = max(1, numerics.input_bits // 8)
+    out_bytes = max(1, numerics.output_bits // 8)
+    d = plan.head_dim
+    h = plan.heads
+
+    distinct_kv, naive_cells, q_loads, out_vectors = _pass_key_stats(plan)
+
+    q_dram = q_loads * d * in_bytes * h
+    k_dram = distinct_kv * d * in_bytes * h
+    v_dram = distinct_kv * d * in_bytes * h
+    # Final outputs leave once per query; intermediate partials stay in the
+    # output buffer (32 KB holds a full query block of 16-bit partials).
+    o_dram = plan.n * d * out_bytes * h
+
+    # SRAM: stream each operand element once per pass; outputs are written
+    # per pass and re-read by the weighted-sum merge.
+    sram_reads = (q_loads + 2 * distinct_kv) * d * in_bytes * h + out_vectors * d * out_bytes * h
+    sram_writes = (q_loads + 2 * distinct_kv) * d * in_bytes * h + 2 * out_vectors * d * out_bytes * h
+
+    naive_kv = 2 * naive_cells * d * in_bytes * h
+    return TrafficResult(
+        dram_bytes={"q": q_dram, "k": k_dram, "v": v_dram, "out": o_dram},
+        sram_reads=sram_reads,
+        sram_writes=sram_writes,
+        naive_kv_dram_bytes=naive_kv,
+    )
+
+
+def check_buffer_fit(plan: ExecutionPlan, double_buffered: bool = True) -> BufferFit:
+    """Verify the worst-case pass working set fits the configured buffers."""
+    config = plan.config
+    numerics = config.numerics
+    in_bytes = max(1, numerics.input_bits // 8)
+    out_bytes = max(1, numerics.output_bits // 8)
+    d = plan.head_dim
+    factor = 2 if double_buffered else 1
+
+    rows = max((tp.rows_used for tp in plan.passes), default=config.pe_rows)
+    kv_vectors = max(
+        (tp.rows_used + tp.cols_used - 1 for tp in plan.passes),
+        default=config.pe_rows + config.pe_cols - 1,
+    )
+    q_need = rows * d * in_bytes * factor
+    kv_need = kv_vectors * d * in_bytes * factor
+    out_need = rows * d * out_bytes * factor
+
+    violations = []
+    if q_need > config.query_buffer_bytes:
+        violations.append(f"query buffer: need {q_need} B > {config.query_buffer_bytes} B")
+    if kv_need > config.key_buffer_bytes:
+        violations.append(f"key buffer: need {kv_need} B > {config.key_buffer_bytes} B")
+    if kv_need > config.value_buffer_bytes:
+        violations.append(f"value buffer: need {kv_need} B > {config.value_buffer_bytes} B")
+    if out_need > config.output_buffer_bytes:
+        violations.append(f"output buffer: need {out_need} B > {config.output_buffer_bytes} B")
+    return BufferFit(
+        query_bytes=q_need,
+        key_bytes=kv_need,
+        value_bytes=kv_need,
+        output_bytes=out_need,
+        fits=not violations,
+        violations=violations,
+    )

@@ -1,0 +1,89 @@
+"""Shared numeric datapath of the PE (quantisers + exp + reciprocal).
+
+Both execution engines (the vectorised functional engine and the
+cycle-accurate micro-simulator) evaluate attention with exactly the same
+arithmetic, bundled here so they stay bit-identical by construction.  The
+datapath is configured by :class:`NumericsConfig`; the ``exact()`` variant
+replaces every quantiser with the identity and the approximate units with
+exact math, which tests use to separate scheduling error (must be ~0) from
+arithmetic error (bounded, characterised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import NumericsConfig
+from .exp_unit import PWLExpUnit
+from .fixed_point import FixedPointFormat
+from .recip_unit import ReciprocalUnit
+
+__all__ = ["Datapath"]
+
+
+class Datapath:
+    """Quantisation and special-function behaviour of one PE."""
+
+    def __init__(self, numerics: NumericsConfig) -> None:
+        self.numerics = numerics
+        self.input_format: Optional[FixedPointFormat] = None
+        self.output_format: Optional[FixedPointFormat] = None
+        self.prob_format: Optional[FixedPointFormat] = None
+        if numerics.quantize:
+            self.input_format = FixedPointFormat(
+                numerics.input_bits, numerics.input_frac_bits, signed=True
+            )
+            self.output_format = FixedPointFormat(
+                numerics.output_bits, numerics.output_frac_bits, signed=True
+            )
+            self.prob_format = FixedPointFormat(
+                numerics.output_bits, numerics.prob_frac_bits, signed=False
+            )
+        self._exp_unit = (
+            PWLExpUnit.from_numerics(numerics) if numerics.exp_mode == "pwl" else None
+        )
+        self._recip_unit = (
+            ReciprocalUnit.from_numerics(numerics) if numerics.recip_mode == "lut" else None
+        )
+
+    # ------------------------------------------------------------------
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Quantise Q/K/V operands (Q8.4 by default)."""
+        if self.input_format is None:
+            return np.asarray(x, dtype=np.float64)
+        return self.input_format.quantize(x)
+
+    def exp(self, s: np.ndarray) -> np.ndarray:
+        """Stage-2 exponential."""
+        if self._exp_unit is None:
+            return np.exp(np.asarray(s, dtype=np.float64))
+        return self._exp_unit(s)
+
+    def recip(self, w: np.ndarray) -> np.ndarray:
+        """Stage-3 reciprocal of the exponential sum."""
+        if self._recip_unit is None:
+            return 1.0 / np.asarray(w, dtype=np.float64)
+        return self._recip_unit(w)
+
+    def quantize_prob(self, p: np.ndarray) -> np.ndarray:
+        """Stage-4 normalised attention weights (``S'``)."""
+        if self.prob_format is None:
+            return np.asarray(p, dtype=np.float64)
+        return self.prob_format.quantize(p)
+
+    def quantize_output(self, o: np.ndarray) -> np.ndarray:
+        """Stage-5 output elements (16-bit by default)."""
+        if self.output_format is None:
+            return np.asarray(o, dtype=np.float64)
+        return self.output_format.quantize(o)
+
+    @property
+    def exp_unit(self) -> Optional[PWLExpUnit]:
+        return self._exp_unit
+
+    @property
+    def recip_unit(self) -> Optional[ReciprocalUnit]:
+        return self._recip_unit

@@ -1,0 +1,112 @@
+"""Energy model of the SALO accelerator (45 nm, Figure 7b substrate).
+
+Event-based accounting: every MAC, LUT lookup, SRAM byte and DRAM byte is
+charged a per-event energy from a 45 nm table (Horowitz-style numbers),
+plus area-proportional leakage integrated over the run time.  The default
+constants are calibrated so the model reproduces the paper's synthesised
+power figure (Table 1: 532.66 mW at full utilisation, 1 GHz) on the
+Longformer workload; the calibration is checked by
+``tests/accelerator/test_energy.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.config import HardwareConfig
+from ..scheduler.plan import ExecutionPlan
+from .buffers import plan_traffic
+from .timing import plan_timing
+
+__all__ = ["EnergyTable", "EnergyResult", "plan_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energies in picojoules (45 nm class)."""
+
+    mac_8bit_pj: float = 0.30  # stage-1 8-bit multiply + wide accumulate
+    mac_16bit_pj: float = 0.55  # stage-5 16-bit multiply + accumulate
+    exp_pj: float = 0.45  # LUT read + one PWL MAC
+    add_pj: float = 0.10  # stage-3 ripple add / stage-4 multiply charged as mac16
+    recip_pj: float = 1.20  # shift-normalise + LUT + denormalise
+    weighted_sum_pj: float = 1.10  # two multiplies + one add per element
+    sram_per_byte_pj: float = 1.20
+    dram_per_byte_pj: float = 20.0
+    leakage_w_per_mm2: float = 0.030
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class EnergyResult:
+    """Energy breakdown for one plan execution (all heads)."""
+
+    breakdown_j: Dict[str, float]
+    seconds: float
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.breakdown_j.values())
+
+    @property
+    def on_chip_j(self) -> float:
+        return self.total_j - self.breakdown_j.get("dram", 0.0)
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / self.seconds if self.seconds else 0.0
+
+    @property
+    def on_chip_power_w(self) -> float:
+        """Average power excluding DRAM — comparable to Table 1's 532.66 mW."""
+        return self.on_chip_j / self.seconds if self.seconds else 0.0
+
+
+def plan_energy(
+    plan: ExecutionPlan,
+    table: EnergyTable = EnergyTable(),
+    area_mm2: float = None,
+) -> EnergyResult:
+    """Integrate the energy of executing ``plan``.
+
+    ``area_mm2`` feeds the leakage term; if omitted it is taken from the
+    synthesis model of the plan's hardware config.
+    """
+    timing = plan_timing(plan)
+    traffic = plan_traffic(plan)
+    if area_mm2 is None:
+        from .synthesis import synthesize
+
+        area_mm2 = synthesize(plan.config).area_mm2
+
+    d = plan.head_dim
+    h = plan.heads
+    g = plan.global_set
+    cells = sum(tp.valid_cell_count(plan.n, exclude=g) for tp in plan.passes) * h
+    rows_outputs = sum(tp.rows_used for tp in plan.passes) * h
+    ng = len(plan.global_tokens)
+    global_cells = (ng * plan.n + ng * max(0, plan.n - ng)) * h
+
+    total_cells = cells + global_cells
+    pj = 1.0e-12
+    breakdown = {
+        # Stage 1: d 8-bit MACs per attended cell.
+        "stage1_qk": total_cells * d * table.mac_8bit_pj * pj,
+        # Stage 2: one PWL exp per cell.
+        "stage2_exp": total_cells * table.exp_pj * pj,
+        # Stage 3: one add per cell plus one reciprocal per produced row.
+        "stage3_sum": (total_cells * table.add_pj + rows_outputs * table.recip_pj) * pj,
+        # Stage 4: one 16-bit multiply per cell.
+        "stage4_norm": total_cells * table.mac_16bit_pj * pj,
+        # Stage 5: d 16-bit MACs per attended cell.
+        "stage5_sv": total_cells * d * table.mac_16bit_pj * pj,
+        # Weighted-sum merges: d elements per produced partial row.
+        "weighted_sum": rows_outputs * d * table.weighted_sum_pj * pj,
+        "sram": (traffic.sram_reads + traffic.sram_writes) * table.sram_per_byte_pj * pj,
+        "dram": traffic.dram_total * table.dram_per_byte_pj * pj,
+        "leakage": table.leakage_w_per_mm2 * area_mm2 * timing.seconds,
+    }
+    return EnergyResult(breakdown_j=breakdown, seconds=timing.seconds)

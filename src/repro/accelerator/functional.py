@@ -1,0 +1,255 @@
+"""Vectorised functional engine: execute a tile plan on real data.
+
+This engine computes the attention output a SALO instance would produce —
+same pass structure, same fixed-point arithmetic, same PWL exp, same
+reciprocal unit and weighted-sum merges — but evaluates each pass with
+vectorised numpy instead of per-cycle PE state, so it scales to full
+workloads.  The cycle-accurate micro-simulator
+(:mod:`repro.accelerator.systolic`) is bit-identical to this engine on its
+(small) parameter space; see ``tests/accelerator/test_cross_engine.py``.
+
+Semantics of a pass (rows = query block, columns = packed band segments):
+
+1. ``S = Q_blk @ K_cols^T * scale`` (masked cells excluded),
+2. ``E = exp(S)`` via the PWL unit, masked cells contribute 0,
+3. ``W = rowsum(E)``, ``inv = recip(W)``,
+4. ``S' = E * inv`` quantised to the probability format,
+5. ``out = S' @ V_cols`` quantised to the output format,
+
+then the weighted-sum module merges ``(out, W)`` into the query's running
+output.  Global-token queries are produced by the global PE row (their
+full row is computed in ``pe_cols``-wide chunks, merged the same way);
+global-token keys are produced once per query by the global PE column and
+excluded from window passes to avoid double counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..scheduler.plan import ExecutionPlan, TilePass
+from .datapath import Datapath
+from .weighted_sum import WeightedSumModule
+
+__all__ = ["FunctionalEngine", "FunctionalResult", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Raised when a plan cannot be executed on the given data."""
+
+
+@dataclass
+class FunctionalResult:
+    """Output of a functional run."""
+
+    output: np.ndarray  # (n, heads * head_dim)
+    merges: int  # weighted-sum merge operations performed
+    parts: np.ndarray  # (heads, n) number of partial outputs per query
+
+    @property
+    def n(self) -> int:
+        return self.output.shape[0]
+
+
+class _Accumulator:
+    """Running (output, weight) state for one head, merged part by part."""
+
+    def __init__(
+        self, n: int, d: int, module: WeightedSumModule
+    ) -> None:
+        self.out = np.zeros((n, d), dtype=np.float64)
+        self.w = np.zeros(n, dtype=np.float64)
+        self.has = np.zeros(n, dtype=bool)
+        self.parts = np.zeros(n, dtype=np.int64)
+        self.module = module
+        self.merges = 0
+
+    def add_part(self, rows: np.ndarray, out: np.ndarray, w: np.ndarray) -> None:
+        """Merge a partial output for the given query rows."""
+        rows = np.asarray(rows, dtype=np.int64)
+        fresh = ~self.has[rows]
+        if fresh.any():
+            fr = rows[fresh]
+            self.out[fr] = out[fresh]
+            self.w[fr] = w[fresh]
+            self.has[fr] = True
+        stale = ~fresh
+        if stale.any():
+            sr = rows[stale]
+            merged, total = self.module.merge(
+                self.out[sr], self.w[sr], out[stale], w[stale]
+            )
+            self.out[sr] = merged
+            self.w[sr] = total
+            self.merges += int(stale.sum())
+        self.parts[rows] += 1
+
+
+class FunctionalEngine:
+    """Executes :class:`ExecutionPlan` instances on (Q, K, V) data."""
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+        self.datapath = Datapath(plan.config.numerics)
+        self.module = WeightedSumModule(self.datapath)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: Optional[float] = None,
+    ) -> FunctionalResult:
+        """Compute the sparse attention output for ``(n, heads*head_dim)`` inputs."""
+        plan = self.plan
+        q = np.asarray(q, dtype=np.float64)
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        n, hidden = q.shape
+        if n != plan.n:
+            raise EngineError(f"plan is for n={plan.n}, data has n={n}")
+        if hidden != plan.heads * plan.head_dim:
+            raise EngineError(
+                f"hidden size {hidden} != heads*head_dim = {plan.heads * plan.head_dim}"
+            )
+        if k.shape != q.shape or v.shape != q.shape:
+            raise EngineError("q, k, v must share shape (n, hidden)")
+        if scale is None:
+            scale = 1.0 / np.sqrt(plan.head_dim)
+
+        out = np.empty((n, hidden), dtype=np.float64)
+        merges = 0
+        parts = np.zeros((plan.heads, n), dtype=np.int64)
+        for h in range(plan.heads):
+            sl = slice(h * plan.head_dim, (h + 1) * plan.head_dim)
+            head_out, acc = self._run_head(q[:, sl], k[:, sl], v[:, sl], scale)
+            out[:, sl] = head_out
+            merges += acc.merges
+            parts[h] = acc.parts
+        return FunctionalResult(output=out, merges=merges, parts=parts)
+
+    # ------------------------------------------------------------------
+    def _run_head(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+    ) -> Tuple[np.ndarray, _Accumulator]:
+        plan = self.plan
+        n, d = q.shape
+        qq = self.datapath.quantize_input(q)
+        kq = self.datapath.quantize_input(k)
+        vq = self.datapath.quantize_input(v)
+        acc = _Accumulator(n, d, self.module)
+        gset = plan.global_set
+
+        for tp in plan.passes:
+            self._run_window_pass(tp, qq, kq, vq, scale, acc, gset)
+        if plan.global_tokens:
+            self._run_global_column(qq, kq, vq, scale, acc, gset)
+            self._run_global_rows(qq, kq, vq, scale, acc)
+
+        if not acc.has.all():
+            missing = np.flatnonzero(~acc.has)
+            raise EngineError(
+                f"queries {missing[:8].tolist()}... received no attention part; "
+                "the pattern leaves them without keys"
+            )
+        return acc.out, acc
+
+    # ------------------------------------------------------------------
+    def _attend_block(
+        self,
+        qb: np.ndarray,  # (rows, d) quantised queries
+        key_ids: np.ndarray,  # (rows, cols) with -1 = masked
+        kq: np.ndarray,
+        vq: np.ndarray,
+        scale: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stages 1–5 for one block; returns (out, w, row_has_work)."""
+        valid = key_ids >= 0
+        safe = np.where(valid, key_ids, 0)
+        kb = kq[safe]  # (rows, cols, d)
+        vb = vq[safe]
+        s = np.einsum("rd,rcd->rc", qb, kb) * scale
+        e = np.where(valid, self.datapath.exp(s), 0.0)
+        w = e.sum(axis=1)
+        has = w > 0
+        out = np.zeros((qb.shape[0], vb.shape[2]), dtype=np.float64)
+        if has.any():
+            inv = self.datapath.recip(w[has])
+            probs = self.datapath.quantize_prob(e[has] * inv[:, None])
+            out[has] = self.datapath.quantize_output(
+                np.einsum("rc,rcd->rd", probs, vb[has])
+            )
+        return out, w, has
+
+    def _run_window_pass(
+        self,
+        tp: TilePass,
+        qq: np.ndarray,
+        kq: np.ndarray,
+        vq: np.ndarray,
+        scale: float,
+        acc: _Accumulator,
+        gset,
+    ) -> None:
+        n = self.plan.n
+        q_ids = tp.query_ids()
+        key_ids = tp.key_ids(n, exclude=gset)
+        # Global queries are produced by the global PE row; drop their rows.
+        keep = np.array([qi not in gset for qi in q_ids])
+        if not keep.any():
+            return
+        q_ids = q_ids[keep]
+        key_ids = key_ids[keep]
+        out, w, has = self._attend_block(qq[q_ids], key_ids, kq, vq, scale)
+        if has.any():
+            acc.add_part(q_ids[has], out[has], w[has])
+
+    def _run_global_column(
+        self,
+        qq: np.ndarray,
+        kq: np.ndarray,
+        vq: np.ndarray,
+        scale: float,
+        acc: _Accumulator,
+        gset,
+    ) -> None:
+        """Global PE column: every non-global query attends the global keys."""
+        n = self.plan.n
+        rows = np.array([i for i in range(n) if i not in gset], dtype=np.int64)
+        if len(rows) == 0:
+            return
+        gtok = np.asarray(self.plan.global_tokens, dtype=np.int64)
+        key_ids = np.broadcast_to(gtok, (len(rows), len(gtok)))
+        out, w, has = self._attend_block(qq[rows], key_ids, kq, vq, scale)
+        if has.any():
+            acc.add_part(rows[has], out[has], w[has])
+
+    def _run_global_rows(
+        self,
+        qq: np.ndarray,
+        kq: np.ndarray,
+        vq: np.ndarray,
+        scale: float,
+        acc: _Accumulator,
+    ) -> None:
+        """Global PE row: each global query attends the full sequence.
+
+        The row piggybacks on the key streams of the window passes
+        (Section 5.2): each pass contributes its not-yet-seen keys as one
+        partial-softmax batch (``ExecutionPlan.global_row_schedule``), so
+        the full row is assembled with the same weighted-sum merges as any
+        split window.
+        """
+        schedule = self.plan.global_row_schedule()
+        rows = np.asarray(self.plan.global_tokens, dtype=np.int64)
+        if len(rows) == 0:
+            return
+        for batch in schedule:
+            key_ids = np.broadcast_to(batch, (len(rows), len(batch)))
+            out, w, has = self._attend_block(qq[rows], key_ids, kq, vq, scale)
+            if has.any():
+                acc.add_part(rows[has], out[has], w[has])

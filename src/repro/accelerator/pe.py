@@ -1,0 +1,85 @@
+"""Behavioural model of a single SALO processing element (Figure 5, right).
+
+Each PE owns one fixed-point MAC, an accumulation register ``Reg_acc``,
+and access to the shared PWL-exp LUTs.  The same PE design is instantiated
+in the PE array, the global PE row and the global PE column.  The five
+stages of Figure 6 map onto the methods below; the micro-simulator drives
+them cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .datapath import Datapath
+
+__all__ = ["PE"]
+
+
+class PE:
+    """One processing element.
+
+    State registers:
+
+    * ``acc`` — ``Reg_acc``: QK^T partial sum (stage 1), then exp (stage
+      2), then the normalised probability ``S'`` (stage 4);
+    * ``holds_valid`` — whether this PE's (query, key) cell participates
+      (clipped/masked cells contribute nothing).
+    """
+
+    __slots__ = ("datapath", "acc", "holds_valid")
+
+    def __init__(self, datapath: Datapath) -> None:
+        self.datapath = datapath
+        self.acc = 0.0
+        self.holds_valid = False
+
+    def reset(self, valid: bool) -> None:
+        """Start a new pass."""
+        self.acc = 0.0
+        self.holds_valid = valid
+
+    # ------------------------------------------------------------------
+    # Stage 1: output-stationary MAC
+    # ------------------------------------------------------------------
+    def mac_qk(self, q_elem: float, k_elem: float) -> None:
+        """Accumulate one q x k product (operands already quantised)."""
+        if self.holds_valid:
+            self.acc += q_elem * k_elem
+
+    def apply_scale(self, scale: float) -> None:
+        """Score scaling by ``1/sqrt(d)`` before the exponential."""
+        if self.holds_valid:
+            self.acc *= scale
+
+    # ------------------------------------------------------------------
+    # Stage 2: piece-wise linear exponential
+    # ------------------------------------------------------------------
+    def compute_exp(self) -> None:
+        if self.holds_valid:
+            self.acc = float(self.datapath.exp(self.acc))
+        else:
+            self.acc = 0.0
+
+    # ------------------------------------------------------------------
+    # Stage 3: row accumulation (exp sum ripples left -> right)
+    # ------------------------------------------------------------------
+    def add_to_sum(self, partial: float) -> float:
+        """Add this PE's exp to the rippling partial sum."""
+        return partial + self.acc
+
+    # ------------------------------------------------------------------
+    # Stage 4: normalise with the broadcast inverse
+    # ------------------------------------------------------------------
+    def normalize(self, inv: float) -> None:
+        if self.holds_valid:
+            self.acc = float(self.datapath.quantize_prob(self.acc * inv))
+        else:
+            self.acc = 0.0
+
+    # ------------------------------------------------------------------
+    # Stage 5: weight-stationary S'V MAC
+    # ------------------------------------------------------------------
+    def mac_sv(self, v_elem: float, psum_in: float) -> float:
+        """Multiply the held probability by a value element, add to psum."""
+        return psum_in + self.acc * v_elem

@@ -1,0 +1,65 @@
+"""Reciprocal unit for the softmax denominator (paper Section 5.1, stage 3).
+
+Dividers are expensive, so SALO computes the inverse of the exponential sum
+once per row and broadcasts it back (Figure 5 shows the ``Shift``/``Frac``
+LUT structure).  The unit normalises the operand to a mantissa in
+``[1, 2)`` with a leading-one detector (a shift), looks the mantissa's
+reciprocal up in a small LUT, and denormalises with the opposite shift:
+
+    ``w = m * 2^e``  →  ``1/w ≈ LUT[m] * 2^-e``.
+
+The LUT holds midpoint reciprocals of ``2**bits`` uniform mantissa bins,
+quantised to the probability format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import NumericsConfig
+from .fixed_point import FixedPointFormat
+
+__all__ = ["ReciprocalUnit"]
+
+
+@dataclass
+class ReciprocalUnit:
+    """Shift-normalise + LUT reciprocal approximation."""
+
+    lut_bits: int
+    mantissa_format: FixedPointFormat
+    table: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lut_bits < 1:
+            raise ValueError("lut_bits must be >= 1")
+        bins = 1 << self.lut_bits
+        mid = 1.0 + (np.arange(bins) + 0.5) / bins
+        self.table = self.mantissa_format.quantize(1.0 / mid)
+
+    @classmethod
+    def from_numerics(cls, numerics: NumericsConfig) -> "ReciprocalUnit":
+        fmt = FixedPointFormat(numerics.output_bits, numerics.prob_frac_bits, signed=False)
+        return cls(lut_bits=numerics.recip_lut_bits, mantissa_format=fmt)
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        """Approximate ``1 / w`` for strictly positive ``w``."""
+        w = np.asarray(w, dtype=np.float64)
+        if np.any(w <= 0):
+            raise ValueError("reciprocal unit requires strictly positive inputs")
+        mant, exp = np.frexp(w)  # w = mant * 2**exp, mant in [0.5, 1)
+        m = mant * 2.0  # [1, 2)
+        e = exp - 1
+        idx = np.minimum(
+            ((m - 1.0) * (1 << self.lut_bits)).astype(np.int64),
+            (1 << self.lut_bits) - 1,
+        )
+        return self.table[idx] * np.power(2.0, -e.astype(np.float64))
+
+    def max_relative_error(self, samples: int = 8192) -> float:
+        """Worst-case relative error over one mantissa octave."""
+        w = np.linspace(1.0, 2.0, samples, endpoint=False)
+        approx = self(w)
+        return float(np.max(np.abs(approx * w - 1.0)))

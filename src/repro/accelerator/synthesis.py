@@ -1,0 +1,115 @@
+"""Analytic synthesis model: area and power of a SALO instance (Table 1).
+
+The paper implements SALO in Chisel and synthesises with Synopsys DC on
+FreePDK 45 nm, reporting 4.56 mm² and 532.66 mW at 1 GHz for the default
+32 x 32 configuration.  Without a synthesis flow we model area/power
+bottom-up from component counts — PEs (MAC + registers + two PWL LUTs),
+weighted-sum lanes, SRAM macros, control overhead — with 45 nm
+per-component constants calibrated once against the published Table 1
+figures.  The model then extrapolates to other configurations for the
+design-space ablations (DESIGN.md A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.config import HardwareConfig
+
+__all__ = ["SynthesisReport", "SynthesisConstants", "synthesize", "TABLE1"]
+
+
+@dataclass(frozen=True)
+class SynthesisConstants:
+    """45 nm per-component area/power constants (calibrated to Table 1)."""
+
+    pe_area_um2: float = 3200.0  # fixed-point MAC, regs, exp LUTs, control
+    ws_lane_area_um2: float = 2100.0  # two multipliers + adder + weight regs
+    sram_area_um2_per_byte: float = 7.4  # 6T cell + array overhead
+    control_area_fraction: float = 0.045  # global control / NoC share of logic
+
+    pe_power_uw: float = 312.0  # average dynamic power per PE at 1 GHz, full load
+    ws_lane_power_uw: float = 300.0
+    sram_power_uw_per_kb: float = 260.0
+    control_power_fraction: float = 0.05
+    leakage_w_per_mm2: float = 0.030
+
+
+@dataclass
+class SynthesisReport:
+    """Synthesis summary in the units of Table 1."""
+
+    frequency_hz: float
+    area_mm2: float
+    power_w: float
+    area_breakdown_mm2: Dict[str, float]
+    power_breakdown_w: Dict[str, float]
+
+    @property
+    def power_mw(self) -> float:
+        return self.power_w * 1e3
+
+
+#: Published Table 1 values (the calibration target).
+TABLE1 = {
+    "pe_array": (32, 32),
+    "global_pe_columns": 1,
+    "global_pe_rows": 1,
+    "weighted_sum_entries": 33,
+    "query_buffer_bytes": 16 * 1024,
+    "key_buffer_bytes": 32 * 1024,
+    "value_buffer_bytes": 32 * 1024,
+    "output_buffer_bytes": 32 * 1024,
+    "frequency_hz": 1.0e9,
+    "power_mw": 532.66,
+    "area_mm2": 4.56,
+}
+
+
+def synthesize(
+    config: HardwareConfig, constants: SynthesisConstants = SynthesisConstants()
+) -> SynthesisReport:
+    """Estimate area and power of a SALO instance."""
+    n_pe = config.num_pes + config.num_global_pes
+    n_ws = config.weighted_sum_entries
+    sram_bytes = (
+        config.query_buffer_bytes
+        + config.key_buffer_bytes
+        + config.value_buffer_bytes
+        + config.output_buffer_bytes
+    )
+
+    pe_area = n_pe * constants.pe_area_um2 * 1e-6
+    ws_area = n_ws * constants.ws_lane_area_um2 * 1e-6
+    sram_area = sram_bytes * constants.sram_area_um2_per_byte * 1e-6
+    control_area = (pe_area + ws_area) * constants.control_area_fraction
+    area_breakdown = {
+        "pe_array": pe_area,
+        "weighted_sum": ws_area,
+        "sram": sram_area,
+        "control": control_area,
+    }
+    area = sum(area_breakdown.values())
+
+    freq_scale = config.frequency_hz / 1.0e9
+    pe_power = n_pe * constants.pe_power_uw * 1e-6 * freq_scale
+    ws_power = n_ws * constants.ws_lane_power_uw * 1e-6 * freq_scale
+    sram_power = (sram_bytes / 1024.0) * constants.sram_power_uw_per_kb * 1e-6 * freq_scale
+    control_power = (pe_power + ws_power) * constants.control_power_fraction
+    leakage = constants.leakage_w_per_mm2 * area
+    power_breakdown = {
+        "pe_array": pe_power,
+        "weighted_sum": ws_power,
+        "sram": sram_power,
+        "control": control_power,
+        "leakage": leakage,
+    }
+    power = sum(power_breakdown.values())
+    return SynthesisReport(
+        frequency_hz=config.frequency_hz,
+        area_mm2=area,
+        power_w=power,
+        area_breakdown_mm2=area_breakdown,
+        power_breakdown_w=power_breakdown,
+    )

@@ -1,0 +1,155 @@
+"""Analytic cycle model of the spatial accelerator (Figure 6 datapath).
+
+The model assigns each tile pass the latency of its five stages:
+
+* **Stage 1** — output-stationary systolic :math:`QK^T`:
+  ``head_dim + rows + cols - 2`` cycles (stream of ``head_dim`` operand
+  pairs plus array fill/drain skew).
+* **Stage 2** — PWL exponential: fixed ``stage2_exp_cycles`` (LUT read +
+  one MAC), all PEs in parallel.
+* **Stage 3** — row accumulation of ``exp`` values rippling left→right
+  (``cols`` cycles), reciprocal (``stage3_inv_cycles``), broadcast back
+  (``stage3_bcast_cycles``).
+* **Stage 4** — one multiply per PE: 1 cycle.
+* **Stage 5** — weight-stationary :math:`S'V`: ``head_dim + cols - 1``
+  cycles, with the weighted-sum merge pipelined behind the output stream
+  (one ``weighted_sum_latency`` tail).
+
+Passes execute back to back; the global PE row/column work concurrently
+with the array (Section 5.2) and add no cycles as long as the global-token
+bound holds — which the scheduler enforces.
+
+The formula is validated cycle-for-cycle against the micro-simulator in
+``tests/accelerator/test_systolic.py`` (property-based over the
+micro-sim's parameter space) and then extrapolated to full workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.config import HardwareConfig
+from ..scheduler.plan import ExecutionPlan
+
+__all__ = ["PassTiming", "TimingResult", "pass_cycles", "plan_timing"]
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Per-stage cycle breakdown of one tile pass."""
+
+    stage1: int
+    stage2: int
+    stage3: int
+    stage4: int
+    stage5: int
+    weighted_sum: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.stage1
+            + self.stage2
+            + self.stage3
+            + self.stage4
+            + self.stage5
+            + self.weighted_sum
+        )
+
+
+def pass_cycles(config: HardwareConfig, rows_used: int, cols_used: int, head_dim: int) -> PassTiming:
+    """Cycle count of one pass on ``rows_used x cols_used`` active PEs."""
+    if rows_used < 1 or cols_used < 1 or head_dim < 1:
+        raise ValueError("rows_used, cols_used and head_dim must be >= 1")
+    return PassTiming(
+        stage1=head_dim + rows_used + cols_used - 2,
+        stage2=config.stage2_exp_cycles,
+        stage3=cols_used + config.stage3_inv_cycles + config.stage3_bcast_cycles,
+        stage4=1,
+        stage5=head_dim + cols_used - 1,
+        weighted_sum=config.weighted_sum_latency,
+    )
+
+
+@dataclass
+class TimingResult:
+    """Latency and work accounting for a full plan execution."""
+
+    cycles: int
+    seconds: float
+    num_passes: int
+    heads: int
+    utilization: float
+    window_macs: int
+    global_macs: int
+    stage_cycles: Dict[str, int]
+
+    @property
+    def total_macs(self) -> int:
+        return self.window_macs + self.global_macs
+
+    @property
+    def effective_macs_per_cycle(self) -> float:
+        return self.total_macs / self.cycles if self.cycles else 0.0
+
+
+def plan_timing(plan: ExecutionPlan, pipelined: bool = False) -> TimingResult:
+    """Total latency of a plan across all heads.
+
+    ``pipelined=True`` models a double-buffered accumulator per PE (one
+    extra register), which lets stage 1 of pass ``p+1`` overlap stages
+    2–5 of pass ``p``: the issue interval becomes
+    ``max(stage1, stage2..5 + weighted_sum)`` and the last pass drains its
+    back half.  This is an *extension* beyond the published design (see
+    the pipelining ablation); the paper's evaluation uses the sequential
+    model.
+    """
+    config = plan.config
+    d = plan.head_dim
+    g = plan.global_set
+    stage_totals = {k: 0 for k in ("stage1", "stage2", "stage3", "stage4", "stage5", "weighted_sum")}
+    cycles_one_head = 0
+    valid_cells = 0
+    total_cells = 0
+    last_tail = 0
+    for tp in plan.passes:
+        pt = pass_cycles(config, tp.rows_used, tp.cols_used, d)
+        if pipelined:
+            tail = pt.stage2 + pt.stage3 + pt.stage4 + pt.stage5 + pt.weighted_sum
+            cycles_one_head += max(pt.stage1, tail)
+            last_tail = tail
+        else:
+            cycles_one_head += pt.total
+        for key in stage_totals:
+            stage_totals[key] += getattr(pt, key)
+        valid_cells += tp.valid_cell_count(plan.n, exclude=g)
+        total_cells += config.pe_rows * config.pe_cols
+    if pipelined and plan.passes:
+        # Drain: the final pass still finishes its back half after its
+        # stage-1 slot, minus the overlap already charged.
+        pt = pass_cycles(config, plan.passes[-1].rows_used, plan.passes[-1].cols_used, d)
+        cycles_one_head += max(0, pt.total - max(pt.stage1, last_tail))
+    # Pure-global patterns run dedicated streaming passes.
+    if plan.global_only_passes:
+        pt = pass_cycles(config, max(1, config.global_rows), config.pe_cols, d)
+        cycles_one_head += pt.total * plan.global_only_passes
+
+    ng = len(plan.global_tokens)
+    n = plan.n
+    window_macs = 2 * valid_cells * d * plan.heads
+    global_macs = plan.heads * 2 * d * (ng * n + ng * max(0, n - ng))
+
+    cycles = cycles_one_head * plan.heads
+    for key in stage_totals:
+        stage_totals[key] *= plan.heads
+    return TimingResult(
+        cycles=cycles,
+        seconds=cycles * config.cycle_time_s(),
+        num_passes=plan.num_total_passes,
+        heads=plan.heads,
+        utilization=valid_cells / total_cells if total_cells else 0.0,
+        window_macs=window_macs,
+        global_macs=global_macs,
+        stage_cycles=stage_totals,
+    )

@@ -1,0 +1,58 @@
+"""Weighted-sum module: split-window renormalisation (Sections 4.2 & 5.3).
+
+Window splitting divides a query's window across several passes; each pass
+``k`` yields a locally-normalised output ``output_i^k`` and the weight
+``W_k = sum_{j in T_k} exp(S_ij)``.  The weighted-sum module merges a new
+partial output into the running one with
+
+    ``output = W1/(W1+W2) * output^1 + W2/(W1+W2) * output^2``      (Eq. 2)
+
+using two multipliers and an adder per PE row.  The normalised weights are
+produced with the same reciprocal unit as the softmax denominator; the
+complementary weight is formed as ``1 - a`` so the pair always sums to one
+even after quantisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .datapath import Datapath
+
+__all__ = ["WeightedSumModule"]
+
+
+@dataclass
+class WeightedSumModule:
+    """Hardware-faithful pairwise merge of partial attention outputs."""
+
+    datapath: Datapath
+
+    def merge(
+        self,
+        out1: np.ndarray,
+        w1: np.ndarray,
+        out2: np.ndarray,
+        w2: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge ``(out1, w1)`` with ``(out2, w2)``; returns ``(out, w1+w2)``.
+
+        ``out*`` have shape ``(rows, d)``; ``w*`` shape ``(rows,)``.  The
+        merge is associative up to quantisation error, so any number of
+        window splits can be chained (Appendix A).
+        """
+        w1 = np.asarray(w1, dtype=np.float64)
+        w2 = np.asarray(w2, dtype=np.float64)
+        total = w1 + w2
+        if np.any(total <= 0):
+            raise ValueError("merge weights must be positive")
+        a1 = self.datapath.quantize_prob(w1 * self.datapath.recip(total))
+        a1 = np.clip(a1, 0.0, 1.0)
+        a2 = 1.0 - a1
+        merged = self.datapath.quantize_output(
+            a1[..., None] * np.asarray(out1) + a2[..., None] * np.asarray(out2)
+        )
+        return merged, total

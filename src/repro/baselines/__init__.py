@@ -1,0 +1,19 @@
+"""Reference implementations and baseline performance models."""
+
+from .dense_attention import dense_attention, multi_head_dense_attention, softmax
+from .sparse_reference import (
+    masked_attention,
+    online_softmax_merge,
+    sparse_attention_rowwise,
+    split_window_attention,
+)
+
+__all__ = [
+    "softmax",
+    "dense_attention",
+    "multi_head_dense_attention",
+    "masked_attention",
+    "sparse_attention_rowwise",
+    "online_softmax_merge",
+    "split_window_attention",
+]

@@ -1,0 +1,151 @@
+"""Calibrated CPU/GPU latency and power models (evaluation baselines).
+
+The paper measures attention layers on an Intel Xeon E5-2630 v3 and a GTX
+1080Ti under PyTorch 1.5 (MKL / cuDNN backends).  Offline we model both
+devices with roofline-style formulas whose constants are calibrated to the
+paper's published numbers:
+
+* **GPU dense attention** is anchored to the Section 2.1 BERT-base
+  measurements (9.20 ms at n=2048, 145.70 ms at n=8192 — both within 2 %
+  of a single effective-throughput fit, confirming the compute-bound
+  quadratic regime the paper describes).
+* **Sliding-window (Longformer) and ViL attention** have no published
+  absolute latencies, only speedups over SALO; the constants below are
+  back-derived from those speedups against our SALO timing model at the
+  Table 2 operating points, then extrapolated by the structural formulas
+  (chunk-overlap FLOPs for Longformer's Huggingface implementation,
+  GEMM + fixed per-layer overhead for ViL).  EXPERIMENTS.md documents the
+  derivation; tests pin the anchors.
+* **Power** likewise is back-derived from the published energy-saving
+  ratios (Figure 7b): active-power-above-idle per workload class.  The
+  derived magnitudes (~2–3 W CPU, ~10–50 W GPU) reflect per-kernel energy
+  attribution rather than TDP, consistent with the paper's modest energy
+  ratios relative to its speedups.
+
+The sliding-window workloads run *without* sparse-kernel support on both
+devices — the paper's central observation is that "the hybrid sparse
+attention mechanism is not directly supported by the highly optimized
+GEMM kernels", so the baselines pay chunking/masking overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..workloads.configs import AttentionWorkload
+
+__all__ = ["BaselineEstimate", "DeviceModel", "GPU_1080TI", "CPU_XEON_E5_2630V3"]
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """Latency + average active power for one attention layer."""
+
+    latency_s: float
+    power_w: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def energy_j(self) -> float:
+        return self.latency_s * self.power_w
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Roofline-style device model with per-workload-class calibration.
+
+    Attributes
+    ----------
+    dense_tflops:
+        Effective throughput of dense attention (large GEMMs + softmax).
+    longformer_tflops:
+        Effective throughput of the Huggingface chunked sliding-window
+        implementation (includes gather/copy overheads).
+    longformer_chunk_overhead:
+        FLOP multiplier of the chunked algorithm (overlapping 2w-wide
+        chunks compute ~2x the nominal window FLOPs).
+    vil_tflops, vil_overhead_s:
+        ViL's windowed attention: GEMM-like term plus a fixed per-layer
+        overhead (masking, reshapes, many small kernels).
+    *_power_w, power_base_w, power_per_flops:
+        Active-power calibration per workload class (see module docstring).
+    """
+
+    name: str
+    dense_tflops: float
+    longformer_tflops: float
+    longformer_chunk_overhead: float
+    vil_tflops: float
+    vil_overhead_s: float
+    dense_power_w: float
+    longformer_power_w: float
+    vil_power_base_w: float
+    vil_power_per_flops: float
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def dense_attention_latency_s(self, n: int, hidden: int) -> float:
+        """One dense attention layer (both matmuls, all heads)."""
+        flops = 4.0 * n * n * hidden
+        return flops / (self.dense_tflops * 1e12)
+
+    def longformer_latency_s(self, n: int, window: int, hidden: int) -> float:
+        """Huggingface-style chunked sliding-window attention."""
+        flops = 4.0 * n * window * hidden * self.longformer_chunk_overhead
+        return flops / (self.longformer_tflops * 1e12)
+
+    def vil_latency_s(self, n: int, hidden: int) -> float:
+        """ViL windowed attention (masked-dense GEMM + fixed overhead)."""
+        flops = 4.0 * n * n * hidden
+        return flops / (self.vil_tflops * 1e12) + self.vil_overhead_s
+
+    # ------------------------------------------------------------------
+    def estimate(self, workload: AttentionWorkload) -> BaselineEstimate:
+        """Latency and power for one of the evaluation workloads."""
+        if workload.kind == "dense":
+            t = self.dense_attention_latency_s(workload.n, workload.hidden)
+            return BaselineEstimate(t, self.dense_power_w)
+        if workload.kind == "longformer":
+            t = self.longformer_latency_s(workload.n, workload.window, workload.hidden)
+            return BaselineEstimate(t, self.longformer_power_w)
+        if workload.kind == "vil":
+            t = self.vil_latency_s(workload.n, workload.hidden)
+            rate = 4.0 * workload.n * workload.n * workload.hidden / t
+            power = self.vil_power_base_w + self.vil_power_per_flops * rate
+            return BaselineEstimate(t, power)
+        raise ValueError(f"unknown workload kind {workload.kind!r}")
+
+
+#: GTX 1080Ti (cuDNN, PyTorch 1.5).  Dense throughput fits both Section 2.1
+#: anchors; sparse-class constants are back-derived at the Table 2 points.
+GPU_1080TI = DeviceModel(
+    name="GTX 1080Ti",
+    dense_tflops=1.41,
+    longformer_tflops=0.2777,
+    longformer_chunk_overhead=2.0,
+    vil_tflops=1.516,
+    vil_overhead_s=6.238e-3,
+    dense_power_w=90.0,
+    longformer_power_w=51.6,
+    vil_power_base_w=6.88,
+    vil_power_per_flops=1.976e-11,
+)
+
+#: Intel Xeon E5-2630 v3 (MKL, PyTorch 1.5).
+CPU_XEON_E5_2630V3 = DeviceModel(
+    name="Xeon E5-2630 v3",
+    dense_tflops=0.150,
+    longformer_tflops=0.024523,
+    longformer_chunk_overhead=2.0,
+    vil_tflops=0.34529,
+    vil_overhead_s=24.52e-3,
+    dense_power_w=25.0,
+    longformer_power_w=2.669,
+    vil_power_base_w=1.702,
+    vil_power_per_flops=9.534e-12,
+)

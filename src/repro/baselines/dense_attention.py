@@ -1,0 +1,78 @@
+"""Dense (vanilla) attention reference implementation (paper Section 2.1).
+
+Float64/float32 numpy reference of the standard scaled-dot-product
+attention: :math:`S = QK^T / \\sqrt{d}`, row softmax, :math:`O = S'V`.
+Used as the numerical ground truth for every other engine in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["softmax", "dense_attention", "multi_head_dense_attention"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Single-head attention output for ``(n, d)`` inputs.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(n, d)`` (``v`` may have a different feature
+        dimension ``dv``).
+    scale:
+        Score scaling; defaults to ``1 / sqrt(d)`` as in the paper.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+        raise ValueError("q, k, v must be 2-D (n, d)")
+    if q.shape[1] != k.shape[1]:
+        raise ValueError(f"q/k feature mismatch: {q.shape[1]} vs {k.shape[1]}")
+    if k.shape[0] != v.shape[0]:
+        raise ValueError(f"k/v length mismatch: {k.shape[0]} vs {v.shape[0]}")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[1])
+    s = (q @ k.T) * scale
+    return softmax(s, axis=-1) @ v
+
+
+def multi_head_dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    heads: int,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Multi-head attention for ``(n, h*d)`` inputs, concatenated output.
+
+    The hidden dimension is split evenly across ``heads``; each head runs
+    :func:`dense_attention` independently and outputs are concatenated,
+    matching Figure 1 of the paper (without the output projection, which
+    belongs to the enclosing transformer layer).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape[1] % heads != 0:
+        raise ValueError(f"hidden size {q.shape[1]} not divisible by heads {heads}")
+    d = q.shape[1] // heads
+    outs = []
+    for h in range(heads):
+        sl = slice(h * d, (h + 1) * d)
+        outs.append(dense_attention(q[:, sl], k[:, sl], v[:, sl], scale=scale))
+    return np.concatenate(outs, axis=1)

@@ -1,0 +1,94 @@
+"""Command-line interface: run the paper's experiments.
+
+Usage::
+
+    salo-repro list                      # enumerate experiments
+    salo-repro run fig7a_speedup         # one experiment
+    salo-repro run table3_quantization --fast
+    salo-repro all [--fast]              # everything, in DESIGN.md order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import all_experiments, get_experiment
+
+_ORDER = [
+    "sec21_quadratic",
+    "table1_synthesis",
+    "table2_workloads",
+    "fig7a_speedup",
+    "fig7b_energy",
+    "sec63_sanger",
+    "table3_quantization",
+    "ablation_pe_array",
+    "ablation_splitting",
+    "ablation_dataflow",
+    "ablation_exp_lut",
+    "ablation_global_tokens",
+    "ablation_band_packing",
+    "ablation_pipelining",
+    "design_space",
+    "seq_scaling",
+]
+
+
+def _ordered_names() -> List[str]:
+    known = all_experiments()
+    ordered = [n for n in _ORDER if n in known]
+    ordered.extend(sorted(set(known) - set(ordered)))
+    return ordered
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="salo-repro",
+        description="Reproduction of SALO (DAC 2022): experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment name (see 'list')")
+    run_p.add_argument("--fast", action="store_true", help="reduced problem sizes")
+
+    all_p = sub.add_parser("all", help="run every experiment in paper order")
+    all_p.add_argument("--fast", action="store_true", help="reduced problem sizes")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in _ordered_names():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        try:
+            fn = get_experiment(args.experiment)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        result = fn(fast=args.fast)
+        print(result.render())
+        print(f"\n[{args.experiment} finished in {time.perf_counter() - t0:.1f}s]")
+        return 0
+
+    if args.command == "all":
+        for name in _ordered_names():
+            t0 = time.perf_counter()
+            result = get_experiment(name)(fast=args.fast)
+            print(result.render())
+            print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""SALO core: hardware configuration and the top-level engine."""
+
+from .config import ConfigError, HardwareConfig, NumericsConfig
+
+__all__ = ["HardwareConfig", "NumericsConfig", "ConfigError"]

@@ -1,0 +1,127 @@
+"""Top-level SALO engine: schedule, simulate, account (Figure 3).
+
+:class:`SALO` wires the framework together the way Figure 3 draws it: the
+data scheduler turns pattern + hardware metadata into an execution plan;
+the spatial accelerator executes it.  Two entry points:
+
+* :meth:`SALO.attend` — run real data through the functional engine and
+  return outputs plus full statistics;
+* :meth:`SALO.estimate` — timing/energy/traffic only (no data), fast
+  enough for the paper-scale workloads driving Figures 7a/7b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..accelerator.buffers import check_buffer_fit, plan_traffic
+from ..accelerator.energy import EnergyTable, plan_energy
+from ..accelerator.functional import FunctionalEngine, FunctionalResult
+from ..accelerator.synthesis import synthesize
+from ..accelerator.timing import plan_timing
+from ..patterns.base import AttentionPattern
+from ..scheduler.plan import ExecutionPlan
+from ..scheduler.scheduler import DataScheduler
+from .config import HardwareConfig
+from .stats import RunStats
+
+__all__ = ["SALO", "AttentionResult"]
+
+
+@dataclass
+class AttentionResult:
+    """Output of :meth:`SALO.attend`."""
+
+    output: np.ndarray
+    stats: RunStats
+    plan: ExecutionPlan
+    functional: FunctionalResult
+
+
+class SALO:
+    """A SALO accelerator instance with its data scheduler.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration; defaults to the synthesised Table 1
+        instance (32 x 32 PEs, one global row/column, 1 GHz, Q8.4 inputs).
+    energy_table:
+        45 nm per-event energy constants for the energy model.
+    strict_global_bound:
+        Enforce the Section 5.2 global-token bound during scheduling.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HardwareConfig] = None,
+        energy_table: EnergyTable = EnergyTable(),
+        strict_global_bound: bool = True,
+    ) -> None:
+        self.config = config if config is not None else HardwareConfig()
+        self.energy_table = energy_table
+        self.scheduler = DataScheduler(self.config, strict_global_bound=strict_global_bound)
+        self._area_mm2 = synthesize(self.config).area_mm2
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, pattern: AttentionPattern, heads: int = 1, head_dim: int = 64
+    ) -> ExecutionPlan:
+        """Run only the data scheduler."""
+        return self.scheduler.schedule(pattern, heads=heads, head_dim=head_dim)
+
+    def stats_for(self, plan: ExecutionPlan) -> RunStats:
+        """Timing, occupancy, traffic and energy for a plan."""
+        return RunStats(
+            timing=plan_timing(plan),
+            plan=plan.stats(),
+            traffic=plan_traffic(plan),
+            energy=plan_energy(plan, table=self.energy_table, area_mm2=self._area_mm2),
+        )
+
+    def estimate(
+        self, pattern: AttentionPattern, heads: int = 1, head_dim: int = 64
+    ) -> RunStats:
+        """Schedule + performance model without executing data."""
+        return self.stats_for(self.schedule(pattern, heads=heads, head_dim=head_dim))
+
+    def attend(
+        self,
+        pattern: AttentionPattern,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        heads: int = 1,
+        scale: Optional[float] = None,
+        check_buffers: bool = True,
+    ) -> AttentionResult:
+        """Compute sparse attention on the accelerator model.
+
+        ``q``, ``k``, ``v`` have shape ``(n, hidden)`` with ``hidden``
+        divisible by ``heads``; the output concatenates per-head results as
+        in Figure 1.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        n, hidden = q.shape
+        if hidden % heads != 0:
+            raise ValueError(f"hidden size {hidden} not divisible by heads {heads}")
+        head_dim = hidden // heads
+        plan = self.schedule(pattern, heads=heads, head_dim=head_dim)
+        if check_buffers:
+            fit = check_buffer_fit(plan)
+            if not fit.fits:
+                raise ValueError(
+                    "workload does not fit the on-chip buffers: "
+                    + "; ".join(fit.violations)
+                )
+        engine = FunctionalEngine(plan)
+        functional = engine.run(q, k, v, scale=scale)
+        return AttentionResult(
+            output=functional.output,
+            stats=self.stats_for(plan),
+            plan=plan,
+            functional=functional,
+        )

@@ -1,0 +1,57 @@
+"""Aggregate run statistics for a SALO execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accelerator.buffers import TrafficResult
+from ..accelerator.energy import EnergyResult
+from ..accelerator.timing import TimingResult
+from ..scheduler.plan import PlanStats
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Latency, occupancy, traffic and energy of one attention execution."""
+
+    timing: TimingResult
+    plan: PlanStats
+    traffic: TrafficResult
+    energy: EnergyResult
+
+    @property
+    def latency_s(self) -> float:
+        return self.timing.seconds
+
+    @property
+    def latency_ms(self) -> float:
+        return self.timing.seconds * 1e3
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def utilization(self) -> float:
+        return self.timing.utilization
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"latency: {self.latency_ms:.4f} ms ({self.cycles} cycles)",
+            f"passes: {self.timing.num_passes} ({self.plan.num_passes} structural)",
+            f"PE utilization: {self.utilization:.1%}",
+            f"MACs: {self.timing.total_macs:,} "
+            f"({self.timing.effective_macs_per_cycle:.1f}/cycle)",
+            f"DRAM traffic: {self.traffic.dram_total / 1024:.1f} KiB "
+            f"(kv reuse {self.traffic.kv_reuse_factor:.1f}x)",
+            f"energy: {self.energy_j * 1e3:.4f} mJ "
+            f"(avg power {self.energy.average_power_w * 1e3:.1f} mW)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per paper table/figure + ablations.
+
+Importing this package registers every experiment; use
+:func:`repro.experiments.base.all_experiments` or the CLI
+(``python -m repro.cli``) to run them.
+"""
+
+from . import (  # noqa: F401  (imports register the experiments)
+    ablations,
+    fig7_energy,
+    fig7_speedup,
+    sec21_quadratic,
+    sec63_sanger,
+    seq_scaling,
+    table1_synthesis,
+    table2_workloads,
+    table3_quantization,
+)
+from .base import ExperimentResult, all_experiments, format_table, get_experiment
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment", "format_table"]

@@ -1,0 +1,97 @@
+"""Experiment infrastructure: results, tables, registry.
+
+Every paper artefact (table/figure/section claim) has one experiment
+module exposing ``run(fast: bool = False) -> ExperimentResult``.  Results
+are row-oriented so they can be printed as aligned text tables (the shape
+the paper reports) and asserted on by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment: str
+    title: str
+    rows: List[dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        return format_table(self.rows)
+
+    def render(self) -> str:
+        head = f"== {self.experiment}: {self.title} =="
+        parts = [head, self.table()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def column(self, key: str) -> List:
+        return [row[key] for row in self.rows]
+
+    def row_for(self, key: str, value) -> dict:
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict]) -> str:
+    """Align dict rows into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    lines = [header, sep]
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str) -> Callable:
+    """Decorator registering an experiment ``run`` function under ``name``."""
+
+    def deco(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+    return dict(_REGISTRY)

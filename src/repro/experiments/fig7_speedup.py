@@ -1,0 +1,66 @@
+"""E4 — Figure 7a: SALO speedup over CPU and GPU.
+
+Published: 83.57x / 83.12x / 101.31x over CPU (89.33x average) and
+7.38x / 20.10x / 25.51x over GPU (17.66x average) for Longformer,
+ViL-stage1 and ViL-stage2.
+"""
+
+from __future__ import annotations
+
+from ..baselines.cpu_gpu_model import CPU_XEON_E5_2630V3, GPU_1080TI
+from ..core.salo import SALO
+from ..workloads.configs import PAPER_WORKLOADS
+from .base import ExperimentResult, register
+
+PAPER_CPU_SPEEDUP = {"Longformer": 83.57, "ViL-stage1": 83.12, "ViL-stage2": 101.31}
+PAPER_GPU_SPEEDUP = {"Longformer": 7.38, "ViL-stage1": 20.10, "ViL-stage2": 25.51}
+PAPER_CPU_AVG = 89.33
+PAPER_GPU_AVG = 17.66
+
+
+@register("fig7a_speedup")
+def run(fast: bool = False) -> ExperimentResult:
+    salo = SALO()
+    result = ExperimentResult(
+        experiment="E4/fig7a",
+        title="SALO speedup over CPU (Xeon E5-2630 v3) and GPU (GTX 1080Ti)",
+    )
+    cpu_speedups = []
+    gpu_speedups = []
+    for name, w in PAPER_WORKLOADS.items():
+        stats = salo.estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim)
+        cpu = CPU_XEON_E5_2630V3.estimate(w)
+        gpu = GPU_1080TI.estimate(w)
+        s_cpu = cpu.latency_s / stats.latency_s
+        s_gpu = gpu.latency_s / stats.latency_s
+        cpu_speedups.append(s_cpu)
+        gpu_speedups.append(s_gpu)
+        result.rows.append(
+            {
+                "workload": name,
+                "salo_ms": round(stats.latency_ms, 3),
+                "cpu_ms": round(cpu.latency_ms, 1),
+                "gpu_ms": round(gpu.latency_ms, 2),
+                "speedup_cpu": round(s_cpu, 2),
+                "paper_cpu": PAPER_CPU_SPEEDUP[name],
+                "speedup_gpu": round(s_gpu, 2),
+                "paper_gpu": PAPER_GPU_SPEEDUP[name],
+            }
+        )
+    result.rows.append(
+        {
+            "workload": "Average",
+            "salo_ms": "",
+            "cpu_ms": "",
+            "gpu_ms": "",
+            "speedup_cpu": round(sum(cpu_speedups) / len(cpu_speedups), 2),
+            "paper_cpu": PAPER_CPU_AVG,
+            "speedup_gpu": round(sum(gpu_speedups) / len(gpu_speedups), 2),
+            "paper_gpu": PAPER_GPU_AVG,
+        }
+    )
+    result.notes.append(
+        "CPU/GPU latencies come from models back-derived from the paper's "
+        "published speedups at these operating points (EXPERIMENTS.md)"
+    )
+    return result

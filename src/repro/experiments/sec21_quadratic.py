@@ -1,0 +1,66 @@
+"""E1 — Section 2.1: quadratic latency growth of dense attention.
+
+The paper motivates SALO by timing one BERT-base attention layer on a
+GTX 1080Ti: 9.20 ms at n=2048 growing ~16x to 145.70 ms at n=8192.  We
+regenerate the sweep with the calibrated GPU model (anchored to exactly
+those two measurements) and additionally time our own numpy dense
+attention to show the same quadratic shape on the host CPU.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines.cpu_gpu_model import GPU_1080TI
+from ..baselines.dense_attention import multi_head_dense_attention
+from .base import ExperimentResult, register
+
+#: Published anchors (sequence length → ms on GTX 1080Ti).
+PAPER_ANCHORS = {2048: 9.20, 8192: 145.70}
+
+SWEEP = (512, 1024, 2048, 4096, 8192)
+
+
+@register("sec21_quadratic")
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E1/sec21",
+        title="Dense attention latency vs sequence length (BERT-base layer)",
+    )
+    hidden, heads = 768, 12
+    measure_host = not fast
+    base_gpu = None
+    base_host = None
+    for n in SWEEP:
+        gpu_ms = GPU_1080TI.dense_attention_latency_s(n, hidden) * 1e3
+        row = {
+            "n": n,
+            "gpu_model_ms": round(gpu_ms, 2),
+            "paper_ms": PAPER_ANCHORS.get(n, ""),
+        }
+        if base_gpu is None:
+            base_gpu = gpu_ms
+        row["gpu_growth"] = round(gpu_ms / base_gpu, 1)
+        if measure_host and n <= 4096:
+            rng = np.random.default_rng(0)
+            q, k, v = (rng.standard_normal((n, hidden)) for _ in range(3))
+            t0 = time.perf_counter()
+            multi_head_dense_attention(q, k, v, heads=heads)
+            host_ms = (time.perf_counter() - t0) * 1e3
+            if base_host is None:
+                base_host = host_ms
+            row["host_numpy_ms"] = round(host_ms, 1)
+            row["host_growth"] = round(host_ms / base_host, 1)
+        result.rows.append(row)
+
+    ratio = (
+        GPU_1080TI.dense_attention_latency_s(8192, hidden)
+        / GPU_1080TI.dense_attention_latency_s(2048, hidden)
+    )
+    result.notes.append(
+        f"modelled 8192/2048 latency ratio = {ratio:.1f}x "
+        f"(paper: 145.70/9.20 = {145.70 / 9.20:.1f}x, ideal quadratic = 16x)"
+    )
+    return result

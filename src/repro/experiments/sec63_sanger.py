@@ -1,0 +1,82 @@
+"""E6 — Section 6.3: comparison with Sanger.
+
+The paper grants Sanger the same PE count (64 x 16 = 1024), frequency and
+sparsity, and reports SALO 1.33x faster thanks to (i) no quadratic
+mask-prediction pass and (ii) higher PE utilisation (>75 % vs 55–75 %).
+We regenerate both the per-workload comparison and a sparsity sweep at
+Longformer scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.sanger import SangerModel
+from ..core.salo import SALO
+from ..patterns.library import longformer_pattern
+from ..workloads.configs import PAPER_WORKLOADS, longformer_workload
+from .base import ExperimentResult, register
+
+PAPER_SPEEDUP_OVER_SANGER = 1.33
+SPARSITY_GRID = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+@register("sec63_sanger")
+def run(fast: bool = False) -> ExperimentResult:
+    salo = SALO()
+    sanger = SangerModel()
+    result = ExperimentResult(
+        experiment="E6/sec63",
+        title="SALO vs Sanger (same PE count, frequency, sparsity)",
+    )
+
+    for name, w in PAPER_WORKLOADS.items():
+        stats = salo.estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim)
+        se = sanger.estimate_workload(w)
+        result.rows.append(
+            {
+                "workload": name,
+                "sparsity": round(w.pattern().sparsity(), 3),
+                "salo_ms": round(stats.latency_ms, 3),
+                "sanger_ms": round(se.latency_s * 1e3, 3),
+                "salo_util": round(stats.utilization, 3),
+                "sanger_util": round(se.utilization, 3),
+                "salo_speedup": round(se.latency_s / stats.latency_s, 2),
+            }
+        )
+
+    # Sparsity sweep at Longformer scale (n=4096): window sized to hit the
+    # target density.
+    n, hidden, heads = 4096, 768, 12
+    sweep = SPARSITY_GRID if not fast else SPARSITY_GRID[::2]
+    ratios = []
+    for s in sweep:
+        window = max(32, int(round(s * n / 32)) * 32)
+        w = longformer_workload(n, window=window, hidden=hidden, heads=heads)
+        pattern = w.pattern()
+        stats = salo.estimate(pattern, heads=heads, head_dim=w.head_dim)
+        se = sanger.estimate_workload(w)
+        ratio = se.latency_s / stats.latency_s
+        ratios.append(ratio)
+        result.rows.append(
+            {
+                "workload": f"sweep(n=4096, s={s:.2f})",
+                "sparsity": round(pattern.sparsity(), 3),
+                "salo_ms": round(stats.latency_ms, 3),
+                "sanger_ms": round(se.latency_s * 1e3, 3),
+                "salo_util": round(stats.utilization, 3),
+                "sanger_util": round(se.utilization, 3),
+                "salo_speedup": round(ratio, 2),
+            }
+        )
+    mean_ratio = float(np.mean(ratios))
+    result.notes.append(
+        f"mean SALO speedup over the 0.05-0.30 sparsity range: {mean_ratio:.2f}x "
+        f"(paper: {PAPER_SPEEDUP_OVER_SANGER}x)"
+    )
+    result.notes.append(
+        "Sanger's quadratic prediction pass dominates at long n / low sparsity; "
+        "at short sequences (ViL-stage2) the gap closes, matching the paper's "
+        "observation that Sanger is limited specifically for long inputs"
+    )
+    return result

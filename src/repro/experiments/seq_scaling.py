@@ -1,0 +1,61 @@
+"""E8 (extension) — sequence-length scaling: linear SALO vs quadratic GPU.
+
+The paper's introduction motivates SALO with sequence lengths up to 16384
+tokens (Longformer's maximum).  This experiment sweeps n at a fixed
+512-token window and compares three latency curves:
+
+* dense attention on GPU (quadratic — the §2.1 regime),
+* Longformer sliding-window attention on GPU (linear but
+  GEMM-kernel-unfriendly),
+* SALO (linear, near-full PE occupancy).
+
+The crossover structure is the paper's whole argument: sparse attention
+makes the workload linear, and SALO makes the linear workload fast.
+"""
+
+from __future__ import annotations
+
+from ..baselines.cpu_gpu_model import GPU_1080TI
+from ..core.salo import SALO
+from ..patterns.library import longformer_pattern
+from .base import ExperimentResult, register
+
+SWEEP = (1024, 2048, 4096, 8192, 16384)
+
+
+@register("seq_scaling")
+def run(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E8/scaling",
+        title="Latency vs sequence length (window 512, hidden 768, 12 heads)",
+    )
+    salo = SALO()
+    window, hidden, heads, head_dim = 512, 768, 12, 64
+    sweep = SWEEP if not fast else SWEEP[:3]
+    base_salo = None
+    for n in sweep:
+        stats = salo.estimate(
+            longformer_pattern(n, window, (0,)), heads=heads, head_dim=head_dim
+        )
+        dense_gpu = GPU_1080TI.dense_attention_latency_s(n, hidden)
+        sparse_gpu = GPU_1080TI.longformer_latency_s(n, window, hidden)
+        if base_salo is None:
+            base_salo = stats.latency_s
+        result.rows.append(
+            {
+                "n": n,
+                "salo_ms": round(stats.latency_ms, 3),
+                "salo_growth": round(stats.latency_s / base_salo, 1),
+                "gpu_sparse_ms": round(sparse_gpu * 1e3, 2),
+                "gpu_dense_ms": round(dense_gpu * 1e3, 2),
+                "speedup_vs_sparse": round(sparse_gpu / stats.latency_s, 2),
+                "speedup_vs_dense": round(dense_gpu / stats.latency_s, 2),
+                "utilization": round(stats.utilization, 3),
+            }
+        )
+    result.notes.append(
+        "SALO and the sparse GPU baseline grow linearly in n (fixed window), "
+        "dense attention quadratically; SALO's speedup over dense attention "
+        "therefore grows linearly with sequence length"
+    )
+    return result

@@ -1,0 +1,43 @@
+"""E2 — Table 1: synthesis report (area / power / configuration).
+
+Regenerates Table 1 from the analytic synthesis model and compares with
+the published Synopsys DC @ FreePDK-45 figures (4.56 mm², 532.66 mW,
+1 GHz).
+"""
+
+from __future__ import annotations
+
+from ..accelerator.synthesis import TABLE1, synthesize
+from ..core.config import HardwareConfig
+from .base import ExperimentResult, register
+
+
+@register("table1_synthesis")
+def run(fast: bool = False) -> ExperimentResult:
+    config = HardwareConfig()
+    report = synthesize(config)
+    result = ExperimentResult(
+        experiment="E2/table1",
+        title="Synthesis details (45 nm analytic model vs published)",
+    )
+    result.rows = [
+        {"parameter": "PE array size", "ours": f"{config.pe_rows}x{config.pe_cols}",
+         "paper": "32x32"},
+        {"parameter": "Global PE column", "ours": config.global_cols, "paper": 1},
+        {"parameter": "Global PE row", "ours": config.global_rows, "paper": 1},
+        {"parameter": "Weighted Sum Module", "ours": config.weighted_sum_entries, "paper": 33},
+        {"parameter": "Query buffer (KB)", "ours": config.query_buffer_bytes // 1024, "paper": 16},
+        {"parameter": "Key buffer (KB)", "ours": config.key_buffer_bytes // 1024, "paper": 32},
+        {"parameter": "Value buffer (KB)", "ours": config.value_buffer_bytes // 1024, "paper": 32},
+        {"parameter": "Output buffer (KB)", "ours": config.output_buffer_bytes // 1024, "paper": 32},
+        {"parameter": "Frequency (GHz)", "ours": config.frequency_hz / 1e9, "paper": 1.0},
+        {"parameter": "Power (mW)", "ours": round(report.power_mw, 2),
+         "paper": TABLE1["power_mw"]},
+        {"parameter": "Area (mm2)", "ours": round(report.area_mm2, 2),
+         "paper": TABLE1["area_mm2"]},
+    ]
+    for name, area in report.area_breakdown_mm2.items():
+        result.notes.append(f"area[{name}] = {area:.3f} mm2")
+    for name, power in report.power_breakdown_w.items():
+        result.notes.append(f"power[{name}] = {power * 1e3:.1f} mW")
+    return result

@@ -1,0 +1,5 @@
+"""Design-space exploration tools around the SALO models."""
+
+from .design_space import DesignPoint, best_design, pareto_front, sweep_designs
+
+__all__ = ["DesignPoint", "sweep_designs", "pareto_front", "best_design"]

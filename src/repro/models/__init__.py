@@ -1,0 +1,25 @@
+"""End-to-end inference models built around SALO-accelerated attention."""
+
+from .blocks import (
+    FfnParams,
+    LayerNormParams,
+    LinearParams,
+    gelu,
+    init_ffn,
+    init_layer_norm,
+    init_linear,
+)
+from .encoder import LayerRunResult, SparseEncoder, SparseEncoderLayer
+
+__all__ = [
+    "LinearParams",
+    "LayerNormParams",
+    "FfnParams",
+    "gelu",
+    "init_linear",
+    "init_layer_norm",
+    "init_ffn",
+    "SparseEncoderLayer",
+    "SparseEncoder",
+    "LayerRunResult",
+]

@@ -1,0 +1,88 @@
+"""Inference-only transformer blocks surrounding the accelerated attention.
+
+Figure 3 of the paper: "the hardware output will be gathered and regarded
+as the input of next block like FFN in Transformer".  These numpy blocks
+implement that surrounding model — projections, residuals, layer norms and
+feed-forward — so a whole encoder layer (or stack) can run with SALO
+computing every attention.  Weights are plain arrays (inference only; the
+trainable substrate for Table 3 lives in :mod:`repro.nn`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearParams", "LayerNormParams", "FfnParams", "gelu", "init_linear", "init_layer_norm", "init_ffn"]
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GELU (BERT/Longformer convention)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+@dataclass
+class LinearParams:
+    """Affine projection ``y = x W + b``."""
+
+    weight: np.ndarray  # (in, out)
+    bias: np.ndarray  # (out,)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight + self.bias
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+
+@dataclass
+class LayerNormParams:
+    """Layer normalisation over the last axis."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    eps: float = 1e-5
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mu) / np.sqrt(var + self.eps) * self.gamma + self.beta
+
+
+@dataclass
+class FfnParams:
+    """Transformer feed-forward: Linear → GELU → Linear."""
+
+    fc1: LinearParams
+    fc2: LinearParams
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(gelu(self.fc1(x)))
+
+    @property
+    def hidden(self) -> int:
+        return self.fc1.out_features
+
+
+def init_linear(rng: np.random.Generator, fan_in: int, fan_out: int) -> LinearParams:
+    std = (2.0 / (fan_in + fan_out)) ** 0.5
+    return LinearParams(
+        weight=rng.standard_normal((fan_in, fan_out)) * std,
+        bias=np.zeros(fan_out),
+    )
+
+
+def init_layer_norm(dim: int) -> LayerNormParams:
+    return LayerNormParams(gamma=np.ones(dim), beta=np.zeros(dim))
+
+
+def init_ffn(rng: np.random.Generator, dim: int, hidden: int) -> FfnParams:
+    return FfnParams(fc1=init_linear(rng, dim, hidden), fc2=init_linear(rng, hidden, dim))

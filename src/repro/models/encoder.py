@@ -1,0 +1,149 @@
+"""End-to-end transformer encoder layers with SALO-accelerated attention.
+
+:class:`SparseEncoderLayer` is one pre-LN transformer encoder layer whose
+multi-head attention runs on the SALO accelerator model (functional
+engine), with the Q/K/V/output projections, residuals and FFN computed on
+the host — the system integration Figure 3 sketches.  A latency model
+combines the accelerator cycles with a host-side projection/FFN estimate
+so that whole-layer (rather than attention-only) performance can be
+studied; the paper's evaluation isolates the attention, so the attention
+split is also reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.salo import SALO, AttentionResult
+from ..patterns.base import AttentionPattern
+from .blocks import (
+    FfnParams,
+    LayerNormParams,
+    LinearParams,
+    init_ffn,
+    init_layer_norm,
+    init_linear,
+)
+
+__all__ = ["SparseEncoderLayer", "SparseEncoder", "LayerRunResult"]
+
+
+@dataclass
+class LayerRunResult:
+    """Output and accounting of one encoder-layer forward."""
+
+    output: np.ndarray
+    attention: AttentionResult
+    host_flops: int
+
+    @property
+    def attention_seconds(self) -> float:
+        return self.attention.stats.latency_s
+
+
+class SparseEncoderLayer:
+    """Pre-LN encoder layer: x + Attn(LN(x)); x + FFN(LN(x)).
+
+    Attention — including softmax and both matmuls — executes on the SALO
+    model; projections stay on the host, matching the system boundary of
+    Figure 3 (the accelerator consumes Q/K/V and emits attention outputs).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        pattern: AttentionPattern,
+        salo: Optional[SALO] = None,
+        ffn_hidden: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.heads = heads
+        self.pattern = pattern
+        self.salo = salo if salo is not None else SALO()
+        self.ln1 = init_layer_norm(dim)
+        self.ln2 = init_layer_norm(dim)
+        self.wq = init_linear(rng, dim, dim)
+        self.wk = init_linear(rng, dim, dim)
+        self.wv = init_linear(rng, dim, dim)
+        self.wo = init_linear(rng, dim, dim)
+        self.ffn = init_ffn(rng, dim, ffn_hidden if ffn_hidden is not None else 4 * dim)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> LayerRunResult:
+        """(n, dim) → (n, dim) through accelerator + host blocks."""
+        x = np.asarray(x, dtype=np.float64)
+        n, dim = x.shape
+        if dim != self.dim:
+            raise ValueError(f"layer is dim={self.dim}, input has dim={dim}")
+        h = self.ln1(x)
+        attn = self.salo.attend(
+            self.pattern, self.wq(h), self.wk(h), self.wv(h), heads=self.heads
+        )
+        x = x + self.wo(attn.output)
+        x = x + self.ffn(self.ln2(x))
+        host_flops = self.host_flops(n)
+        return LayerRunResult(output=x, attention=attn, host_flops=host_flops)
+
+    def host_flops(self, n: int) -> int:
+        """Multiply-accumulate count of the host-side blocks."""
+        proj = 4 * n * self.dim * self.dim  # wq, wk, wv, wo
+        ffn = 2 * n * self.dim * self.ffn.hidden
+        return 2 * (proj + ffn)
+
+    def layer_latency_s(self, n: int, host_gflops: float = 50.0) -> dict:
+        """Whole-layer latency estimate: SALO attention + host blocks.
+
+        ``host_gflops`` models the projection/FFN provider (a modest GEMM
+        engine); the paper accelerates only the attention, so this shows
+        where the remaining time goes (Amdahl view).
+        """
+        stats = self.salo.estimate(self.pattern, heads=self.heads, head_dim=self.dim // self.heads)
+        host_s = self.host_flops(n) / (host_gflops * 1e9)
+        return {
+            "attention_s": stats.latency_s,
+            "host_s": host_s,
+            "total_s": stats.latency_s + host_s,
+            "attention_fraction": stats.latency_s / (stats.latency_s + host_s),
+        }
+
+
+class SparseEncoder:
+    """A stack of :class:`SparseEncoderLayer` sharing one SALO instance."""
+
+    def __init__(
+        self,
+        layers: int,
+        dim: int,
+        heads: int,
+        pattern: AttentionPattern,
+        salo: Optional[SALO] = None,
+        seed: int = 0,
+    ) -> None:
+        if layers < 1:
+            raise ValueError("need at least one layer")
+        self.salo = salo if salo is not None else SALO()
+        self.layers: List[SparseEncoderLayer] = [
+            SparseEncoderLayer(dim, heads, pattern, salo=self.salo, seed=seed + i)
+            for i in range(layers)
+        ]
+
+    def forward(self, x: np.ndarray) -> List[LayerRunResult]:
+        """Run the stack; returns per-layer results (last one holds the
+        final hidden states)."""
+        results: List[LayerRunResult] = []
+        for layer in self.layers:
+            res = layer.forward(x)
+            results.append(res)
+            x = res.output
+        return results
+
+    def total_attention_seconds(self, results: List[LayerRunResult]) -> float:
+        return sum(r.attention_seconds for r in results)

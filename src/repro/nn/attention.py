@@ -1,0 +1,161 @@
+"""Sparse multi-head attention modules for the NN substrate.
+
+:class:`SparseMultiHeadAttention` implements the hybrid sparse attention of
+the paper's workloads as a trainable layer: the pattern's mask restricts
+the score matrix, so the layer computes exactly what SALO accelerates.  An
+optional :class:`AttentionQuantizer` reroutes the forward pass through the
+accelerator's fixed-point datapath (Q8.4 operands, PWL exponential, LUT
+reciprocal, quantised probabilities and outputs) with smooth surrogate
+gradients — the mechanism behind the Table 3 quantisation study, mirroring
+the paper's QPyTorch-instrumented layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..accelerator.datapath import Datapath
+from ..core.config import NumericsConfig
+from ..patterns.base import AttentionPattern
+from .autograd import Tensor
+from .layers import Dropout, Linear, Module
+
+__all__ = ["AttentionQuantizer", "SparseMultiHeadAttention"]
+
+_NEG_INF = -1.0e9
+
+
+@dataclass
+class AttentionQuantizer:
+    """Routes an attention forward pass through the SALO datapath.
+
+    ``numerics`` defaults to the paper's deployment precision (8-bit Q/K/V
+    with 4 fractional bits, 16-bit outputs, PWL exp, LUT reciprocal).
+    """
+
+    numerics: NumericsConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.numerics is None:
+            self.numerics = NumericsConfig()
+        self.datapath = Datapath(self.numerics)
+
+    # -- quantisers with straight-through gradients ---------------------
+    def quant_input(self, x: Tensor) -> Tensor:
+        return x.fake_quant(self.datapath.quantize_input)
+
+    def quant_prob(self, p: Tensor) -> Tensor:
+        return p.fake_quant(self.datapath.quantize_prob)
+
+    def quant_output(self, o: Tensor) -> Tensor:
+        return o.fake_quant(self.datapath.quantize_output)
+
+    # -- hardware special functions with surrogate gradients ------------
+    def exp(self, s: Tensor, mask: np.ndarray) -> Tensor:
+        """PWL exponential; masked cells emit 0 and receive no gradient."""
+        datapath = self.datapath
+        lo = self.numerics.exp_input_lo
+        hi = self.numerics.exp_input_hi
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            return np.where(mask, datapath.exp(x), 0.0)
+
+        def grad(x: np.ndarray, y: np.ndarray, g: np.ndarray) -> np.ndarray:
+            inside = (x >= lo) & (x <= hi) & mask
+            return g * np.exp(np.clip(x, lo, hi)) * inside
+
+        return s.custom_unary(forward, grad)
+
+    def recip(self, w: Tensor) -> Tensor:
+        """LUT reciprocal with the exact ``-1/w^2`` surrogate gradient."""
+        datapath = self.datapath
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            return datapath.recip(np.maximum(x, 1e-30))
+
+        def grad(x: np.ndarray, y: np.ndarray, g: np.ndarray) -> np.ndarray:
+            return -g / np.maximum(x, 1e-30) ** 2
+
+        return w.custom_unary(forward, grad)
+
+
+class SparseMultiHeadAttention(Module):
+    """Multi-head attention restricted to a sparse pattern.
+
+    Parameters
+    ----------
+    dim, heads:
+        Model width and number of heads (``dim % heads == 0``).
+    pattern:
+        The hybrid sparse attention pattern (its mask gates the scores).
+    rng:
+        Initialisation source.
+    dropout:
+        Attention-output dropout probability.
+    quantizer:
+        When set, the forward pass uses the SALO fixed-point datapath.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        pattern: AttentionPattern,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        quantizer: Optional[AttentionQuantizer] = None,
+    ) -> None:
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.pattern = pattern
+        self.mask = pattern.mask()  # (n, n) boolean
+        self.wq = Linear(dim, dim, rng)
+        self.wk = Linear(dim, dim, rng)
+        self.wv = Linear(dim, dim, rng)
+        self.wo = Linear(dim, dim, rng)
+        self.drop = Dropout(dropout, rng)
+        self.quantizer = quantizer
+
+    # ------------------------------------------------------------------
+    def set_quantizer(self, quantizer: Optional[AttentionQuantizer]) -> None:
+        """Swap the numeric mode (None = float)."""
+        self.quantizer = quantizer
+
+    def _split_heads(self, x: Tensor, batch: int, n: int) -> Tensor:
+        return x.reshape(batch, n, self.heads, self.head_dim).transpose(1, 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(batch, n, dim) → (batch, n, dim)."""
+        batch, n, _ = x.shape
+        if n != self.pattern.n:
+            raise ValueError(f"pattern is for n={self.pattern.n}, input has n={n}")
+        q = self._split_heads(self.wq(x), batch, n)
+        k = self._split_heads(self.wk(x), batch, n)
+        v = self._split_heads(self.wv(x), batch, n)
+        scale = 1.0 / np.sqrt(self.head_dim)
+
+        if self.quantizer is None:
+            scores = (q @ k.transpose(-1, -2)) * scale
+            scores = scores.masked_fill(~self.mask, _NEG_INF)
+            probs = scores.softmax(axis=-1)
+            ctx = probs @ v
+        else:
+            qz = self.quantizer.quant_input(q)
+            kz = self.quantizer.quant_input(k)
+            vz = self.quantizer.quant_input(v)
+            scores = (qz @ kz.transpose(-1, -2)) * scale
+            e = self.quantizer.exp(scores, self.mask)
+            w = e.sum(axis=-1, keepdims=True)
+            inv = self.quantizer.recip(w)
+            probs = self.quantizer.quant_prob(e * inv)
+            ctx = self.quantizer.quant_output(probs @ vz)
+
+        ctx = ctx.transpose(1, 2).reshape(batch, n, self.dim)
+        return self.drop(self.wo(ctx))

@@ -1,0 +1,185 @@
+"""Synthetic classification tasks standing in for the paper's datasets.
+
+The paper's Table 3 measures accuracy on IMDB, Hyperpartisan and
+ImageNet-1K — none available offline — so we substitute synthetic tasks
+that exercise the same attention mechanisms (see DESIGN.md §2):
+
+* :class:`SentimentTask` ("IMDB-like"): the label is the majority polarity
+  of sentiment-bearing tokens scattered through a long neutral sequence.
+  Solving it requires *global aggregation*, the job of the global CLS
+  token.
+* :class:`PhraseTask` ("Hyperpartisan-like"): the label marks documents
+  containing a trigger bigram within a small distance, i.e. a *local*
+  co-occurrence — the job of sliding-window attention.
+* :class:`ShapesTask` ("ImageNet-like"): patch grids rendering one of
+  several blob/stripe textures with noise; classification needs 2-D local
+  context, the job of ViL's windowed attention.
+
+All tasks are seeded and generate (train, test) splits on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SentimentTask", "PhraseTask", "ShapesTask"]
+
+
+@dataclass
+class SentimentTask:
+    """Global-counting binary task over token sequences.
+
+    Token ids: 0 = CLS, 1 = padding/neutral filler, ``2 .. 2+polar-1`` =
+    positive words, ``2+polar .. 2+2*polar-1`` = negative words.  Each
+    sequence carries ``k_pos`` positive and ``k_neg`` negative tokens at
+    random positions with ``|k_pos - k_neg| >= margin``; the label is
+    ``k_pos > k_neg``.
+    """
+
+    n: int = 128
+    vocab_polar: int = 8
+    max_polar_tokens: int = 24
+    margin: int = 4
+    seed: int = 0
+
+    @property
+    def vocab(self) -> int:
+        return 2 + 2 * self.vocab_polar
+
+    @property
+    def num_classes(self) -> int:
+        return 2
+
+    def sample(self, count: int, seed_offset: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed + seed_offset)
+        xs = np.full((count, self.n), 1, dtype=np.int64)
+        xs[:, 0] = 0  # CLS
+        ys = rng.integers(0, 2, size=count)
+        for i in range(count):
+            lo = self.margin
+            hi = self.max_polar_tokens
+            big = int(rng.integers(lo, hi + 1))
+            small = int(rng.integers(0, big - self.margin + 1))
+            k_pos, k_neg = (big, small) if ys[i] == 1 else (small, big)
+            slots = rng.choice(np.arange(1, self.n), size=k_pos + k_neg, replace=False)
+            pos_ids = rng.integers(2, 2 + self.vocab_polar, size=k_pos)
+            neg_ids = rng.integers(2 + self.vocab_polar, 2 + 2 * self.vocab_polar, size=k_neg)
+            xs[i, slots[:k_pos]] = pos_ids
+            xs[i, slots[k_pos:]] = neg_ids
+        return xs, ys
+
+
+@dataclass
+class PhraseTask:
+    """Local co-occurrence binary task over token sequences.
+
+    Positive documents contain at least one trigger bigram: token ``A``
+    followed by token ``B`` within ``max_gap`` positions.  Negative
+    documents contain the same unigrams but never in proximity, so only a
+    model with local context can separate the classes.
+    """
+
+    n: int = 128
+    vocab_body: int = 16
+    max_gap: int = 3
+    occurrences: int = 3
+    seed: int = 0
+
+    @property
+    def vocab(self) -> int:
+        return 2 + self.vocab_body + 2  # CLS, filler, body, A, B
+
+    @property
+    def token_a(self) -> int:
+        return 2 + self.vocab_body
+
+    @property
+    def token_b(self) -> int:
+        return 3 + self.vocab_body
+
+    @property
+    def num_classes(self) -> int:
+        return 2
+
+    def sample(self, count: int, seed_offset: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed + seed_offset)
+        xs = rng.integers(2, 2 + self.vocab_body, size=(count, self.n))
+        xs[:, 0] = 0  # CLS
+        ys = rng.integers(0, 2, size=count)
+        min_spacing = self.max_gap + 2
+        for i in range(count):
+            positions = rng.choice(
+                np.arange(1, self.n - self.max_gap - 1, min_spacing * 2),
+                size=self.occurrences,
+                replace=False,
+            )
+            for p in positions:
+                if ys[i] == 1:
+                    gap = int(rng.integers(1, self.max_gap + 1))
+                    xs[i, p] = self.token_a
+                    xs[i, p + gap] = self.token_b
+                else:
+                    # Same unigrams, but B is placed far from every A.
+                    xs[i, p] = self.token_a
+                    far = (p + self.n // 2) % (self.n - 2) + 1
+                    xs[i, far] = self.token_b
+        return xs, ys
+
+
+@dataclass
+class ShapesTask:
+    """Texture-classification task on patch grids (ImageNet stand-in).
+
+    Each sample is a ``grid x grid`` image of ``feat``-dimensional patch
+    features rendering one of ``num_classes`` textures (horizontal
+    stripes, vertical stripes, blob, checkerboard) plus Gaussian noise.
+    Patch (0, 0) doubles as the global token.
+    """
+
+    grid: int = 12
+    feat: int = 8
+    noise: float = 0.8
+    seed: int = 0
+    num_classes: int = 4
+
+    def __post_init__(self) -> None:
+        # The texture → feature projection is a fixed property of the
+        # task (like a dataset's feature extractor), not of the split.
+        rng = np.random.default_rng(self.seed ^ 0x5A10)
+        direction = rng.standard_normal(self.feat)
+        self.direction = direction / np.linalg.norm(direction)
+
+    @property
+    def n(self) -> int:
+        return self.grid * self.grid
+
+    def _texture(self, label: int, rng: np.random.Generator) -> np.ndarray:
+        g = self.grid
+        r = np.arange(g)[:, None]
+        c = np.arange(g)[None, :]
+        period = int(rng.integers(2, 5))
+        phase = int(rng.integers(0, period))
+        if label == 0:  # horizontal stripes
+            base = np.broadcast_to(((r + phase) // period) % 2, (g, g))
+        elif label == 1:  # vertical stripes
+            base = np.broadcast_to(((c + phase) // period) % 2, (g, g))
+        elif label == 2:  # centred blob
+            cy, cx = rng.integers(g // 4, 3 * g // 4, size=2)
+            radius = g / 4
+            base = (((r - cy) ** 2 + (c - cx) ** 2) < radius**2).astype(float)
+        else:  # checkerboard
+            base = (((r + phase) // period) + ((c + phase) // period)) % 2
+        return base.astype(np.float64)
+
+    def sample(self, count: int, seed_offset: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed + seed_offset)
+        ys = rng.integers(0, self.num_classes, size=count)
+        xs = np.empty((count, self.n, self.feat), dtype=np.float64)
+        for i in range(count):
+            base = self._texture(int(ys[i]), rng).reshape(-1, 1)
+            signal = (2.0 * base - 1.0) @ self.direction[None, :]
+            xs[i] = signal + self.noise * rng.standard_normal((self.n, self.feat))
+        return xs, ys

@@ -1,0 +1,181 @@
+"""Neural-network layers on top of the autograd substrate.
+
+Enough of a transformer toolbox to train the Table 3 classifiers: linear,
+layer norm, embeddings, dropout, a feed-forward block, and parameter
+management.  Initialisation follows standard transformer practice
+(truncated-normal-ish weights, zero biases).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["Module", "Linear", "LayerNorm", "Embedding", "Dropout", "FeedForward", "Sequential"]
+
+
+class Module:
+    """Base class with parameter discovery and train/eval modes."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable tensors, found recursively."""
+        seen = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for key, value in self.__dict__.items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)[:4]}")
+        for name, value in state.items():
+            if name in params:
+                params[name].data[...] = value
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        std = (2.0 / (in_features + out_features)) ** 0.5
+        self.weight = Tensor(rng.standard_normal((in_features, out_features)) * std, requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred * (var + self.eps) ** -0.5
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Token-id → vector lookup table."""
+
+    def __init__(self, vocab: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = Tensor(rng.standard_normal((vocab, dim)) * 0.02, requires_grad=True)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        return self.weight[ids]
+
+
+class Dropout(Module):
+    """Inverted dropout (active only in training mode)."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(keep)
+
+
+class FeedForward(Module):
+    """Transformer FFN: Linear → GELU → Linear."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator, dropout: float = 0.0) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+        self.drop = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.fc1(x).gelu()))
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for m in self.modules:
+            x = m(x)
+        return x

@@ -1,0 +1,113 @@
+"""Transformer classifiers built on the sparse-attention layer.
+
+Two model families mirror the paper's accuracy benchmarks at laptop scale:
+a Longformer-style text classifier (token inputs, sliding window + global
+CLS) and a ViL-style image classifier (patch-feature inputs, 2-D local
+window + global token).  Both read their classification logits from the
+global token (index 0), the token whose global attention row aggregates
+the whole sequence — exactly the mechanism Longformer/ViL rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..patterns.base import AttentionPattern
+from .attention import AttentionQuantizer, SparseMultiHeadAttention
+from .autograd import Tensor
+from .layers import Embedding, FeedForward, LayerNorm, Linear, Module
+
+__all__ = ["EncoderBlock", "TransformerClassifier"]
+
+
+class EncoderBlock(Module):
+    """Pre-LN transformer encoder block with sparse attention."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        ffn_hidden: int,
+        pattern: AttentionPattern,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = SparseMultiHeadAttention(dim, heads, pattern, rng, dropout=dropout)
+        self.ln2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, rng, dropout=dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        return x + self.ffn(self.ln2(x))
+
+
+class TransformerClassifier(Module):
+    """Sequence classifier with hybrid sparse attention.
+
+    Parameters
+    ----------
+    pattern:
+        Sparse attention pattern shared by all layers; token 0 should be a
+        global token (the classification readout position).
+    vocab:
+        Vocabulary size for token inputs, or ``None`` for continuous
+        patch-feature inputs of width ``input_dim``.
+    """
+
+    def __init__(
+        self,
+        pattern: AttentionPattern,
+        dim: int = 64,
+        heads: int = 4,
+        layers: int = 2,
+        num_classes: int = 2,
+        vocab: Optional[int] = None,
+        input_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.pattern = pattern
+        n = pattern.n
+        if vocab is not None:
+            self.embed: Optional[Embedding] = Embedding(vocab, dim, rng)
+            self.input_proj = None
+        elif input_dim is not None:
+            self.embed = None
+            self.input_proj = Linear(input_dim, dim, rng)
+        else:
+            raise ValueError("provide either vocab (tokens) or input_dim (features)")
+        self.pos = Tensor(rng.standard_normal((n, dim)) * 0.02, requires_grad=True)
+        self.blocks = [
+            EncoderBlock(dim, heads, 4 * dim, pattern, rng, dropout=dropout)
+            for _ in range(layers)
+        ]
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng)
+
+    # ------------------------------------------------------------------
+    def attention_modules(self) -> List[SparseMultiHeadAttention]:
+        return [b.attn for b in self.blocks]
+
+    def set_quantizer(self, quantizer: Optional[AttentionQuantizer]) -> None:
+        """Switch every attention layer between float and SALO numerics."""
+        for attn in self.attention_modules():
+            attn.set_quantizer(quantizer)
+
+    def forward(self, inputs) -> Tensor:
+        """Token ids ``(batch, n)`` or features ``(batch, n, input_dim)`` → logits."""
+        if self.embed is not None:
+            x = self.embed(np.asarray(inputs))
+        else:
+            x = self.input_proj(inputs if isinstance(inputs, Tensor) else Tensor(inputs))
+        x = x + self.pos
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_f(x)
+        cls = x[:, 0, :]  # the global token aggregates the sequence
+        return self.head(cls)

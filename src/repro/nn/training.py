@@ -1,0 +1,83 @@
+"""Training and evaluation loops for the Table 3 classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .autograd import Tensor, no_grad
+from .model import TransformerClassifier
+from .optim import Adam, clip_grad_norm, cross_entropy
+
+__all__ = ["TrainResult", "train_classifier", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    eval_steps: List[int] = field(default_factory=list)
+    eval_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.eval_accuracies[-1] if self.eval_accuracies else float("nan")
+
+
+def evaluate_accuracy(model: TransformerClassifier, xs, ys: np.ndarray, batch: int = 32) -> float:
+    """Classification accuracy over a dataset."""
+    model.eval()
+    correct = 0
+    total = len(ys)
+    with no_grad():
+        for start in range(0, total, batch):
+            xb = xs[start : start + batch]
+            logits = model(xb).numpy()
+            correct += int((logits.argmax(axis=-1) == ys[start : start + batch]).sum())
+    model.train()
+    return correct / total
+
+
+def train_classifier(
+    model: TransformerClassifier,
+    sampler: Callable[[int, int], Tuple[np.ndarray, np.ndarray]],
+    steps: int = 300,
+    batch: int = 16,
+    lr: float = 3e-3,
+    weight_decay: float = 1e-4,
+    grad_clip: float = 1.0,
+    eval_every: int = 0,
+    eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    lr_decay: bool = True,
+) -> TrainResult:
+    """Train with Adam on freshly sampled batches.
+
+    ``sampler(count, seed_offset)`` draws a batch; a distinct
+    ``seed_offset`` per step makes every batch fresh (infinite-data
+    regime, so train accuracy tracks generalisation).
+    """
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    result = TrainResult()
+    model.train()
+    for step in range(steps):
+        if lr_decay:
+            opt.lr = lr * 0.5 * (1.0 + np.cos(np.pi * step / max(1, steps)))
+        xb, yb = sampler(batch, step + 1)
+        logits = model(xb)
+        loss = cross_entropy(logits, yb)
+        opt.zero_grad()
+        loss.backward()
+        clip_grad_norm(model.parameters(), grad_clip)
+        opt.step()
+        result.losses.append(loss.item())
+        if eval_every and eval_data is not None and (step + 1) % eval_every == 0:
+            acc = evaluate_accuracy(model, eval_data[0], eval_data[1])
+            result.eval_steps.append(step + 1)
+            result.eval_accuracies.append(acc)
+    if eval_data is not None and (not result.eval_steps or result.eval_steps[-1] != steps):
+        result.eval_steps.append(steps)
+        result.eval_accuracies.append(evaluate_accuracy(model, eval_data[0], eval_data[1]))
+    return result

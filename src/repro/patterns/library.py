@@ -1,0 +1,111 @@
+"""Pattern library: the published sparse attention mechanisms of Figure 2.
+
+Factory functions build the hybrid patterns of Longformer, ViL (Multi-scale
+Vision Longformer), Star-Transformer and Sparse-Transformer with the
+conventions used in the paper's evaluation (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Band, PatternError
+from .dilated import DilatedWindowPattern
+from .hybrid import HybridSparsePattern
+from .twod import Local2DPattern
+
+__all__ = [
+    "longformer_pattern",
+    "vil_pattern",
+    "star_transformer_pattern",
+    "sparse_transformer_pattern",
+    "dilated_longformer_pattern",
+]
+
+
+def longformer_pattern(
+    n: int, window: int, global_tokens: Sequence[int] = (0,)
+) -> HybridSparsePattern:
+    """Longformer: symmetric sliding window + task-specific global tokens.
+
+    With ``n = 4096``, ``window = 512`` and a single global token this gives
+    sparsity ≈ 0.125, the Longformer row of Table 2.
+    """
+    if window < 1 or window > n:
+        raise PatternError(f"window {window} out of range [1, {n}]")
+    half = window // 2
+    band = Band(-half, window - 1 - half, 1)
+    return HybridSparsePattern(n, [band], global_tokens)
+
+
+def dilated_longformer_pattern(
+    n: int, window: int, dilation: int, global_tokens: Sequence[int] = (0,)
+) -> HybridSparsePattern:
+    """Longformer's dilated sliding-window variant.
+
+    ``window`` keys spaced ``dilation`` apart; used by Longformer's upper
+    layers to enlarge the receptive field without more compute.
+    """
+    if window < 1:
+        raise PatternError(f"window {window} must be >= 1")
+    half = window // 2
+    band = Band(-half * dilation, (window - 1 - half) * dilation, dilation)
+    return HybridSparsePattern(n, [band], global_tokens)
+
+
+def vil_pattern(
+    grid_h: int,
+    grid_w: int,
+    window: int = 15,
+    global_tokens: Sequence[int] = (0,),
+) -> Local2DPattern:
+    """ViL: 2-D local window over an image patch grid + global token(s).
+
+    ``vil_pattern(56, 56)`` and ``vil_pattern(28, 28)`` are the ViL-stage1 /
+    ViL-stage2 rows of Table 2 (sparsity ≈ 0.072 and ≈ 0.288).
+    """
+    return Local2DPattern(grid_h, grid_w, window, window, global_tokens)
+
+
+def star_transformer_pattern(n: int, ring_window: int = 3) -> HybridSparsePattern:
+    """Star-Transformer: ring (local window) + a relay hub token.
+
+    Every satellite token attends a small local neighbourhood; a single
+    relay token (index 0 here) is globally connected (Figure 2b).
+    """
+    if ring_window < 1:
+        raise PatternError(f"ring window {ring_window} must be >= 1")
+    half = ring_window // 2
+    band = Band(-half, ring_window - 1 - half, 1)
+    return HybridSparsePattern(n, [band], global_tokens=(0,))
+
+
+def sparse_transformer_pattern(
+    n: int, block: int, causal: bool = False
+) -> HybridSparsePattern:
+    """Sparse-Transformer (strided): local window + dilated column band.
+
+    Child et al.'s strided pattern: each query attends its local block of
+    ``block`` previous positions and a dilated band with stride ``block``
+    reaching across the sequence (Figure 2c flattens the same structure).
+    The dilated band spans ``n // block`` keys so it reaches the whole
+    sequence regardless of position.
+    """
+    if block < 1 or block > n:
+        raise PatternError(f"block {block} out of range [1, {n}]")
+    local = Band(-(block - 1), 0, 1) if causal else Band(-(block // 2), block - 1 - block // 2, 1)
+    reach = max(1, n // block)
+    bands = [local]
+    # Strided bands stay clear of the offsets the local band already
+    # covers (the scheduler requires overlap-free bands).
+    if causal:
+        if reach >= 2:
+            bands.append(Band(-(reach - 1) * block, -block, block))
+    else:
+        back = reach // 2
+        fwd = reach - 1 - back
+        if back >= 1:
+            bands.append(Band(-back * block, -block, block))
+        if fwd >= 1:
+            bands.append(Band(block, fwd * block, block))
+    return HybridSparsePattern(n, bands)

@@ -1,0 +1,68 @@
+"""Component-coloured pattern rendering (the view of Figure 2).
+
+Figure 2 of the paper colours sparse-attention components differently —
+sliding windows blue, dilated windows grey, global rows/columns black.
+:func:`render_components` produces the same view in text: each mask cell
+shows *which* component provides it, making band structure, dilation and
+global tokens visually checkable in examples, docs and failing-test
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import AttentionPattern, PatternError
+
+__all__ = ["component_map", "render_components", "component_legend"]
+
+#: Cell codes in the component map.
+EMPTY, WINDOW, DILATED, GLOBAL, OVERLAP = 0, 1, 2, 3, 4
+
+_GLYPHS = {EMPTY: "·", WINDOW: "w", DILATED: "d", GLOBAL: "G", OVERLAP: "+"}
+
+
+def component_map(pattern: AttentionPattern, max_n: int = 96) -> np.ndarray:
+    """Integer component codes per (query, key) cell.
+
+    Banded cells are ``WINDOW`` (dilation 1) or ``DILATED`` (dilation > 1);
+    global rows/columns are ``GLOBAL`` and take precedence where they
+    overlap a band (matching the hardware: the global PEs own those
+    pairs).  Requires a structured pattern.
+    """
+    if pattern.n > max_n:
+        raise PatternError(f"sequence length {pattern.n} > render limit {max_n}")
+    bands = pattern.bands()
+    if bands is None:
+        raise PatternError("pattern is unstructured; no component information")
+    n = pattern.n
+    grid = np.full((n, n), EMPTY, dtype=np.int8)
+    for band in bands:
+        code = WINDOW if band.dilation == 1 else DILATED
+        for i in range(n):
+            keys = band.keys_for(i, n)
+            existing = grid[i, keys]
+            grid[i, keys] = np.where(
+                (existing != EMPTY) & (existing != code), OVERLAP, code
+            )
+    toks = list(pattern.global_tokens())
+    if toks:
+        grid[toks, :] = GLOBAL
+        grid[:, toks] = GLOBAL
+    return grid
+
+
+def render_components(pattern: AttentionPattern, max_n: int = 96) -> str:
+    """ASCII rendering with one glyph per component (see legend)."""
+    grid = component_map(pattern, max_n=max_n)
+    return "\n".join("".join(_GLYPHS[int(c)] for c in row) for row in grid)
+
+
+def component_legend() -> str:
+    """Explain the glyphs used by :func:`render_components`."""
+    return (
+        "· none   w sliding window   d dilated window   "
+        "G global row/column   + band overlap"
+    )

@@ -1,0 +1,16 @@
+"""Quantisation studies (paper Section 6.4 / Table 3)."""
+
+from .calibration import ScoreRangeReport, calibrate_numerics, measure_score_range
+from .error import QuantErrorReport, attention_quant_error, sqnr_db
+from .qat import QuantStudyResult, run_quantization_study
+
+__all__ = [
+    "ScoreRangeReport",
+    "measure_score_range",
+    "calibrate_numerics",
+    "QuantErrorReport",
+    "attention_quant_error",
+    "sqnr_db",
+    "QuantStudyResult",
+    "run_quantization_study",
+]

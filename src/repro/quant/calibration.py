@@ -1,0 +1,131 @@
+"""Score-range calibration for the PWL exponential clamp.
+
+The exponential unit clamps its input to ``[lo, hi]`` (Section 5.1); a
+score above ``hi`` loses weight in the softmax and distorts the output —
+the fixed-point analogue of activation-range calibration in any INT8
+deployment.  This module measures the post-scaling score distribution of
+a workload on sample data and sizes the clamp range (and the exp output
+format's integer headroom) to a configurable percentile, mirroring how
+QPyTorch-style deployments calibrate before quantising.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.config import NumericsConfig
+from ..patterns.base import AttentionPattern
+
+__all__ = ["ScoreRangeReport", "measure_score_range", "calibrate_numerics"]
+
+
+@dataclass(frozen=True)
+class ScoreRangeReport:
+    """Distribution of attended attention scores on calibration data."""
+
+    lo: float
+    hi: float
+    clip_fraction: float  # fraction of scores outside [lo, hi]
+    score_min: float
+    score_max: float
+    num_scores: int
+
+
+def _attended_scores(
+    pattern: AttentionPattern,
+    q: np.ndarray,
+    k: np.ndarray,
+    heads: int,
+    scale: Optional[float],
+    max_rows: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    n, hidden = q.shape
+    d = hidden // heads
+    if scale is None:
+        scale = 1.0 / math.sqrt(d)
+    rows = np.arange(n)
+    if n > max_rows:
+        rows = np.sort(rng.choice(rows, size=max_rows, replace=False))
+    chunks = []
+    for h in range(heads):
+        sl = slice(h * d, (h + 1) * d)
+        qh, kh = q[:, sl], k[:, sl]
+        for i in rows:
+            keys = pattern.row_keys(int(i))
+            chunks.append((kh[keys] @ qh[i]) * scale)
+    return np.concatenate(chunks)
+
+
+def measure_score_range(
+    pattern: AttentionPattern,
+    q: np.ndarray,
+    k: np.ndarray,
+    heads: int = 1,
+    scale: Optional[float] = None,
+    lo_percentile: float = 0.005,
+    hi_percentile: float = 99.999,
+    headroom: float = 0.5,
+    max_rows: int = 512,
+    seed: int = 0,
+) -> ScoreRangeReport:
+    """Measure attended scores and propose a clamp range.
+
+    ``headroom`` is added above/below the chosen percentiles so the clamp
+    rarely binds on unseen data.  Only attended (pattern-selected) scores
+    count — masked positions never reach the exponential.
+    """
+    scores = _attended_scores(
+        pattern, np.asarray(q, float), np.asarray(k, float), heads, scale,
+        max_rows, np.random.default_rng(seed),
+    )
+    lo = float(np.percentile(scores, lo_percentile)) - headroom
+    hi = float(np.percentile(scores, hi_percentile)) + headroom
+    clip = float(np.mean((scores < lo) | (scores > hi)))
+    return ScoreRangeReport(
+        lo=lo,
+        hi=hi,
+        clip_fraction=clip,
+        score_min=float(scores.min()),
+        score_max=float(scores.max()),
+        num_scores=int(scores.size),
+    )
+
+
+def calibrate_numerics(
+    pattern: AttentionPattern,
+    q: np.ndarray,
+    k: np.ndarray,
+    heads: int = 1,
+    base: Optional[NumericsConfig] = None,
+    **measure_kwargs,
+) -> Tuple[NumericsConfig, ScoreRangeReport]:
+    """Produce a :class:`NumericsConfig` whose exp range fits the data.
+
+    The exp output format keeps ``output_bits`` total and trades
+    fractional bits for integer headroom so that ``exp(hi)`` is
+    representable: ``frac = output_bits - ceil(log2(exp(hi))) - 1``.
+    """
+    if base is None:
+        base = NumericsConfig()
+    report = measure_score_range(pattern, q, k, heads=heads, **measure_kwargs)
+    hi = max(report.hi, base.exp_input_lo + 1.0)
+    # The exp output keeps at least one fractional bit, so the largest
+    # representable exponential is (2^bits - 1) / 2; score distributions
+    # beyond ln of that need input rescaling, not a wider clamp.
+    hi_cap = math.log((2**base.output_bits - 1) / 2.0) - 1e-9
+    hi = min(hi, hi_cap)
+    lo = min(report.lo, hi - 1.0)
+    int_bits = max(1, math.ceil(math.log2(math.exp(hi))) + 1)
+    frac = max(1, base.output_bits - int_bits)
+    numerics = replace(
+        base,
+        exp_input_lo=lo,
+        exp_input_hi=hi,
+        exp_frac_bits=frac,
+    )
+    return numerics, report

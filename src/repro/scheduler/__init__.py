@@ -1,0 +1,26 @@
+"""Data scheduler (paper Section 4): reordering + splitting → tile plans."""
+
+from .metadata import HardwareMetadata, PatternMetadata
+from .plan import BandSegment, ExecutionPlan, PlanStats, TilePass
+from .reorder import GroupedBandJob, decompose_band, group_positions, reorder_permutation
+from .scheduler import DataScheduler, SchedulerError, check_band_overlap
+from .splitting import build_passes_for_group, chunk_band_job, pack_segments
+
+__all__ = [
+    "PatternMetadata",
+    "HardwareMetadata",
+    "BandSegment",
+    "TilePass",
+    "ExecutionPlan",
+    "PlanStats",
+    "GroupedBandJob",
+    "decompose_band",
+    "group_positions",
+    "reorder_permutation",
+    "DataScheduler",
+    "SchedulerError",
+    "check_band_overlap",
+    "build_passes_for_group",
+    "chunk_band_job",
+    "pack_segments",
+]

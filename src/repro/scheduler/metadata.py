@@ -1,0 +1,70 @@
+"""Metadata records exchanged with the data scheduler (Figure 3).
+
+The paper's framework overview feeds the scheduler two metadata records:
+the *pattern metadata* (window size, dilation, global tokens) and the
+*hardware metadata* (PE array size, number of global PE rows/columns).
+These thin dataclasses make that interface explicit and give experiments a
+stable, serialisable summary of what was scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+from ..core.config import HardwareConfig
+from ..patterns.base import AttentionPattern
+from ..patterns.hybrid import HybridSparsePattern
+
+__all__ = ["PatternMetadata", "HardwareMetadata"]
+
+
+@dataclass(frozen=True)
+class PatternMetadata:
+    """Summary of a hybrid sparse attention pattern."""
+
+    sequence_length: int
+    num_bands: int
+    window_size: int
+    max_dilation: int
+    num_global_tokens: int
+    sparsity: float
+
+    @classmethod
+    def from_pattern(cls, pattern: AttentionPattern) -> "PatternMetadata":
+        bands = pattern.bands()
+        if bands is None:
+            raise ValueError("pattern is unstructured; no band metadata available")
+        return cls(
+            sequence_length=pattern.n,
+            num_bands=len(bands),
+            window_size=sum(b.width for b in bands),
+            max_dilation=max((b.dilation for b in bands), default=1),
+            num_global_tokens=len(pattern.global_tokens()),
+            sparsity=pattern.sparsity(),
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class HardwareMetadata:
+    """Summary of the accelerator the scheduler targets."""
+
+    pe_rows: int
+    pe_cols: int
+    global_rows: int
+    global_cols: int
+
+    @classmethod
+    def from_config(cls, config: HardwareConfig) -> "HardwareMetadata":
+        return cls(
+            pe_rows=config.pe_rows,
+            pe_cols=config.pe_cols,
+            global_rows=config.global_rows,
+            global_cols=config.global_cols,
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,263 @@
+"""Execution plan data structures produced by the data scheduler.
+
+A plan is a sequence of *tile passes*.  Each pass occupies the PE array for
+one 5-stage computation: a block of up to ``pe_rows`` queries against up to
+``pe_cols`` window key offsets (possibly packed from several band
+segments).  Passes are *structural* — they describe which (query, key)
+pairs are computed and are shared across attention heads; the engines
+iterate heads over the same passes.
+
+Dilated bands are described in *group space* (see
+:mod:`repro.scheduler.reorder`): queries with the same residue modulo the
+dilation form a group in which the dilated band is an ordinary sliding
+window.  A :class:`TilePass` therefore stores its residue/dilation and
+group positions, and reconstructs original token indices on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import HardwareConfig
+from ..patterns.base import AttentionPattern
+
+__all__ = ["BandSegment", "TilePass", "ExecutionPlan", "PlanStats"]
+
+
+@dataclass(frozen=True)
+class BandSegment:
+    """A contiguous chunk of one band mapped onto consecutive PE columns.
+
+    For a query at group position ``p``, the segment's column ``t`` (with
+    ``0 <= t < width``) computes the key at group position ``p + rel_lo + t``
+    of the key residue class ``key_residue`` — i.e. original key index
+    ``key_residue + (p + rel_lo + t) * dilation``.
+    """
+
+    band_index: int
+    rel_lo: int
+    width: int
+    key_residue: int
+    dilation: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"segment width must be >= 1, got {self.width}")
+        if self.dilation < 1:
+            raise ValueError(f"dilation must be >= 1, got {self.dilation}")
+
+
+@dataclass(frozen=True)
+class TilePass:
+    """One occupancy of the PE array.
+
+    Attributes
+    ----------
+    query_residue, dilation:
+        The query group this pass draws from: original query index is
+        ``query_residue + p * dilation`` for group position ``p``.
+    q_positions:
+        Group positions of the queries mapped to PE rows (length
+        ``rows_used <= pe_rows``).
+    segments:
+        Band segments packed side by side onto the PE columns; their widths
+        sum to ``cols_used <= pe_cols``.
+    """
+
+    query_residue: int
+    dilation: int
+    q_positions: Tuple[int, ...]
+    segments: Tuple[BandSegment, ...]
+
+    @property
+    def rows_used(self) -> int:
+        return len(self.q_positions)
+
+    @property
+    def cols_used(self) -> int:
+        return sum(s.width for s in self.segments)
+
+    def query_ids(self) -> np.ndarray:
+        """Original query indices on the PE rows."""
+        return self.query_residue + np.asarray(self.q_positions, dtype=np.int64) * self.dilation
+
+    def key_ids(self, n: int, exclude: FrozenSet[int] = frozenset()) -> np.ndarray:
+        """Original key indices per (row, column); ``-1`` marks a masked cell.
+
+        Cells are masked when the key falls outside ``[0, n)`` (window
+        clipped at the sequence boundary) or when the key is a global token
+        (computed once by the global PE column instead, to avoid double
+        counting in the softmax merge).
+        """
+        p = np.asarray(self.q_positions, dtype=np.int64)[:, None]
+        cols = []
+        for seg in self.segments:
+            t = np.arange(seg.width, dtype=np.int64)[None, :]
+            pos = p + seg.rel_lo + t
+            ids = seg.key_residue + pos * seg.dilation
+            cols.append(ids)
+        ids = np.concatenate(cols, axis=1)
+        valid = (ids >= 0) & (ids < n)
+        if exclude:
+            excl = np.asarray(sorted(exclude), dtype=np.int64)
+            valid &= ~np.isin(ids, excl)
+        return np.where(valid, ids, -1)
+
+    def valid_cell_count(self, n: int, exclude: FrozenSet[int] = frozenset()) -> int:
+        """Number of unmasked (query, key) cells in this pass."""
+        return int((self.key_ids(n, exclude) >= 0).sum())
+
+
+@dataclass
+class PlanStats:
+    """Aggregate statistics of an execution plan (per single head)."""
+
+    num_passes: int
+    total_cells: int
+    valid_cells: int
+    pe_array_cells: int
+    mean_rows_used: float
+    mean_cols_used: float
+    utilization: float
+    parts_per_query_max: int
+    parts_per_query_mean: float
+    global_only_passes: int
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ExecutionPlan:
+    """Scheduler output: structural tile passes plus global bookkeeping.
+
+    The plan is head-independent; ``heads`` and ``head_dim`` are carried so
+    timing/energy models can scale.  ``global_tokens`` are handled by the
+    global PE row/column concurrently with the window passes (Section 5.2),
+    except for *pure-global* patterns where dedicated
+    ``global_only_passes`` stream the sequence through the global PEs.
+    """
+
+    n: int
+    heads: int
+    head_dim: int
+    config: HardwareConfig
+    passes: List[TilePass]
+    global_tokens: Tuple[int, ...]
+    global_only_passes: int = 0
+    pattern: Optional[AttentionPattern] = None
+    reorder_applied: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("sequence length must be >= 1")
+        if self.heads < 1 or self.head_dim < 1:
+            raise ValueError("heads and head_dim must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def global_set(self) -> FrozenSet[int]:
+        return frozenset(self.global_tokens)
+
+    @property
+    def num_structural_passes(self) -> int:
+        return len(self.passes) + self.global_only_passes
+
+    @property
+    def num_total_passes(self) -> int:
+        """Passes across all heads (what the accelerator actually runs)."""
+        return self.num_structural_passes * self.heads
+
+    def global_row_schedule(self) -> List[np.ndarray]:
+        """Key batches consumed by the global PE row, pass by pass.
+
+        The global PE row computes the full attention rows of global-token
+        queries by reusing the key vectors already streaming through the PE
+        array (Section 5.2).  Each window pass therefore contributes its
+        set of not-yet-seen keys as one partial-softmax batch; keys never
+        streamed by any window pass (possible at clipped sequence edges or
+        for pure-global patterns) are appended as dedicated cleanup batches
+        of ``pe_cols`` keys.  Both execution engines consume this schedule
+        so their merge order — and hence their fixed-point output — is
+        identical.
+        """
+        seen = np.zeros(self.n, dtype=bool)
+        batches: List[np.ndarray] = []
+        for tp in self.passes:
+            ids = tp.key_ids(self.n)  # global keys stream too; do not exclude
+            ids = np.unique(ids[ids >= 0])
+            fresh = ids[~seen[ids]]
+            if len(fresh):
+                seen[fresh] = True
+                batches.append(fresh)
+        remaining = np.flatnonzero(~seen)
+        chunk = self.config.pe_cols
+        for start in range(0, len(remaining), chunk):
+            batches.append(remaining[start : start + chunk])
+        return batches
+
+    def covered_pairs(self) -> np.ndarray:
+        """Boolean (n, n) matrix of pairs computed by the plan.
+
+        Union of window-pass cells, global rows and global columns.  Used
+        by validation to prove the plan computes the pattern exactly (no
+        missing and no duplicated pairs).  Quadratic; test-sized inputs
+        only.
+        """
+        cov = np.zeros((self.n, self.n), dtype=np.int32)
+        g = self.global_set
+        for tp in self.passes:
+            q = tp.query_ids()
+            k = tp.key_ids(self.n, exclude=g)
+            for r, qi in enumerate(q):
+                if qi in g:
+                    continue  # global query rows come from the global PE row
+                cols = k[r]
+                cov[qi, cols[cols >= 0]] += 1
+        for gi in self.global_tokens:
+            cov[gi, :] += 1  # global PE row: full row, exactly once
+        for gi in self.global_tokens:
+            for qi in range(self.n):
+                if qi not in g:
+                    cov[qi, gi] += 1  # global PE column
+        return cov
+
+    def stats(self) -> PlanStats:
+        """Compute aggregate occupancy/utilisation statistics."""
+        g = self.global_set
+        rows = self.config.pe_rows
+        cols = self.config.pe_cols
+        total_cells = 0
+        valid_cells = 0
+        sum_rows = 0
+        sum_cols = 0
+        parts = np.zeros(self.n, dtype=np.int64)
+        for tp in self.passes:
+            total_cells += rows * cols
+            valid = tp.key_ids(self.n, exclude=g) >= 0
+            valid_cells += int(valid.sum())
+            sum_rows += tp.rows_used
+            sum_cols += tp.cols_used
+            q = tp.query_ids()
+            has_work = valid.any(axis=1)
+            parts[q[has_work]] += 1
+        parts[list(g)] = 1  # global rows are a single merged part
+        nonglobal = [i for i in range(self.n) if i not in g]
+        if nonglobal and self.global_tokens:
+            parts[nonglobal] += 1  # the global-column part
+        num = len(self.passes)
+        return PlanStats(
+            num_passes=num,
+            total_cells=total_cells,
+            valid_cells=valid_cells,
+            pe_array_cells=rows * cols,
+            mean_rows_used=sum_rows / num if num else 0.0,
+            mean_cols_used=sum_cols / num if num else 0.0,
+            utilization=valid_cells / total_cells if total_cells else 0.0,
+            parts_per_query_max=int(parts.max()) if self.n else 0,
+            parts_per_query_mean=float(parts.mean()) if self.n else 0.0,
+            global_only_passes=self.global_only_passes,
+        )

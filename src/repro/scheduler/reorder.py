@@ -1,0 +1,99 @@
+"""Data reordering: dilated windows → sliding windows (paper Section 4.2).
+
+A dilated band makes query ``q_i`` attend keys ``k_{i+a}, k_{i+a+d}, ...``;
+reuse exists between ``q_i`` and ``q_{i+d}``.  Grouping queries by their
+residue modulo ``d`` (``q_r, q_{r+d}, q_{r+2d}, ...``) turns the dilated
+band into an ordinary sliding window *within each group*: writing a query
+as ``i = r + p·d`` (group position ``p``), its band keys are
+
+    ``k_{i + a + t·d} = k_{r' + (p + rel_lo + t)·d}``,   ``0 <= t < width``
+
+where ``r' = (r + a) mod d`` is the key residue class and
+``rel_lo = (r + a - r') / d`` is a *constant* relative offset inside the
+group.  This module computes that decomposition; the scheduler then treats
+every (band, residue) pair as a plain sliding-window job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..patterns.base import Band
+
+__all__ = ["GroupedBandJob", "decompose_band", "group_positions", "reorder_permutation"]
+
+
+@dataclass(frozen=True)
+class GroupedBandJob:
+    """One band restricted to one query residue class.
+
+    Queries are ``query_residue + p * dilation`` for ``0 <= p <
+    group_size``; the band covers key group positions ``p + rel_lo ..
+    p + rel_lo + width - 1`` of residue class ``key_residue``.
+    """
+
+    band_index: int
+    dilation: int
+    query_residue: int
+    key_residue: int
+    group_size: int
+    rel_lo: int
+    width: int
+
+
+def group_size_for(n: int, residue: int, dilation: int) -> int:
+    """Number of sequence positions with the given residue modulo dilation."""
+    if residue >= n:
+        return 0
+    return (n - 1 - residue) // dilation + 1
+
+
+def group_positions(n: int, residue: int, dilation: int) -> np.ndarray:
+    """Original indices of a residue group, in group-position order."""
+    return np.arange(residue, n, dilation, dtype=np.int64)
+
+
+def reorder_permutation(n: int, dilation: int) -> np.ndarray:
+    """The query permutation of Figure 4: group residues together.
+
+    ``perm[new_position] = original_index``.  With ``dilation == 1`` this is
+    the identity.  The permutation is what a software implementation would
+    apply to the Q matrix; the tile-pass representation used here encodes
+    the same information per (band, residue) job instead, which also
+    handles patterns mixing bands of different dilations.
+    """
+    if dilation < 1:
+        raise ValueError(f"dilation must be >= 1, got {dilation}")
+    groups = [group_positions(n, r, dilation) for r in range(min(dilation, n))]
+    return np.concatenate(groups) if groups else np.empty(0, dtype=np.int64)
+
+
+def decompose_band(band_index: int, band: Band, n: int) -> List[GroupedBandJob]:
+    """Split a band into per-residue sliding-window jobs.
+
+    For ``dilation == 1`` this returns a single job covering the whole
+    sequence (no reordering required).
+    """
+    d = band.dilation
+    jobs: List[GroupedBandJob] = []
+    for r in range(min(d, n)):
+        size = group_size_for(n, r, d)
+        if size == 0:
+            continue
+        key_residue = (r + band.lo) % d
+        rel_lo = (r + band.lo - key_residue) // d
+        jobs.append(
+            GroupedBandJob(
+                band_index=band_index,
+                dilation=d,
+                query_residue=r,
+                key_residue=key_residue,
+                group_size=size,
+                rel_lo=rel_lo,
+                width=band.width,
+            )
+        )
+    return jobs

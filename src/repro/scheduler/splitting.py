@@ -1,0 +1,115 @@
+"""Data splitting: fit patterns onto the finite PE array (Section 4.2).
+
+*Sequence splitting* slices query groups into blocks of ``pe_rows``
+(independent rows — no correction needed).  *Window splitting* slices a
+band's key window into chunks of at most ``pe_cols`` columns; the partial
+softmax outputs of the resulting passes are merged by the weighted-sum
+module using the renormalising transformation of Eq. 2.
+
+*Band packing* (a scheduler optimisation, on by default) places several
+narrow band chunks side by side in a single pass so that multi-band
+patterns such as ViL's 15 x 15 window keep the PE columns busy; the paper
+reports >75 % PE utilisation on such workloads, which a strict
+one-band-per-pass mapping cannot reach (15 of 32 columns ≈ 47 %).  Each
+packed segment keeps its own diagonal key stream (one injection point per
+segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .plan import BandSegment, TilePass
+from .reorder import GroupedBandJob
+
+__all__ = ["chunk_band_job", "pack_segments", "build_passes_for_group"]
+
+
+def chunk_band_job(job: GroupedBandJob, pe_cols: int) -> List[BandSegment]:
+    """Window splitting: slice one band job into <= ``pe_cols`` wide segments."""
+    if pe_cols < 1:
+        raise ValueError(f"pe_cols must be >= 1, got {pe_cols}")
+    segments = []
+    start = 0
+    while start < job.width:
+        width = min(pe_cols, job.width - start)
+        segments.append(
+            BandSegment(
+                band_index=job.band_index,
+                rel_lo=job.rel_lo + start,
+                width=width,
+                key_residue=job.key_residue,
+                dilation=job.dilation,
+            )
+        )
+        start += width
+    return segments
+
+
+def pack_segments(
+    segments: Sequence[BandSegment], pe_cols: int, pack: bool
+) -> List[Tuple[BandSegment, ...]]:
+    """Group segments into per-pass column assignments.
+
+    With ``pack=False`` every segment gets its own pass (the strict
+    mapping implied by a single key-injection port).  With ``pack=True``
+    segments are packed first-fit in order, never splitting a segment
+    across passes.
+    """
+    if not pack:
+        return [(seg,) for seg in segments]
+    groups: List[List[BandSegment]] = []
+    widths: List[int] = []
+    for seg in segments:
+        placed = False
+        for gi, used in enumerate(widths):
+            if used + seg.width <= pe_cols:
+                groups[gi].append(seg)
+                widths[gi] += seg.width
+                placed = True
+                break
+        if not placed:
+            groups.append([seg])
+            widths.append(seg.width)
+    return [tuple(g) for g in groups]
+
+
+def build_passes_for_group(
+    jobs: Sequence[GroupedBandJob],
+    pe_rows: int,
+    pe_cols: int,
+    pack: bool,
+) -> List[TilePass]:
+    """Sequence-split + window-split all jobs of one query group.
+
+    All jobs must share ``(query_residue, dilation, group_size)`` — i.e.
+    describe bands attended by the *same* ordered set of queries — so their
+    segments can legally share passes.
+    """
+    if not jobs:
+        return []
+    key = (jobs[0].query_residue, jobs[0].dilation, jobs[0].group_size)
+    for job in jobs:
+        if (job.query_residue, job.dilation, job.group_size) != key:
+            raise ValueError("jobs of one group must share residue/dilation/size")
+    residue, dilation, group_size = key
+
+    segments: List[BandSegment] = []
+    for job in jobs:
+        segments.extend(chunk_band_job(job, pe_cols))
+    column_groups = pack_segments(segments, pe_cols, pack)
+
+    passes: List[TilePass] = []
+    for block_start in range(0, group_size, pe_rows):
+        rows = tuple(range(block_start, min(block_start + pe_rows, group_size)))
+        for cols in column_groups:
+            passes.append(
+                TilePass(
+                    query_residue=residue,
+                    dilation=dilation,
+                    q_positions=rows,
+                    segments=cols,
+                )
+            )
+    return passes

@@ -1,0 +1,65 @@
+"""Tests for the buffer and memory-traffic model."""
+
+import pytest
+
+from repro.accelerator.buffers import check_buffer_fit, plan_traffic
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+def _plan(pattern, heads=1, head_dim=64, **kw):
+    return DataScheduler(HardwareConfig(**kw)).schedule(pattern, heads=heads, head_dim=head_dim)
+
+
+class TestTraffic:
+    def test_diagonal_reuse_beats_naive(self):
+        """The Section 4.1 claim: diagonal streams slash k/v traffic."""
+        plan = _plan(longformer_pattern(1024, 128, (0,)))
+        traffic = plan_traffic(plan)
+        assert traffic.kv_reuse_factor > 5.0
+
+    def test_reuse_factor_near_min_rows_cols(self):
+        """For wide windows the reuse approaches min(rows, cols)."""
+        plan = _plan(longformer_pattern(2048, 512, ()))
+        traffic = plan_traffic(plan)
+        assert 10.0 < traffic.kv_reuse_factor <= 32.0
+
+    def test_output_traffic_once_per_query(self):
+        plan = _plan(longformer_pattern(256, 32, ()), heads=2)
+        traffic = plan_traffic(plan)
+        assert traffic.dram_bytes["out"] == 256 * 64 * 2 * 2  # n*d*bytes*heads
+
+    def test_heads_scale_traffic(self):
+        t1 = plan_traffic(_plan(longformer_pattern(256, 32, ()), heads=1))
+        t2 = plan_traffic(_plan(longformer_pattern(256, 32, ()), heads=3))
+        assert t2.dram_total == 3 * t1.dram_total
+
+    def test_traffic_positive(self):
+        traffic = plan_traffic(_plan(vil_pattern(8, 8, 3, (0,))))
+        for key in ("q", "k", "v", "out"):
+            assert traffic.dram_bytes[key] > 0
+        assert traffic.sram_reads > 0 and traffic.sram_writes > 0
+
+
+class TestBufferFit:
+    def test_default_config_fits_paper_workload(self):
+        plan = _plan(longformer_pattern(4096, 512, (0,)), heads=12)
+        fit = check_buffer_fit(plan)
+        assert fit.fits, fit.violations
+
+    def test_tiny_buffers_violate(self):
+        plan = _plan(
+            longformer_pattern(256, 64, ()),
+            key_buffer_bytes=64,
+            value_buffer_bytes=64,
+        )
+        fit = check_buffer_fit(plan)
+        assert not fit.fits
+        assert any("key buffer" in v for v in fit.violations)
+
+    def test_single_buffering_needs_less(self):
+        plan = _plan(longformer_pattern(256, 64, ()))
+        double = check_buffer_fit(plan, double_buffered=True)
+        single = check_buffer_fit(plan, double_buffered=False)
+        assert single.key_bytes == double.key_bytes // 2

@@ -1,0 +1,75 @@
+"""Tests for the shared PE datapath (quantisers + special functions)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.datapath import Datapath
+from repro.core.config import NumericsConfig
+
+
+class TestExactMode:
+    def test_identity_quantisers(self):
+        dp = Datapath(NumericsConfig.exact())
+        x = np.array([0.123456789])
+        assert dp.quantize_input(x)[0] == x[0]
+        assert dp.quantize_prob(x)[0] == x[0]
+        assert dp.quantize_output(x)[0] == x[0]
+
+    def test_exact_exp(self):
+        dp = Datapath(NumericsConfig.exact())
+        assert dp.exp(np.array([1.0]))[0] == pytest.approx(np.e)
+
+    def test_exact_recip(self):
+        dp = Datapath(NumericsConfig.exact())
+        assert dp.recip(np.array([4.0]))[0] == 0.25
+
+    def test_units_absent(self):
+        dp = Datapath(NumericsConfig.exact())
+        assert dp.exp_unit is None and dp.recip_unit is None
+
+
+class TestQuantizedMode:
+    def test_input_format_is_q84(self):
+        dp = Datapath(NumericsConfig())
+        assert dp.input_format.total_bits == 8
+        assert dp.input_format.frac_bits == 4
+
+    def test_input_quantised_to_sixteenths(self):
+        dp = Datapath(NumericsConfig())
+        out = dp.quantize_input(np.array([0.1, 0.9]))
+        assert np.array_equal(out * 16, np.rint(out * 16))
+
+    def test_output_is_16bit(self):
+        dp = Datapath(NumericsConfig())
+        assert dp.output_format.total_bits == 16
+
+    def test_prob_in_unit_range(self):
+        dp = Datapath(NumericsConfig())
+        probs = dp.quantize_prob(np.array([0.3, 0.999]))
+        assert (probs >= 0).all() and (probs <= 2.0).all()
+
+    def test_pwl_exp_used(self):
+        dp = Datapath(NumericsConfig())
+        exact = np.exp(1.7)
+        approx = dp.exp(np.array([1.7]))[0]
+        assert approx != exact
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_lut_recip_used(self):
+        dp = Datapath(NumericsConfig())
+        approx = dp.recip(np.array([3.0]))[0]
+        assert approx == pytest.approx(1 / 3, rel=0.01)
+
+
+class TestConfigValidation:
+    def test_bad_exp_mode(self):
+        with pytest.raises(ValueError):
+            NumericsConfig(exp_mode="cordic")
+
+    def test_bad_recip_mode(self):
+        with pytest.raises(ValueError):
+            NumericsConfig(recip_mode="divider")
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            NumericsConfig(exp_input_lo=4.0, exp_input_hi=-16.0)

@@ -1,0 +1,54 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.accelerator.energy import EnergyTable, plan_energy
+from repro.accelerator.timing import plan_timing
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern
+from repro.scheduler.scheduler import DataScheduler
+from repro.workloads.configs import LONGFORMER_BASE_4096
+
+
+def _plan(pattern, heads=1, head_dim=64):
+    return DataScheduler(HardwareConfig()).schedule(pattern, heads=heads, head_dim=head_dim)
+
+
+class TestEnergyModel:
+    def test_breakdown_positive(self):
+        e = plan_energy(_plan(longformer_pattern(256, 32, (0,))))
+        for key, val in e.breakdown_j.items():
+            assert val > 0, key
+
+    def test_total_is_sum(self):
+        e = plan_energy(_plan(longformer_pattern(256, 32, (0,))))
+        assert e.total_j == pytest.approx(sum(e.breakdown_j.values()))
+
+    def test_on_chip_excludes_dram(self):
+        e = plan_energy(_plan(longformer_pattern(256, 32, (0,))))
+        assert e.on_chip_j == pytest.approx(e.total_j - e.breakdown_j["dram"])
+
+    def test_stage_macs_dominate(self):
+        """The two matmul stages should dominate on-chip energy."""
+        e = plan_energy(_plan(longformer_pattern(1024, 128, ())))
+        matmul = e.breakdown_j["stage1_qk"] + e.breakdown_j["stage5_sv"]
+        assert matmul > 0.4 * e.on_chip_j
+
+    def test_table1_power_calibration(self):
+        """On the Longformer workload the on-chip average power should sit
+        near the synthesised 532.66 mW (Table 1) — within 15%."""
+        w = LONGFORMER_BASE_4096
+        plan = _plan(w.pattern(), heads=w.heads, head_dim=w.head_dim)
+        e = plan_energy(plan)
+        assert e.on_chip_power_w == pytest.approx(0.53266, rel=0.15)
+
+    def test_energy_scales_with_heads(self):
+        e1 = plan_energy(_plan(longformer_pattern(256, 32, ()), heads=1))
+        e2 = plan_energy(_plan(longformer_pattern(256, 32, ()), heads=4))
+        assert e2.total_j == pytest.approx(4 * e1.total_j, rel=0.01)
+
+    def test_custom_table(self):
+        plan = _plan(longformer_pattern(256, 32, ()))
+        cheap = plan_energy(plan, table=EnergyTable(dram_per_byte_pj=1.0))
+        base = plan_energy(plan)
+        assert cheap.breakdown_j["dram"] < base.breakdown_j["dram"]

@@ -1,0 +1,114 @@
+"""Tests for fixed-point formats and quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.fixed_point import FixedPointError, FixedPointFormat
+
+Q8_4 = FixedPointFormat(8, 4, signed=True)  # the paper's input format
+Q16_8 = FixedPointFormat(16, 8, signed=True)  # the paper's output format
+
+
+class TestFormatProperties:
+    def test_resolution(self):
+        assert Q8_4.resolution == 1 / 16
+
+    def test_range_signed(self):
+        assert Q8_4.max_value == pytest.approx(7.9375)
+        assert Q8_4.min_value == pytest.approx(-8.0)
+
+    def test_range_unsigned(self):
+        fmt = FixedPointFormat(8, 4, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(15.9375)
+
+    def test_repr(self):
+        assert repr(Q8_4) == "Qs4.4"
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(FixedPointError):
+            FixedPointFormat(0, 0)
+
+    def test_rejects_one_bit_signed(self):
+        with pytest.raises(FixedPointError):
+            FixedPointFormat(1, 0, signed=True)
+
+
+class TestQuantize:
+    def test_exact_values_unchanged(self):
+        vals = np.array([0.0, 0.25, -1.5, 7.9375, -8.0])
+        assert np.array_equal(Q8_4.quantize(vals), vals)
+
+    def test_rounding(self):
+        assert Q8_4.quantize(np.array([0.03]))[0] == pytest.approx(1 / 16 * 0.0 + 0.0625 * 0)
+        assert Q8_4.quantize(np.array([0.04]))[0] == pytest.approx(0.0625)
+
+    def test_round_half_even(self):
+        # 0.03125 = half an LSB: rounds to even code 0
+        assert Q8_4.quantize(np.array([0.03125]))[0] == 0.0
+        # 3 halves of an LSB rounds to even code 2
+        assert Q8_4.quantize(np.array([0.09375]))[0] == pytest.approx(0.125)
+
+    def test_saturation_high(self):
+        assert Q8_4.quantize(np.array([100.0]))[0] == Q8_4.max_value
+
+    def test_saturation_low(self):
+        assert Q8_4.quantize(np.array([-100.0]))[0] == Q8_4.min_value
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(100) * 4
+        once = Q8_4.quantize(x)
+        assert np.array_equal(Q8_4.quantize(once), once)
+
+    @given(st.floats(min_value=-7.9, max_value=7.9))
+    @settings(max_examples=200, deadline=None)
+    def test_error_bound(self, x):
+        err = abs(Q8_4.quantize(np.array([x]))[0] - x)
+        assert err <= Q8_4.quantization_error_bound() + 1e-12
+
+
+class TestCodes:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        vals = Q8_4.quantize(rng.standard_normal(50) * 4)
+        codes = Q8_4.to_codes(vals)
+        assert np.array_equal(Q8_4.from_codes(codes), vals)
+
+    def test_codes_integer_dtype(self):
+        assert Q8_4.to_codes(np.array([0.5])).dtype == np.int64
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(FixedPointError):
+            Q8_4.from_codes(np.array([200]))
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(FixedPointError):
+            Q8_4.to_codes(np.array([50.0]))
+
+    def test_is_representable(self):
+        flags = Q8_4.is_representable(np.array([0.0625, 0.03, 100.0]))
+        assert flags.tolist() == [True, False, False]
+
+
+class TestExactArithmetic:
+    """Products/sums of Q8.4 values are exact in float64 — the property
+    the whole value-domain representation relies on."""
+
+    def test_products_exact(self):
+        rng = np.random.default_rng(3)
+        a = Q8_4.quantize(rng.standard_normal(1000) * 4)
+        b = Q8_4.quantize(rng.standard_normal(1000) * 4)
+        prod = a * b
+        scaled = prod * 256  # Q.8 products
+        assert np.array_equal(scaled, np.rint(scaled))
+
+    def test_dot_product_order_independent(self):
+        rng = np.random.default_rng(4)
+        a = Q8_4.quantize(rng.standard_normal(64) * 2)
+        b = Q8_4.quantize(rng.standard_normal(64) * 2)
+        fwd = np.add.reduce(a * b)
+        rev = np.add.reduce((a * b)[::-1])
+        assert fwd == rev

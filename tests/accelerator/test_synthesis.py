@@ -1,0 +1,49 @@
+"""Tests for the analytic synthesis (area/power) model."""
+
+import pytest
+
+from repro.accelerator.synthesis import TABLE1, SynthesisConstants, synthesize
+from repro.core.config import HardwareConfig
+
+
+class TestTable1Calibration:
+    def test_area_matches_published(self):
+        report = synthesize(HardwareConfig())
+        assert report.area_mm2 == pytest.approx(TABLE1["area_mm2"], rel=0.02)
+
+    def test_power_matches_published(self):
+        report = synthesize(HardwareConfig())
+        assert report.power_mw == pytest.approx(TABLE1["power_mw"], rel=0.02)
+
+    def test_frequency_passthrough(self):
+        report = synthesize(HardwareConfig())
+        assert report.frequency_hz == TABLE1["frequency_hz"]
+
+
+class TestScaling:
+    def test_area_grows_with_array(self):
+        small = synthesize(HardwareConfig(pe_rows=16, pe_cols=16))
+        big = synthesize(HardwareConfig(pe_rows=64, pe_cols=64))
+        assert big.area_mm2 > 3 * small.area_mm2
+
+    def test_power_scales_with_frequency(self):
+        base = synthesize(HardwareConfig())
+        slow = synthesize(HardwareConfig(frequency_hz=0.5e9))
+        # Dynamic power halves; leakage stays.
+        assert slow.power_w < base.power_w
+        assert slow.power_w > 0.4 * base.power_w
+
+    def test_sram_area_scales_with_buffers(self):
+        base = synthesize(HardwareConfig())
+        fat = synthesize(HardwareConfig(key_buffer_bytes=128 * 1024))
+        delta = fat.area_breakdown_mm2["sram"] - base.area_breakdown_mm2["sram"]
+        assert delta > 0
+
+    def test_breakdowns_sum(self):
+        report = synthesize(HardwareConfig())
+        assert report.area_mm2 == pytest.approx(sum(report.area_breakdown_mm2.values()))
+        assert report.power_w == pytest.approx(sum(report.power_breakdown_w.values()))
+
+    def test_custom_constants(self):
+        cheap = SynthesisConstants(pe_area_um2=1000.0)
+        assert synthesize(HardwareConfig(), cheap).area_mm2 < TABLE1["area_mm2"]

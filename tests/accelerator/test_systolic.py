@@ -1,0 +1,129 @@
+"""Tests for the cycle-accurate micro-simulator.
+
+Two ground-truth relationships are pinned here:
+
+1. the micro-simulator's cycle count equals the analytic timing model
+   exactly (property-tested over the micro-sim's parameter space);
+2. the micro-simulator's outputs are bit-identical to the functional
+   engine under the quantised datapath, and float-epsilon close under the
+   exact datapath.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.functional import FunctionalEngine
+from repro.accelerator.systolic import SystolicSimulator
+from repro.accelerator.timing import plan_timing
+from repro.baselines.sparse_reference import masked_attention
+from repro.core.config import HardwareConfig
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+def _setup(pattern, rows=4, cols=4, heads=1, head_dim=8, quantize=True, seed=0):
+    config = HardwareConfig(pe_rows=rows, pe_cols=cols)
+    if not quantize:
+        config = config.exact()
+    plan = DataScheduler(config, strict_global_bound=False).schedule(
+        pattern, heads=heads, head_dim=head_dim
+    )
+    rng = np.random.default_rng(seed)
+    hidden = heads * head_dim
+    q, k, v = (rng.standard_normal((pattern.n, hidden)) for _ in range(3))
+    return plan, q, k, v
+
+
+class TestTimingGroundTruth:
+    def test_longformer_cycles_match(self):
+        plan, q, k, v = _setup(longformer_pattern(20, 6, (0,)))
+        sim = SystolicSimulator(plan).run(q, k, v)
+        assert sim.cycles == plan_timing(plan).cycles
+
+    def test_vil_cycles_match(self):
+        plan, q, k, v = _setup(vil_pattern(4, 4, 3, (0,)))
+        sim = SystolicSimulator(plan).run(q, k, v)
+        assert sim.cycles == plan_timing(plan).cycles
+
+    def test_multihead_cycles_scale(self):
+        plan1, q, k, v = _setup(longformer_pattern(16, 4, ()), heads=1, head_dim=4)
+        plan2, q2, k2, v2 = _setup(longformer_pattern(16, 4, ()), heads=2, head_dim=4)
+        c1 = SystolicSimulator(plan1).run(q, k, v).cycles
+        c2 = SystolicSimulator(plan2).run(q2, k2, v2).cycles
+        assert c2 == 2 * c1
+
+    @given(
+        n=st.integers(4, 20),
+        window=st.integers(1, 6),
+        rows=st.sampled_from([2, 4]),
+        cols=st.sampled_from([2, 4]),
+        head_dim=st.sampled_from([2, 4, 8]),
+        use_global=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cycle_property(self, n, window, rows, cols, head_dim, use_global):
+        pattern = longformer_pattern(n, min(window, n), (0,) if use_global else ())
+        plan, q, k, v = _setup(pattern, rows=rows, cols=cols, head_dim=head_dim)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        assert sim.cycles == plan_timing(plan).cycles
+
+    def test_pass_trace_stage_structure(self):
+        plan, q, k, v = _setup(longformer_pattern(12, 4, ()), head_dim=8)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        trace = sim.pass_traces[0]
+        tp = plan.passes[0]
+        assert trace.stage1 == 8 + tp.rows_used + tp.cols_used - 2
+        assert trace.stage5 == 8 + tp.cols_used - 1
+
+
+class TestCrossEngineBitIdentity:
+    def _compare(self, pattern, quantize, **kw):
+        plan, q, k, v = _setup(pattern, quantize=quantize, **kw)
+        func = FunctionalEngine(plan).run(q, k, v)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        return func.output, sim.output
+
+    def test_quantized_bit_identical_longformer(self):
+        f, s = self._compare(longformer_pattern(20, 6, (0,)), True)
+        assert np.array_equal(f, s)
+
+    def test_quantized_bit_identical_vil(self):
+        f, s = self._compare(vil_pattern(4, 4, 3, (0,)), True)
+        assert np.array_equal(f, s)
+
+    def test_quantized_bit_identical_dilated(self):
+        pattern = HybridSparsePattern(18, [Band(-4, 4, 2)], (0,))
+        f, s = self._compare(pattern, True)
+        assert np.array_equal(f, s)
+
+    def test_exact_mode_close(self):
+        f, s = self._compare(longformer_pattern(20, 6, (0,)), False)
+        assert np.allclose(f, s, atol=1e-12)
+
+    def test_merges_match(self):
+        plan, q, k, v = _setup(longformer_pattern(20, 6, (0,)))
+        func = FunctionalEngine(plan).run(q, k, v)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        assert func.merges == sim.merges
+
+
+class TestOracleAgreement:
+    def test_exact_mode_matches_oracle(self):
+        pattern = longformer_pattern(16, 6, (0,))
+        plan, q, k, v = _setup(pattern, quantize=False)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        ref = masked_attention(q, k, v, pattern)
+        assert np.allclose(sim.output, ref, atol=1e-12)
+
+    def test_pure_global_pattern(self):
+        from repro.patterns.global_attn import GlobalAttentionPattern
+
+        pattern = GlobalAttentionPattern(10, [0, 4])
+        plan, q, k, v = _setup(pattern, quantize=False)
+        sim = SystolicSimulator(plan).run(q, k, v)
+        ref = masked_attention(q, k, v, pattern)
+        assert np.allclose(sim.output, ref, atol=1e-12)

@@ -1,0 +1,119 @@
+"""Tests for the analytic timing model."""
+
+import pytest
+
+from repro.accelerator.timing import pass_cycles, plan_timing
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+class TestPassCycles:
+    def test_stage_formula(self):
+        config = HardwareConfig()
+        pt = pass_cycles(config, rows_used=32, cols_used=32, head_dim=64)
+        assert pt.stage1 == 64 + 32 + 32 - 2
+        assert pt.stage2 == config.stage2_exp_cycles
+        assert pt.stage3 == 32 + config.stage3_inv_cycles + config.stage3_bcast_cycles
+        assert pt.stage4 == 1
+        assert pt.stage5 == 64 + 32 - 1
+        assert pt.weighted_sum == config.weighted_sum_latency
+
+    def test_total_is_sum(self):
+        pt = pass_cycles(HardwareConfig(), 16, 8, 32)
+        assert pt.total == pt.stage1 + pt.stage2 + pt.stage3 + pt.stage4 + pt.stage5 + pt.weighted_sum
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            pass_cycles(HardwareConfig(), 0, 4, 8)
+
+    def test_narrower_pass_is_faster(self):
+        c = HardwareConfig()
+        assert pass_cycles(c, 32, 8, 64).total < pass_cycles(c, 32, 32, 64).total
+
+
+class TestPlanTiming:
+    def _plan(self, pattern, heads=1, head_dim=64, **kw):
+        config = HardwareConfig(**kw)
+        return DataScheduler(config).schedule(pattern, heads=heads, head_dim=head_dim)
+
+    def test_longformer_paper_scale(self):
+        """Default config on Longformer-4096: ~6.3 ms at 1 GHz."""
+        plan = self._plan(longformer_pattern(4096, 512, (0,)), heads=12)
+        t = plan_timing(plan)
+        assert 5.0e-3 < t.seconds < 8.0e-3
+        assert t.utilization > 0.95
+
+    def test_vil_utilization_above_75(self):
+        """Section 6.3: SALO PE utilisation >75% on hybrid patterns."""
+        plan = self._plan(vil_pattern(56, 56, 15, (0,)), heads=3)
+        assert plan_timing(plan).utilization > 0.75
+
+    def test_heads_scale_cycles(self):
+        p1 = self._plan(longformer_pattern(256, 32, (0,)), heads=1)
+        p2 = self._plan(longformer_pattern(256, 32, (0,)), heads=4)
+        assert plan_timing(p2).cycles == 4 * plan_timing(p1).cycles
+
+    def test_macs_match_pattern_flops(self):
+        pattern = longformer_pattern(256, 32, ())
+        plan = self._plan(pattern, heads=2)
+        t = plan_timing(plan)
+        assert t.window_macs == pattern.flops(head_dim=64, heads=2)
+
+    def test_global_macs_counted(self):
+        plan = self._plan(longformer_pattern(256, 32, (0,)), heads=1)
+        t = plan_timing(plan)
+        n = 256
+        assert t.global_macs == 2 * 64 * (n + (n - 1))
+
+    def test_frequency_scales_seconds(self):
+        pattern = longformer_pattern(256, 32, (0,))
+        t1 = plan_timing(self._plan(pattern))
+        t2 = plan_timing(self._plan(pattern, frequency_hz=2.0e9))
+        assert t1.cycles == t2.cycles
+        assert t2.seconds == pytest.approx(t1.seconds / 2)
+
+    def test_stage_cycles_accounting(self):
+        plan = self._plan(longformer_pattern(128, 16, ()), heads=2)
+        t = plan_timing(plan)
+        assert sum(t.stage_cycles.values()) == t.cycles
+
+
+class TestPipelinedTiming:
+    def _plan(self, n=256, w=64, heads=1):
+        return DataScheduler(HardwareConfig()).schedule(
+            longformer_pattern(n, w, (0,)), heads=heads, head_dim=64
+        )
+
+    def test_pipelining_is_faster(self):
+        plan = self._plan()
+        seq = plan_timing(plan, pipelined=False)
+        pipe = plan_timing(plan, pipelined=True)
+        assert pipe.cycles < seq.cycles
+
+    def test_bounded_below_by_stage1_stream(self):
+        """Pipelined issue rate cannot beat the stage-1 streaming bound."""
+        plan = self._plan()
+        pipe = plan_timing(plan, pipelined=True)
+        d = plan.head_dim
+        stage1_total = sum(
+            d + tp.rows_used + tp.cols_used - 2 for tp in plan.passes
+        )
+        assert pipe.cycles >= stage1_total
+
+    def test_single_pass_no_benefit(self):
+        """With one pass there is nothing to overlap."""
+        plan = DataScheduler(HardwareConfig(pe_rows=8, pe_cols=8)).schedule(
+            longformer_pattern(8, 4, ()), heads=1, head_dim=8
+        )
+        assert len(plan.passes) == 1
+        seq = plan_timing(plan, pipelined=False)
+        pipe = plan_timing(plan, pipelined=True)
+        assert pipe.cycles == seq.cycles
+
+    def test_speedup_less_than_2x(self):
+        """Overlap hides at most one of the two halves."""
+        plan = self._plan()
+        seq = plan_timing(plan, pipelined=False)
+        pipe = plan_timing(plan, pipelined=True)
+        assert seq.cycles / pipe.cycles < 2.0

@@ -1,0 +1,63 @@
+"""Tests for the execution-trace exporter."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.accelerator.timing import plan_timing
+from repro.accelerator.trace import trace_plan, trace_to_csv, trace_to_json
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return DataScheduler(HardwareConfig(pe_rows=8, pe_cols=8)).schedule(
+        longformer_pattern(64, 16, (0,)), heads=2, head_dim=16
+    )
+
+
+class TestTracePlan:
+    def test_row_per_pass(self, plan):
+        trace = trace_plan(plan)
+        assert len(trace) == len(plan.passes)
+
+    def test_cycles_sum_matches_timing(self, plan):
+        trace = trace_plan(plan)
+        total = sum(r.cycles for r in trace) * plan.heads
+        assert total == plan_timing(plan).cycles
+
+    def test_occupancy_bounds(self, plan):
+        for row in trace_plan(plan):
+            assert 0.0 < row.occupancy <= 1.0
+
+    def test_key_reuse_reflects_diagonal_sharing(self, plan):
+        """A full sliding pass shares keys across rows: reuse > 1."""
+        full = [r for r in trace_plan(plan) if r.rows_used == 8 and r.cols_used == 8]
+        assert full and all(r.key_reuse > 2.0 for r in full)
+
+    def test_multi_segment_passes_recorded(self):
+        plan = DataScheduler(HardwareConfig(pe_rows=8, pe_cols=8)).schedule(
+            vil_pattern(6, 6, 3, (0,)), heads=1, head_dim=8
+        )
+        trace = trace_plan(plan)
+        assert any(r.segments > 1 for r in trace)
+
+
+class TestExport:
+    def test_csv_roundtrip(self, plan):
+        text = trace_to_csv(trace_plan(plan))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(plan.passes)
+        assert int(rows[0]["rows_used"]) <= 8
+
+    def test_csv_empty(self):
+        assert trace_to_csv([]) == ""
+
+    def test_json_parses(self, plan):
+        data = json.loads(trace_to_json(trace_plan(plan)))
+        assert len(data) == len(plan.passes)
+        assert {"cycles", "occupancy", "distinct_keys"} <= set(data[0])

@@ -1,0 +1,62 @@
+"""Tests for the calibrated CPU/GPU device models."""
+
+import pytest
+
+from repro.baselines.cpu_gpu_model import CPU_XEON_E5_2630V3, GPU_1080TI
+from repro.workloads.configs import (
+    LONGFORMER_BASE_4096,
+    VIL_STAGE1,
+    VIL_STAGE2,
+    bert_base_workload,
+)
+
+
+class TestGpuDenseAnchors:
+    """Section 2.1 published measurements pin the dense model."""
+
+    def test_anchor_2048(self):
+        t = GPU_1080TI.dense_attention_latency_s(2048, 768) * 1e3
+        assert t == pytest.approx(9.20, rel=0.03)
+
+    def test_anchor_8192(self):
+        t = GPU_1080TI.dense_attention_latency_s(8192, 768) * 1e3
+        assert t == pytest.approx(145.70, rel=0.03)
+
+    def test_quadratic_growth(self):
+        r = GPU_1080TI.dense_attention_latency_s(8192, 768) / GPU_1080TI.dense_attention_latency_s(2048, 768)
+        assert r == pytest.approx(16.0, rel=0.01)
+
+
+class TestWorkloadEstimates:
+    def test_longformer_latency_order(self):
+        cpu = CPU_XEON_E5_2630V3.estimate(LONGFORMER_BASE_4096)
+        gpu = GPU_1080TI.estimate(LONGFORMER_BASE_4096)
+        assert cpu.latency_s > gpu.latency_s > 0
+
+    def test_vil_overhead_dominates_small(self):
+        """ViL-stage2 is overhead-dominated: latency changes little vs
+        stage1 despite 8x fewer FLOPs."""
+        g1 = GPU_1080TI.estimate(VIL_STAGE1).latency_s
+        g2 = GPU_1080TI.estimate(VIL_STAGE2).latency_s
+        assert g2 > 0.4 * g1
+
+    def test_energy_product(self):
+        est = GPU_1080TI.estimate(LONGFORMER_BASE_4096)
+        assert est.energy_j == pytest.approx(est.latency_s * est.power_w)
+
+    def test_dense_workload_path(self):
+        est = GPU_1080TI.estimate(bert_base_workload(2048))
+        assert est.latency_ms == pytest.approx(9.20, rel=0.03)
+
+    def test_longformer_scales_linearly_in_n(self):
+        t1 = GPU_1080TI.longformer_latency_s(4096, 512, 768)
+        t2 = GPU_1080TI.longformer_latency_s(8192, 512, 768)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_unknown_kind_rejected(self):
+        import dataclasses
+
+        bad = dataclasses.replace(LONGFORMER_BASE_4096, kind="dense")
+        GPU_1080TI.estimate(bad)  # dense is fine
+        with pytest.raises(ValueError):
+            GPU_1080TI.estimate(dataclasses.replace(LONGFORMER_BASE_4096, kind="tpu"))

@@ -1,0 +1,76 @@
+"""Tests for the dense attention reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense_attention import dense_attention, multi_head_dense_attention, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        s = softmax(rng.standard_normal((5, 7)))
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    def test_stability_large_values(self):
+        s = softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(s, [0.5, 0.5])
+
+    def test_monotone_in_logits(self):
+        s = softmax(np.array([1.0, 2.0, 3.0]))
+        assert s[0] < s[1] < s[2]
+
+    def test_axis_argument(self):
+        x = np.arange(6.0).reshape(2, 3)
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestDenseAttention:
+    def test_uniform_attention_averages_values(self):
+        n, d = 4, 3
+        q = np.zeros((n, d))
+        k = np.zeros((n, d))
+        v = np.arange(n * d, dtype=float).reshape(n, d)
+        out = dense_attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=0))
+
+    def test_peaked_attention_selects_value(self):
+        d = 8
+        k = np.eye(3, d)
+        q = 100.0 * np.eye(3, d)
+        v = np.diag([1.0, 2.0, 3.0]) @ np.ones((3, d))
+        out = dense_attention(q, k, v, scale=1.0)
+        assert np.allclose(out[0], v[0], atol=1e-8)
+
+    def test_default_scale_is_inv_sqrt_d(self):
+        rng = np.random.default_rng(1)
+        q, k, v = (rng.standard_normal((6, 16)) for _ in range(3))
+        assert np.allclose(
+            dense_attention(q, k, v), dense_attention(q, k, v, scale=0.25)
+        )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_attention(np.zeros((4, 3)), np.zeros((4, 2)), np.zeros((4, 3)))
+
+    def test_rejects_kv_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_attention(np.zeros((4, 3)), np.zeros((5, 3)), np.zeros((4, 3)))
+
+
+class TestMultiHead:
+    def test_output_shape(self):
+        rng = np.random.default_rng(2)
+        q, k, v = (rng.standard_normal((6, 12)) for _ in range(3))
+        assert multi_head_dense_attention(q, k, v, heads=3).shape == (6, 12)
+
+    def test_heads_are_independent(self):
+        rng = np.random.default_rng(3)
+        q, k, v = (rng.standard_normal((6, 8)) for _ in range(3))
+        full = multi_head_dense_attention(q, k, v, heads=2)
+        head0 = dense_attention(q[:, :4], k[:, :4], v[:, :4])
+        assert np.allclose(full[:, :4], head0)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            multi_head_dense_attention(np.zeros((4, 10)), np.zeros((4, 10)), np.zeros((4, 10)), heads=3)

@@ -1,0 +1,56 @@
+"""Tests for the Sanger performance model (Section 6.3)."""
+
+import pytest
+
+from repro.baselines.sanger import SangerModel
+from repro.workloads.configs import LONGFORMER_BASE_4096
+
+
+class TestUtilization:
+    def test_range_endpoints(self):
+        m = SangerModel()
+        assert m.utilization(0.01) == 0.55
+        assert m.utilization(0.05) == 0.55
+        assert m.utilization(0.30) == 0.75
+        assert m.utilization(0.9) == 0.75
+
+    def test_midpoint(self):
+        m = SangerModel()
+        assert m.utilization(0.175) == pytest.approx(0.65)
+
+
+class TestEstimate:
+    def test_prediction_is_quadratic_in_n(self):
+        m = SangerModel()
+        a = m.estimate(n=1024, nnz=1000, heads=1, head_dim=64, sparsity=0.1)
+        b = m.estimate(n=2048, nnz=1000, heads=1, head_dim=64, sparsity=0.1)
+        assert b.prediction_cycles == pytest.approx(4 * a.prediction_cycles, rel=0.01)
+
+    def test_prediction_independent_of_sparsity(self):
+        m = SangerModel()
+        a = m.estimate(n=1024, nnz=100, heads=1, head_dim=64, sparsity=0.05)
+        b = m.estimate(n=1024, nnz=100_000, heads=1, head_dim=64, sparsity=0.30)
+        assert a.prediction_cycles == b.prediction_cycles
+
+    def test_compute_scales_with_nnz(self):
+        m = SangerModel()
+        a = m.estimate(n=1024, nnz=1000, heads=1, head_dim=64, sparsity=0.1)
+        b = m.estimate(n=1024, nnz=2000, heads=1, head_dim=64, sparsity=0.1)
+        assert b.compute_cycles == pytest.approx(2 * a.compute_cycles, rel=0.01)
+
+    def test_same_peak_as_salo(self):
+        assert SangerModel().peak_macs_per_cycle() == 1024
+
+    def test_longformer_comparison_near_paper(self):
+        """Paper: SALO 1.33x faster at equal PEs/sparsity; our Longformer
+        comparison lands within ~15% of that."""
+        from repro.core.salo import SALO
+
+        w = LONGFORMER_BASE_4096
+        salo_t = SALO().estimate(w.pattern(), heads=w.heads, head_dim=w.head_dim).latency_s
+        sanger_t = SangerModel().estimate_workload(w).latency_s
+        assert sanger_t / salo_t == pytest.approx(1.33, rel=0.15)
+
+    def test_latency_seconds(self):
+        est = SangerModel().estimate(n=256, nnz=1000, heads=2, head_dim=64, sparsity=0.1)
+        assert est.latency_s == pytest.approx(est.cycles / 1e9)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the SALO reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HardwareConfig, NumericsConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220710)  # DAC'22 conference date
+
+
+@pytest.fixture
+def tiny_config() -> HardwareConfig:
+    """4x4 PE array with an exact float datapath (isolates scheduling)."""
+    return HardwareConfig(pe_rows=4, pe_cols=4).exact()
+
+
+@pytest.fixture
+def tiny_quant_config() -> HardwareConfig:
+    """4x4 PE array with the paper's fixed-point datapath."""
+    return HardwareConfig(pe_rows=4, pe_cols=4)
+
+
+@pytest.fixture
+def small_config() -> HardwareConfig:
+    """8x8 PE array, exact datapath."""
+    return HardwareConfig(pe_rows=8, pe_cols=8).exact()

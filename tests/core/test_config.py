@@ -1,0 +1,83 @@
+"""Tests for hardware/numerics configuration."""
+
+import pytest
+
+from repro.core.config import ConfigError, HardwareConfig, NumericsConfig
+
+
+class TestHardwareConfig:
+    def test_defaults_match_table1(self):
+        c = HardwareConfig()
+        assert (c.pe_rows, c.pe_cols) == (32, 32)
+        assert (c.global_rows, c.global_cols) == (1, 1)
+        assert c.frequency_hz == 1.0e9
+        assert c.query_buffer_bytes == 16 * 1024
+        assert c.key_buffer_bytes == 32 * 1024
+        assert c.weighted_sum_entries == 33
+
+    def test_pe_counts(self):
+        c = HardwareConfig()
+        assert c.num_pes == 1024
+        assert c.num_global_pes == 64
+        assert c.total_pes == 1088
+
+    def test_cycle_time(self):
+        assert HardwareConfig(frequency_hz=2e9).cycle_time_s() == 0.5e-9
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(pe_rows=0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(frequency_hz=0)
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(key_buffer_bytes=0)
+
+    def test_exact_copy(self):
+        c = HardwareConfig().exact()
+        assert not c.numerics.quantize
+        assert c.numerics.exp_mode == "exact"
+
+    def test_with_numerics_is_pure(self):
+        base = HardwareConfig()
+        modified = base.with_numerics(NumericsConfig.exact())
+        assert base.numerics.quantize
+        assert not modified.numerics.quantize
+
+
+class TestGlobalTokenBound:
+    def test_paper_formula(self):
+        """Section 5.2: min(ceil(n/#row), ceil(w/#col))."""
+        c = HardwareConfig()
+        assert c.max_global_tokens(4096, 512) == min(128, 16)
+
+    def test_zero_global_pes(self):
+        c = HardwareConfig(global_rows=0)
+        assert c.max_global_tokens(4096, 512) == 0
+
+    def test_small_sequence(self):
+        c = HardwareConfig(pe_rows=4, pe_cols=4)
+        assert c.max_global_tokens(16, 4) == min(4, 1)
+
+
+class TestNumericsConfig:
+    def test_paper_defaults(self):
+        n = NumericsConfig()
+        assert n.input_bits == 8
+        assert n.input_frac_bits == 4
+        assert n.output_bits == 16
+
+    def test_exact_factory(self):
+        n = NumericsConfig.exact()
+        assert not n.quantize and n.exp_mode == "exact" and n.recip_mode == "exact"
+
+    def test_rejects_bad_segments(self):
+        with pytest.raises(ConfigError):
+            NumericsConfig(exp_lut_segments=1)
+
+    def test_rejects_bad_style(self):
+        with pytest.raises(ConfigError):
+            NumericsConfig(exp_pwl_style="linear")

@@ -1,0 +1,78 @@
+"""Tests for the top-level SALO engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sparse_reference import masked_attention
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.patterns.library import longformer_pattern, vil_pattern
+
+
+class TestAttend:
+    def test_matches_oracle_exact_mode(self, tiny_config):
+        salo = SALO(tiny_config)
+        pattern = longformer_pattern(20, 6, (0,))
+        rng = np.random.default_rng(0)
+        q, k, v = (rng.standard_normal((20, 8)) for _ in range(3))
+        res = salo.attend(pattern, q, k, v, heads=1)
+        assert np.allclose(res.output, masked_attention(q, k, v, pattern), atol=1e-12)
+
+    def test_multihead_output_shape(self, tiny_config):
+        salo = SALO(tiny_config)
+        pattern = longformer_pattern(16, 4, (0,))
+        rng = np.random.default_rng(1)
+        q, k, v = (rng.standard_normal((16, 12)) for _ in range(3))
+        res = salo.attend(pattern, q, k, v, heads=3)
+        assert res.output.shape == (16, 12)
+
+    def test_rejects_indivisible_heads(self, tiny_config):
+        salo = SALO(tiny_config)
+        pattern = longformer_pattern(16, 4, (0,))
+        x = np.zeros((16, 10))
+        with pytest.raises(ValueError):
+            salo.attend(pattern, x, x, x, heads=3)
+
+    def test_buffer_check_can_reject(self):
+        config = HardwareConfig(
+            pe_rows=4, pe_cols=4, key_buffer_bytes=8, value_buffer_bytes=8
+        ).exact()
+        salo = SALO(config)
+        pattern = longformer_pattern(16, 4, (0,))
+        x = np.zeros((16, 8))
+        with pytest.raises(ValueError):
+            salo.attend(pattern, x, x, x, heads=1)
+        # And can be bypassed explicitly.
+        salo.attend(pattern, x + 0.1, x + 0.2, x + 0.3, heads=1, check_buffers=False)
+
+
+class TestEstimate:
+    def test_estimate_without_data(self):
+        salo = SALO()
+        stats = salo.estimate(longformer_pattern(512, 64, (0,)), heads=2, head_dim=64)
+        assert stats.latency_s > 0
+        assert stats.energy_j > 0
+        assert 0 < stats.utilization <= 1
+
+    def test_estimate_matches_attend_stats(self, tiny_config):
+        salo = SALO(tiny_config)
+        pattern = longformer_pattern(16, 4, (0,))
+        rng = np.random.default_rng(2)
+        q, k, v = (rng.standard_normal((16, 8)) for _ in range(3))
+        res = salo.attend(pattern, q, k, v, heads=1)
+        est = salo.estimate(pattern, heads=1, head_dim=8)
+        assert res.stats.cycles == est.cycles
+
+    def test_summary_renders(self):
+        stats = SALO().estimate(vil_pattern(8, 8, 3, (0,)), heads=1, head_dim=64)
+        text = stats.summary()
+        assert "latency" in text and "utilization" in text.lower()
+
+
+class TestDefaults:
+    def test_default_config_is_table1(self):
+        assert SALO().config.pe_rows == 32
+
+    def test_scheduler_shared_config(self):
+        salo = SALO()
+        assert salo.scheduler.config is salo.config

@@ -1,0 +1,29 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a_speedup" in out
+        assert "table3_quantization" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "table2_workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Longformer" in out and "sparsity" in out
+
+    def test_run_fast_flag(self, capsys):
+        assert main(["run", "ablation_dataflow", "--fast"]) == 0
+        assert "reuse_factor" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "bogus"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,31 @@
+"""Test for the Table 3 quantisation experiment (slow: trains 3 models)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+@pytest.fixture(scope="module")
+def res():
+    return get_experiment("table3_quantization")(fast=True)
+
+
+class TestTable3:
+    def test_three_tasks(self, res):
+        assert len(res.rows) == 3
+
+    def test_models_learn(self, res):
+        for row in res.rows:
+            assert row["original_%"] > 70.0, row["task"]
+
+    def test_quantisation_degradation_small(self, res):
+        """The paper's claim: quantisation costs well under a point; at
+        our tiny scale we allow a few points of noise."""
+        for row in res.rows:
+            assert abs(row["degradation_pts"]) < 8.0, row["task"]
+
+    def test_paper_columns_present(self, res):
+        for row in res.rows:
+            assert row["paper_deg"] == pytest.approx(
+                row["paper_orig"] - row["paper_quant"], abs=0.01
+            )

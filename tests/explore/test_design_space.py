@@ -1,0 +1,89 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.explore.design_space import DesignPoint, best_design, pareto_front, sweep_designs
+from repro.workloads.configs import longformer_workload
+
+
+@pytest.fixture(scope="module")
+def points():
+    w = longformer_workload(512, window=64, hidden=128, heads=2)
+    return sweep_designs(
+        w, pe_rows_options=(8, 16, 32), pe_cols_options=(8, 16, 32)
+    )
+
+
+class TestSweep:
+    def test_all_candidates_evaluated(self, points):
+        assert len(points) == 9
+
+    def test_bigger_array_lower_latency(self, points):
+        by_geom = {p.pe_geometry: p for p in points}
+        assert by_geom["32x32"].latency_s < by_geom["8x8"].latency_s
+
+    def test_bigger_array_more_area(self, points):
+        by_geom = {p.pe_geometry: p for p in points}
+        assert by_geom["32x32"].area_mm2 > by_geom["8x8"].area_mm2
+
+    def test_frequency_sweep(self):
+        w = longformer_workload(256, window=32, hidden=64, heads=1)
+        pts = sweep_designs(
+            w, pe_rows_options=(8,), pe_cols_options=(8,),
+            frequencies_hz=(0.5e9, 1.0e9),
+        )
+        assert len(pts) == 2
+        slow, fast = sorted(pts, key=lambda p: p.config.frequency_hz)
+        assert fast.latency_s < slow.latency_s
+
+    def test_infeasible_designs_skipped(self):
+        """Candidates whose global-token bound is too small are dropped.
+
+        With 8 global tokens and w=64: bound(8x8) = min(32, 8) = 8 (ok),
+        bound(64x8) = min(4, 8) = 4 (infeasible).
+        """
+        w = longformer_workload(256, window=64, hidden=64, heads=1, num_global=8)
+        pts = sweep_designs(w, pe_rows_options=(8, 64), pe_cols_options=(8,))
+        assert {p.pe_geometry for p in pts} == {"8x8"}
+
+
+class TestPareto:
+    def test_front_nondominated(self, points):
+        front = pareto_front(points)
+        for p in front:
+            for q in points:
+                assert not (
+                    q.latency_s < p.latency_s and q.area_mm2 < p.area_mm2
+                )
+
+    def test_front_sorted_by_first_objective(self, points):
+        front = pareto_front(points)
+        lats = [p.latency_s for p in front]
+        assert lats == sorted(lats)
+
+    def test_extremes_on_front(self, points):
+        front = pareto_front(points)
+        fastest = min(points, key=lambda p: p.latency_s)
+        smallest = min(points, key=lambda p: p.area_mm2)
+        assert any(p.latency_s == fastest.latency_s for p in front)
+        assert any(p.area_mm2 == smallest.area_mm2 for p in front)
+
+
+class TestBest:
+    def test_best_edp_member(self, points):
+        best = best_design(points, metric="edp")
+        assert best in points
+        assert all(best.edp <= p.edp for p in points)
+
+    def test_best_latency(self, points):
+        best = best_design(points, metric="latency_s")
+        assert all(best.latency_s <= p.latency_s for p in points)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_design([])
+
+    def test_metric_accessors(self, points):
+        p = points[0]
+        assert p.edp == p.energy_j * p.latency_s
+        assert p.area_delay == p.area_mm2 * p.latency_s

@@ -1,0 +1,70 @@
+"""Tests for the inference transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models.blocks import (
+    gelu,
+    init_ffn,
+    init_layer_norm,
+    init_linear,
+)
+
+
+class TestGelu:
+    def test_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_large_positive_identity(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_large_negative_zero(self):
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_monotone_above_dip(self):
+        # GELU is monotone only above its minimum near x ~ -0.75.
+        xs = np.linspace(-0.7, 5, 100)
+        assert (np.diff(gelu(xs)) > 0).all()
+
+    def test_has_negative_dip(self):
+        assert gelu(np.array([-0.75]))[0] < 0.0
+
+
+class TestLinear:
+    def test_affine(self):
+        rng = np.random.default_rng(0)
+        lin = init_linear(rng, 4, 3)
+        x = rng.standard_normal((5, 4))
+        assert np.allclose(lin(x), x @ lin.weight + lin.bias)
+
+    def test_features(self):
+        lin = init_linear(np.random.default_rng(0), 4, 3)
+        assert (lin.in_features, lin.out_features) == (4, 3)
+
+    def test_zero_bias_init(self):
+        lin = init_linear(np.random.default_rng(0), 4, 3)
+        assert np.all(lin.bias == 0)
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        ln = init_layer_norm(8)
+        x = np.random.default_rng(1).standard_normal((6, 8)) * 4 + 3
+        out = ln(x)
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-8)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_gamma_beta(self):
+        ln = init_layer_norm(4)
+        ln.gamma[...] = 2.0
+        ln.beta[...] = 1.0
+        out = ln(np.random.default_rng(2).standard_normal((3, 4)))
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestFfn:
+    def test_shapes(self):
+        ffn = init_ffn(np.random.default_rng(3), 8, 32)
+        out = ffn(np.ones((5, 8)))
+        assert out.shape == (5, 8)
+        assert ffn.hidden == 32

@@ -1,0 +1,113 @@
+"""Tests for SALO-accelerated encoder layers (Figure 3 integration)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense_attention import softmax
+from repro.baselines.sparse_reference import masked_attention
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.models.encoder import SparseEncoder, SparseEncoderLayer
+from repro.patterns.library import longformer_pattern
+
+
+def _layer(n=24, dim=16, heads=2, exact=True, seed=0):
+    config = HardwareConfig(pe_rows=4, pe_cols=4)
+    if exact:
+        config = config.exact()
+    pattern = longformer_pattern(n, 6, (0,))
+    return SparseEncoderLayer(dim, heads, pattern, salo=SALO(config), seed=seed)
+
+
+class TestLayerForward:
+    def test_output_shape(self):
+        layer = _layer()
+        x = np.random.default_rng(0).standard_normal((24, 16))
+        res = layer.forward(x)
+        assert res.output.shape == (24, 16)
+
+    def test_matches_pure_software_layer(self):
+        """With the exact datapath, the accelerated layer equals a pure
+        numpy implementation of the same layer."""
+        layer = _layer()
+        x = np.random.default_rng(1).standard_normal((24, 16))
+        res = layer.forward(x)
+
+        # Pure software reference using the same weights.
+        h = layer.ln1(x)
+        q, k, v = layer.wq(h), layer.wk(h), layer.wv(h)
+        d = layer.dim // layer.heads
+        attn = np.concatenate(
+            [
+                masked_attention(q[:, i*d:(i+1)*d], k[:, i*d:(i+1)*d], v[:, i*d:(i+1)*d], layer.pattern)
+                for i in range(layer.heads)
+            ],
+            axis=1,
+        )
+        ref = x + layer.wo(attn)
+        ref = ref + layer.ffn(layer.ln2(ref))
+        assert np.allclose(res.output, ref, atol=1e-10)
+
+    def test_rejects_wrong_dim(self):
+        layer = _layer(dim=16)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((24, 8)))
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            _layer(dim=15, heads=2)
+
+    def test_quantized_close_to_exact(self):
+        exact = _layer(exact=True, seed=5)
+        quant = _layer(exact=False, seed=5)
+        x = np.random.default_rng(2).standard_normal((24, 16))
+        a = exact.forward(x).output
+        b = quant.forward(x).output
+        assert np.max(np.abs(a - b)) < 1.0
+        assert not np.array_equal(a, b)
+
+
+class TestLatencyModel:
+    def test_host_flops_formula(self):
+        layer = _layer(dim=16)
+        n = 24
+        proj = 4 * n * 16 * 16
+        ffn = 2 * n * 16 * 64
+        assert layer.host_flops(n) == 2 * (proj + ffn)
+
+    def test_layer_latency_breakdown(self):
+        layer = _layer()
+        lat = layer.layer_latency_s(24)
+        assert lat["total_s"] == pytest.approx(lat["attention_s"] + lat["host_s"])
+        assert 0 < lat["attention_fraction"] < 1
+
+
+class TestEncoderStack:
+    def test_stack_runs(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        enc = SparseEncoder(3, 8, 2, pattern, salo=salo)
+        x = np.random.default_rng(3).standard_normal((16, 8))
+        results = enc.forward(x)
+        assert len(results) == 3
+        assert results[-1].output.shape == (16, 8)
+
+    def test_layers_differ(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        enc = SparseEncoder(2, 8, 2, pattern, salo=salo)
+        w0 = enc.layers[0].wq.weight
+        w1 = enc.layers[1].wq.weight
+        assert not np.allclose(w0, w1)
+
+    def test_attention_time_accumulates(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        enc = SparseEncoder(2, 8, 2, pattern, salo=salo)
+        results = enc.forward(np.zeros((16, 8)) + 0.1)
+        total = enc.total_attention_seconds(results)
+        assert total == pytest.approx(sum(r.attention_seconds for r in results))
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            SparseEncoder(0, 8, 2, longformer_pattern(16, 4, (0,)))

@@ -1,0 +1,100 @@
+"""Tests for the trainable sparse attention layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sparse_reference import masked_attention
+from repro.nn.attention import AttentionQuantizer, SparseMultiHeadAttention
+from repro.nn.autograd import Tensor
+from repro.patterns.library import longformer_pattern
+from repro.patterns.window import SlidingWindowPattern
+
+
+def _layer(n=12, dim=8, heads=2, pattern=None, quantizer=None, seed=0):
+    pattern = pattern or longformer_pattern(n, 4, (0,))
+    rng = np.random.default_rng(seed)
+    return SparseMultiHeadAttention(dim, heads, pattern, rng, quantizer=quantizer)
+
+
+class TestForward:
+    def test_output_shape(self):
+        layer = _layer()
+        out = layer(Tensor(np.random.default_rng(1).standard_normal((3, 12, 8))))
+        assert out.shape == (3, 12, 8)
+
+    def test_rejects_wrong_length(self):
+        layer = _layer(n=12)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 10, 8))))
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            _layer(dim=10, heads=3)
+
+    def test_mask_respected(self):
+        """With identity projections, the layer must equal the masked
+        attention oracle."""
+        n, dim = 10, 4
+        pattern = SlidingWindowPattern(n, -1, 1)
+        layer = SparseMultiHeadAttention(dim, 1, pattern, np.random.default_rng(0))
+        eye = np.eye(dim)
+        for lin in (layer.wq, layer.wk, layer.wv, layer.wo):
+            lin.weight.data[...] = eye
+            lin.bias.data[...] = 0.0
+        x = np.random.default_rng(2).standard_normal((1, n, dim))
+        out = layer(Tensor(x)).data[0]
+        ref = masked_attention(x[0], x[0], x[0], pattern)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_grad_flows_to_all_params(self):
+        layer = _layer()
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 12, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        for p in layer.parameters():
+            assert p.grad is not None
+
+
+class TestQuantizedForward:
+    def test_close_to_float(self):
+        layer = _layer(seed=4)
+        x = Tensor(np.random.default_rng(5).standard_normal((1, 12, 8)))
+        float_out = layer(x).data
+        layer.set_quantizer(AttentionQuantizer())
+        quant_out = layer(x).data
+        assert np.max(np.abs(float_out - quant_out)) < 0.5
+        assert not np.array_equal(float_out, quant_out)
+
+    def test_grad_flows_through_quantized_path(self):
+        layer = _layer(quantizer=AttentionQuantizer())
+        x = Tensor(np.random.default_rng(6).standard_normal((1, 12, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0
+
+    def test_quantizer_swap(self):
+        layer = _layer()
+        assert layer.quantizer is None
+        layer.set_quantizer(AttentionQuantizer())
+        assert layer.quantizer is not None
+        layer.set_quantizer(None)
+        assert layer.quantizer is None
+
+
+class TestQuantizerComponents:
+    def test_exp_masks_cells(self):
+        qz = AttentionQuantizer()
+        s = Tensor(np.zeros((2, 2)))
+        mask = np.array([[True, False], [True, True]])
+        out = qz.exp(s, mask).data
+        assert out[0, 1] == 0.0 and out[0, 0] > 0.5
+
+    def test_recip_matches_inverse(self):
+        qz = AttentionQuantizer()
+        w = Tensor(np.array([2.0, 8.0]))
+        out = qz.recip(w).data
+        assert np.allclose(out, [0.5, 0.125], rtol=0.01)
+
+    def test_input_quant_granularity(self):
+        qz = AttentionQuantizer()
+        out = qz.quant_input(Tensor(np.array([0.3]))).data
+        assert out[0] * 16 == np.rint(out[0] * 16)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic classification tasks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import PhraseTask, SentimentTask, ShapesTask
+
+
+class TestSentimentTask:
+    def test_shapes(self):
+        xs, ys = SentimentTask(n=64).sample(10)
+        assert xs.shape == (10, 64)
+        assert ys.shape == (10,)
+
+    def test_cls_at_zero(self):
+        xs, _ = SentimentTask(n=64).sample(5)
+        assert (xs[:, 0] == 0).all()
+
+    def test_labels_match_token_counts(self):
+        task = SentimentTask(n=64, seed=1)
+        xs, ys = task.sample(50)
+        pos = ((xs >= 2) & (xs < 2 + task.vocab_polar)).sum(axis=1)
+        neg = (xs >= 2 + task.vocab_polar).sum(axis=1)
+        assert np.array_equal(ys, (pos > neg).astype(ys.dtype))
+
+    def test_margin_respected(self):
+        task = SentimentTask(n=64, margin=4, seed=2)
+        xs, _ = task.sample(50)
+        pos = ((xs >= 2) & (xs < 2 + task.vocab_polar)).sum(axis=1)
+        neg = (xs >= 2 + task.vocab_polar).sum(axis=1)
+        assert (np.abs(pos - neg) >= 4).all()
+
+    def test_deterministic(self):
+        a = SentimentTask(seed=5).sample(8)
+        b = SentimentTask(seed=5).sample(8)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestPhraseTask:
+    def test_positive_has_nearby_bigram(self):
+        task = PhraseTask(n=96, seed=3)
+        xs, ys = task.sample(60)
+        for x, y in zip(xs, ys):
+            a_pos = np.flatnonzero(x == task.token_a)
+            b_pos = np.flatnonzero(x == task.token_b)
+            near = any(
+                0 < (b - a) <= task.max_gap for a in a_pos for b in b_pos
+            )
+            if y == 1:
+                assert near
+            else:
+                assert not near
+
+    def test_both_classes_contain_unigrams(self):
+        task = PhraseTask(n=96, seed=4)
+        xs, ys = task.sample(40)
+        for x in xs:
+            assert (x == task.token_a).any()
+            assert (x == task.token_b).any()
+
+
+class TestShapesTask:
+    def test_shapes(self):
+        task = ShapesTask(grid=8, feat=6)
+        xs, ys = task.sample(12)
+        assert xs.shape == (12, 64, 6)
+        assert set(np.unique(ys)) <= {0, 1, 2, 3}
+
+    def test_classes_distinguishable(self):
+        """A 1-NN probe on raw features separates low-noise classes far
+        better than chance (class distributions are multimodal, so
+        nearest-neighbour rather than nearest-mean)."""
+        task = ShapesTask(grid=8, feat=4, noise=0.1, seed=6)
+        xs, ys = task.sample(200)
+        flat = xs.reshape(len(xs), -1)
+        xt, yt = task.sample(100, seed_offset=1)
+        correct = 0
+        for x, y in zip(xt.reshape(len(xt), -1), yt):
+            nearest = np.argmin(np.linalg.norm(flat - x, axis=1))
+            correct += ys[nearest] == y
+        assert correct / 100 > 0.5
+
+    def test_deterministic(self):
+        a = ShapesTask(seed=7).sample(5)
+        b = ShapesTask(seed=7).sample(5)
+        assert np.array_equal(a[0], b[0])

@@ -1,0 +1,121 @@
+"""Tests for NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self):
+        lin = Linear(4, 6, _rng())
+        out = lin(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 6)
+
+    def test_bias_optional(self):
+        lin = Linear(4, 6, _rng(), bias=False)
+        assert lin.bias is None
+        assert lin(Tensor(np.zeros((1, 4)))).data.sum() == 0.0
+
+    def test_parameters_discovered(self):
+        lin = Linear(4, 6, _rng())
+        assert len(list(lin.parameters())) == 2
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 8)) * 5 + 2)
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_grad_flows(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, _rng())
+        out = emb(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out.data[0, 0], emb.weight.data[1])
+
+    def test_grad_scatters(self):
+        emb = Embedding(10, 4, _rng())
+        emb(np.array([[1, 1]])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestDropout:
+    def test_inactive_in_eval(self):
+        drop = Dropout(0.5, _rng())
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_active_in_train(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100))))
+        zeros = (out.data == 0).mean()
+        assert 0.4 < zeros < 0.6
+
+    def test_inverted_scaling(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        out = drop(Tensor(np.ones((200, 200))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, _rng())
+
+
+class TestModulePlumbing:
+    def test_named_parameters(self):
+        ffn = FeedForward(4, 8, _rng())
+        names = dict(ffn.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        a = FeedForward(4, 8, _rng())
+        b = FeedForward(4, 8, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_load_missing_raises(self):
+        a = FeedForward(4, 8, _rng())
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_num_parameters(self):
+        lin = Linear(4, 6, _rng())
+        assert lin.num_parameters() == 4 * 6 + 6
+
+    def test_train_eval_recursive(self):
+        seq = Sequential(FeedForward(4, 8, _rng()), LayerNorm(4))
+        seq.eval()
+        assert not seq.modules[0].drop.training
+        seq.train()
+        assert seq.modules[0].drop.training
+
+    def test_sequential_forward(self):
+        seq = Sequential(Linear(4, 4, _rng()), LayerNorm(4))
+        assert seq(Tensor(np.ones((2, 4)))).shape == (2, 4)

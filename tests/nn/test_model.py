@@ -1,0 +1,85 @@
+"""Tests for the transformer classifier."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import AttentionQuantizer
+from repro.nn.autograd import Tensor
+from repro.nn.model import TransformerClassifier
+from repro.patterns.library import longformer_pattern, vil_pattern
+
+
+def _model(n=16, **kw):
+    pattern = longformer_pattern(n, 4, (0,))
+    defaults = dict(dim=16, heads=2, layers=2, num_classes=2, vocab=12, seed=0)
+    defaults.update(kw)
+    return TransformerClassifier(pattern, **defaults)
+
+
+class TestForward:
+    def test_token_input_logits(self):
+        model = _model()
+        logits = model(np.zeros((3, 16), dtype=np.int64))
+        assert logits.shape == (3, 2)
+
+    def test_feature_input(self):
+        pattern = vil_pattern(4, 4, 3, (0,))
+        model = TransformerClassifier(
+            pattern, dim=16, heads=2, layers=1, num_classes=4, input_dim=6, seed=0
+        )
+        logits = model(np.random.default_rng(0).standard_normal((2, 16, 6)))
+        assert logits.shape == (2, 4)
+
+    def test_requires_input_spec(self):
+        with pytest.raises(ValueError):
+            TransformerClassifier(longformer_pattern(8, 2, (0,)), dim=8, heads=1)
+
+    def test_deterministic_given_seed(self):
+        a = _model(seed=3)
+        b = _model(seed=3)
+        x = np.ones((2, 16), dtype=np.int64)
+        assert np.array_equal(a(x).data, b(x).data)
+
+    def test_logits_depend_on_far_tokens_via_global(self):
+        """Token 0 is global: flipping a far token must change the logits."""
+        model = _model()
+        x = np.ones((1, 16), dtype=np.int64)
+        base = model(x).data.copy()
+        x2 = x.copy()
+        x2[0, 15] = 5
+        assert not np.allclose(model(x2).data, base)
+
+
+class TestQuantizerPlumbing:
+    def test_set_quantizer_everywhere(self):
+        model = _model()
+        qz = AttentionQuantizer()
+        model.set_quantizer(qz)
+        assert all(a.quantizer is qz for a in model.attention_modules())
+        model.set_quantizer(None)
+        assert all(a.quantizer is None for a in model.attention_modules())
+
+    def test_quantized_forward_close(self):
+        model = _model(seed=1)
+        x = np.random.default_rng(2).integers(0, 12, (2, 16))
+        float_logits = model(x).data
+        model.set_quantizer(AttentionQuantizer())
+        quant_logits = model(x).data
+        assert np.max(np.abs(float_logits - quant_logits)) < 1.0
+
+
+class TestTrainability:
+    def test_all_params_receive_grads(self):
+        from repro.nn.optim import cross_entropy
+
+        model = _model()
+        x = np.random.default_rng(4).integers(0, 12, (4, 16))
+        y = np.array([0, 1, 0, 1])
+        loss = cross_entropy(model(x), y)
+        loss.backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_parameter_count_reasonable(self):
+        model = _model()
+        assert 3_000 < model.num_parameters() < 50_000

@@ -1,0 +1,57 @@
+"""Tests for the training loop: small models must actually learn."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import SentimentTask
+from repro.nn.model import TransformerClassifier
+from repro.nn.training import evaluate_accuracy, train_classifier
+from repro.patterns.library import longformer_pattern
+
+
+@pytest.fixture(scope="module")
+def trained():
+    task = SentimentTask(n=48, seed=1, max_polar_tokens=16, margin=6)
+    pattern = longformer_pattern(48, 12, (0,))
+    model = TransformerClassifier(
+        pattern, dim=24, heads=2, layers=1, num_classes=2, vocab=task.vocab, seed=0
+    )
+    test = task.sample(128, seed_offset=50_000)
+    result = train_classifier(model, task.sample, steps=60, batch=16, lr=4e-3, eval_data=test)
+    return model, task, test, result
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, _, _, result = trained
+        first = np.mean(result.losses[:5])
+        last = np.mean(result.losses[-5:])
+        assert last < first * 0.7
+
+    def test_learns_above_chance(self, trained):
+        _, _, _, result = trained
+        assert result.final_accuracy > 0.8
+
+    def test_eval_recorded(self, trained):
+        _, _, _, result = trained
+        assert result.eval_steps[-1] == 60
+        assert len(result.eval_accuracies) == len(result.eval_steps)
+
+
+class TestEvaluate:
+    def test_restores_train_mode(self, trained):
+        model, _, test, _ = trained
+        model.train()
+        evaluate_accuracy(model, test[0], test[1])
+        assert model.training
+
+    def test_accuracy_bounds(self, trained):
+        model, _, test, _ = trained
+        acc = evaluate_accuracy(model, test[0], test[1])
+        assert 0.0 <= acc <= 1.0
+
+    def test_deterministic(self, trained):
+        model, _, test, _ = trained
+        a = evaluate_accuracy(model, test[0], test[1])
+        b = evaluate_accuracy(model, test[0], test[1])
+        assert a == b

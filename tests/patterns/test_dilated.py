@@ -1,0 +1,70 @@
+"""Tests for dilated window attention patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.base import PatternError
+from repro.patterns.dilated import DilatedWindowPattern
+from repro.patterns.window import SlidingWindowPattern
+
+
+class TestConstruction:
+    def test_symmetric(self):
+        p = DilatedWindowPattern.symmetric(32, window=5, dilation=3)
+        assert (p.a, p.b, p.dilation) == (-6, 6, 3)
+        assert p.window_size == 5
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(PatternError):
+            DilatedWindowPattern(16, -3, 2, dilation=2)
+
+    def test_rejects_zero_dilation(self):
+        with pytest.raises(PatternError):
+            DilatedWindowPattern(16, -2, 2, dilation=0)
+
+    def test_dilation_one_equals_sliding_window(self):
+        d = DilatedWindowPattern(24, -3, 3, dilation=1)
+        s = SlidingWindowPattern(24, -3, 3)
+        assert np.array_equal(d.mask(), s.mask())
+
+
+class TestRowKeys:
+    def test_interior(self):
+        p = DilatedWindowPattern(32, -4, 4, dilation=2)
+        assert p.row_keys(10).tolist() == [6, 8, 10, 12, 14]
+
+    def test_clipping(self):
+        p = DilatedWindowPattern(32, -4, 4, dilation=2)
+        assert p.row_keys(1).tolist() == [1, 3, 5]
+
+    def test_row_count_matches(self):
+        p = DilatedWindowPattern(20, -6, 6, dilation=3)
+        for i in range(20):
+            assert p.row_count(i) == len(p.row_keys(i))
+
+
+class TestDataReuseProperty:
+    """Section 2.3: reuse exists between q_i and q_{i+d}."""
+
+    @given(dilation=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_reuse_at_dilation_stride(self, dilation):
+        p = DilatedWindowPattern.symmetric(96, window=5, dilation=dilation)
+        i = 48
+        shared = np.intersect1d(p.row_keys(i), p.row_keys(i + dilation))
+        assert len(shared) == p.window_size - 1
+
+    def test_no_reuse_between_adjacent_queries(self):
+        p = DilatedWindowPattern.symmetric(64, window=5, dilation=2)
+        i = 32
+        shared = np.intersect1d(p.row_keys(i), p.row_keys(i + 1))
+        assert len(shared) == 0  # different residue classes never intersect
+
+
+class TestBands:
+    def test_band_metadata(self):
+        p = DilatedWindowPattern(32, -4, 4, dilation=2)
+        (band,) = p.bands()
+        assert (band.lo, band.hi, band.dilation) == (-4, 4, 2)

@@ -1,0 +1,50 @@
+"""Tests for global attention patterns."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import PatternError
+from repro.patterns.global_attn import GlobalAttentionPattern
+
+
+class TestConstruction:
+    def test_tokens_sorted_deduped(self):
+        p = GlobalAttentionPattern(10, [3, 1, 3])
+        assert p.tokens == (1, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PatternError):
+            GlobalAttentionPattern(10, [10])
+
+
+class TestRows:
+    def test_global_row_is_full(self):
+        p = GlobalAttentionPattern(8, [2])
+        assert p.row_keys(2).tolist() == list(range(8))
+
+    def test_nonglobal_row_attends_globals_only(self):
+        p = GlobalAttentionPattern(8, [2, 5])
+        assert p.row_keys(0).tolist() == [2, 5]
+
+    def test_row_count(self):
+        p = GlobalAttentionPattern(8, [2, 5])
+        assert p.row_count(2) == 8
+        assert p.row_count(1) == 2
+
+
+class TestNnz:
+    def test_nnz_matches_mask(self):
+        p = GlobalAttentionPattern(12, [0, 7])
+        assert p.nnz() == int(p.mask().sum())
+
+    def test_mask_symmetric_structure(self):
+        p = GlobalAttentionPattern(6, [1])
+        m = p.mask()
+        assert m[1].all() and m[:, 1].all()
+        off = m.copy()
+        off[1, :] = False
+        off[:, 1] = False
+        assert not off.any()
+
+    def test_bands_empty(self):
+        assert GlobalAttentionPattern(6, [0]).bands() == []

@@ -1,0 +1,77 @@
+"""Tests for hybrid sparse attention patterns (bands + globals)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import Band, PatternError
+from repro.patterns.global_attn import GlobalAttentionPattern
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.mask_ops import band_mask, global_mask
+from repro.patterns.window import SlidingWindowPattern
+
+
+class TestConstruction:
+    def test_requires_some_structure(self):
+        with pytest.raises(PatternError):
+            HybridSparsePattern(8)
+
+    def test_rejects_bad_global(self):
+        with pytest.raises(PatternError):
+            HybridSparsePattern(8, [Band(-1, 1)], [8])
+
+    def test_window_size_sums_bands(self):
+        p = HybridSparsePattern(32, [Band(-2, 2), Band(10, 12)])
+        assert p.window_size() == 5 + 3
+
+
+class TestMaskComposition:
+    def test_mask_is_union_of_parts(self):
+        n = 16
+        bands = [Band(-1, 1), Band(4, 5)]
+        toks = (0, 7)
+        p = HybridSparsePattern(n, bands, toks)
+        expected = np.zeros((n, n), dtype=bool)
+        for b in bands:
+            expected |= band_mask(n, b)
+        expected |= global_mask(n, toks)
+        assert np.array_equal(p.mask(), expected)
+
+    def test_matches_window_plus_global(self):
+        n = 12
+        p = HybridSparsePattern(n, [Band(-2, 2)], (0,))
+        w = SlidingWindowPattern(n, -2, 2)
+        g = GlobalAttentionPattern(n, [0])
+        assert np.array_equal(p.mask(), w.mask() | g.mask())
+
+
+class TestRowKeys:
+    def test_global_query_full_row(self):
+        p = HybridSparsePattern(10, [Band(-1, 1)], (3,))
+        assert p.row_keys(3).tolist() == list(range(10))
+
+    def test_normal_query_band_plus_globals(self):
+        p = HybridSparsePattern(10, [Band(-1, 1)], (7,))
+        assert p.row_keys(2).tolist() == [1, 2, 3, 7]
+
+    def test_banded_row_keys_excludes_globals(self):
+        p = HybridSparsePattern(10, [Band(-1, 1)], (7,))
+        assert p.banded_row_keys(2).tolist() == [1, 2, 3]
+
+    def test_duplicate_band_global_overlap_counts_once(self):
+        # token 3 is both within query 2's band and a global token
+        p = HybridSparsePattern(10, [Band(-1, 1)], (3,))
+        keys = p.row_keys(2)
+        assert keys.tolist() == sorted(set(keys.tolist()))
+
+
+class TestResize:
+    def test_with_sequence_length(self):
+        p = HybridSparsePattern(10, [Band(-1, 1)], (0, 8))
+        q = p.with_sequence_length(6)
+        assert q.n == 6
+        assert q.global_tokens() == (0,)  # token 8 dropped
+
+    def test_structure_preserved(self):
+        p = HybridSparsePattern(10, [Band(-2, 2, 2)], (0,))
+        q = p.with_sequence_length(20)
+        assert q.bands() == p.bands()

@@ -1,0 +1,99 @@
+"""Tests for the published-pattern library (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import PatternError
+from repro.patterns.library import (
+    dilated_longformer_pattern,
+    longformer_pattern,
+    sparse_transformer_pattern,
+    star_transformer_pattern,
+    vil_pattern,
+)
+
+
+class TestLongformer:
+    def test_table2_sparsity(self):
+        p = longformer_pattern(4096, 512, (0,))
+        assert p.window_size() == 512
+        assert p.window_size() / p.n == pytest.approx(0.125)
+
+    def test_global_row(self):
+        p = longformer_pattern(64, 8, (0,))
+        assert p.row_keys(0).tolist() == list(range(64))
+
+    def test_window_is_symmetric(self):
+        p = longformer_pattern(64, 8)
+        (band,) = p.bands()
+        assert (band.lo, band.hi) == (-4, 3)
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(PatternError):
+            longformer_pattern(16, 17)
+
+
+class TestDilatedLongformer:
+    def test_band_dilation(self):
+        p = dilated_longformer_pattern(128, 8, 4)
+        (band,) = p.bands()
+        assert band.dilation == 4
+        assert band.width == 8
+
+    def test_receptive_field_scales_with_dilation(self):
+        p1 = dilated_longformer_pattern(256, 8, 1, ())
+        p4 = dilated_longformer_pattern(256, 8, 4, ())
+        span1 = p1.bands()[0].hi - p1.bands()[0].lo
+        span4 = p4.bands()[0].hi - p4.bands()[0].lo
+        assert span4 == 4 * span1
+
+
+class TestViL:
+    def test_stage1_shape(self):
+        p = vil_pattern(56, 56)
+        assert p.n == 3136
+        assert len(p.bands()) == 15
+        assert p.window_size() == 225
+
+    def test_nominal_sparsities(self):
+        s1 = vil_pattern(56, 56)
+        s2 = vil_pattern(28, 28)
+        assert s1.window_size() / s1.n == pytest.approx(0.0718, abs=0.001)
+        assert s2.window_size() / s2.n == pytest.approx(0.287, abs=0.001)
+
+
+class TestStarTransformer:
+    def test_has_relay_token(self):
+        p = star_transformer_pattern(32)
+        assert p.global_tokens() == (0,)
+
+    def test_ring_width(self):
+        p = star_transformer_pattern(32, ring_window=3)
+        assert p.row_keys(10).tolist() == [0, 9, 10, 11]
+
+    def test_figure2b_example(self):
+        """Figure 2b: q6 attends k5, k6, k7 (plus the relay)."""
+        p = star_transformer_pattern(16, ring_window=3)
+        assert set(p.row_keys(6).tolist()) == {0, 5, 6, 7}
+
+
+class TestSparseTransformer:
+    def test_causal_attends_self(self):
+        p = sparse_transformer_pattern(64, block=8, causal=True)
+        for i in (0, 13, 63):
+            assert i in p.row_keys(i).tolist()
+
+    def test_has_local_and_strided_bands(self):
+        p = sparse_transformer_pattern(64, block=8)
+        dilations = sorted(set(b.dilation for b in p.bands()))
+        assert dilations == [1, 8]
+
+    def test_bands_do_not_overlap(self):
+        from repro.scheduler.scheduler import check_band_overlap
+
+        for causal in (False, True):
+            check_band_overlap(sparse_transformer_pattern(64, 8, causal).bands())
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(PatternError):
+            sparse_transformer_pattern(8, block=0)

@@ -1,0 +1,66 @@
+"""Tests for component-coloured pattern rendering."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.base import Band, PatternError
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.library import longformer_pattern, star_transformer_pattern
+from repro.patterns.mask_ops import ExplicitMaskPattern
+from repro.patterns.visualize import (
+    DILATED,
+    EMPTY,
+    GLOBAL,
+    WINDOW,
+    component_legend,
+    component_map,
+    render_components,
+)
+
+
+class TestComponentMap:
+    def test_matches_mask(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        grid = component_map(pattern)
+        assert np.array_equal(grid != EMPTY, pattern.mask())
+
+    def test_window_cells_coded(self):
+        pattern = longformer_pattern(16, 4, ())
+        grid = component_map(pattern)
+        assert grid[8, 8] == WINDOW
+
+    def test_dilated_cells_coded(self):
+        pattern = HybridSparsePattern(16, [Band(-4, 4, 2)])
+        grid = component_map(pattern)
+        assert grid[8, 6] == DILATED
+
+    def test_global_precedence(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        grid = component_map(pattern)
+        assert (grid[0, :] == GLOBAL).all()
+        assert (grid[:, 0] == GLOBAL).all()
+
+    def test_unstructured_rejected(self):
+        with pytest.raises(PatternError):
+            component_map(ExplicitMaskPattern(np.eye(4, dtype=bool)))
+
+    def test_size_limit(self):
+        with pytest.raises(PatternError):
+            component_map(longformer_pattern(200, 8, ()), max_n=96)
+
+
+class TestRender:
+    def test_star_has_ring_and_relay(self):
+        art = render_components(star_transformer_pattern(10))
+        lines = art.splitlines()
+        assert lines[0] == "G" * 10
+        assert "w" in lines[5]
+
+    def test_legend_mentions_glyphs(self):
+        legend = component_legend()
+        for glyph in ("w", "d", "G"):
+            assert glyph in legend
+
+    def test_render_shape(self):
+        art = render_components(longformer_pattern(12, 4, (0,)))
+        assert len(art.splitlines()) == 12

@@ -1,0 +1,97 @@
+"""Tests for sliding window attention patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.base import PatternError
+from repro.patterns.window import SlidingWindowPattern
+
+
+class TestConstruction:
+    def test_symmetric_even_window(self):
+        p = SlidingWindowPattern.symmetric(16, 4)
+        assert (p.a, p.b) == (-2, 1)
+        assert p.window_size == 4
+
+    def test_symmetric_odd_window(self):
+        p = SlidingWindowPattern.symmetric(16, 5)
+        assert (p.a, p.b) == (-2, 2)
+
+    def test_causal(self):
+        p = SlidingWindowPattern.causal(16, 4)
+        assert (p.a, p.b) == (-3, 0)
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(PatternError):
+            SlidingWindowPattern(8, 2, 1)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(PatternError):
+            SlidingWindowPattern.symmetric(8, 0)
+
+
+class TestRowKeys:
+    def test_interior_row(self):
+        p = SlidingWindowPattern(10, -1, 1)
+        assert p.row_keys(5).tolist() == [4, 5, 6]
+
+    def test_clipped_left(self):
+        p = SlidingWindowPattern(10, -2, 2)
+        assert p.row_keys(0).tolist() == [0, 1, 2]
+
+    def test_clipped_right(self):
+        p = SlidingWindowPattern(10, -2, 2)
+        assert p.row_keys(9).tolist() == [7, 8, 9]
+
+    def test_asymmetric_window(self):
+        p = SlidingWindowPattern(10, 1, 3)
+        assert p.row_keys(2).tolist() == [3, 4, 5]
+
+    def test_row_count_matches_row_keys(self):
+        p = SlidingWindowPattern(12, -3, 2)
+        for i in range(12):
+            assert p.row_count(i) == len(p.row_keys(i))
+
+
+class TestDataReuseProperty:
+    """Section 2.3: adjacent queries share w-1 keys."""
+
+    def test_adjacent_overlap(self):
+        p = SlidingWindowPattern(64, -4, 3)
+        for i in range(10, 50):
+            shared = np.intersect1d(p.row_keys(i), p.row_keys(i + 1))
+            assert len(shared) == p.window_size - 1
+
+
+class TestNnz:
+    def test_nnz_closed_form_matches_mask(self):
+        p = SlidingWindowPattern(20, -3, 3)
+        assert p.nnz() == int(p.mask().sum())
+
+    @given(
+        n=st.integers(1, 48),
+        a=st.integers(-10, 5),
+        span=st.integers(0, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nnz_property(self, n, a, span):
+        p = SlidingWindowPattern(n, a, a + span)
+        assert p.nnz() == int(p.mask().sum())
+
+    def test_full_window_is_dense(self):
+        n = 8
+        p = SlidingWindowPattern(n, -(n - 1), n - 1)
+        assert p.sparsity() == 1.0
+
+
+class TestBands:
+    def test_single_band(self):
+        p = SlidingWindowPattern(16, -2, 2)
+        bands = p.bands()
+        assert len(bands) == 1
+        assert (bands[0].lo, bands[0].hi, bands[0].dilation) == (-2, 2, 1)
+
+    def test_no_global_tokens(self):
+        assert SlidingWindowPattern(16, -2, 2).global_tokens() == ()

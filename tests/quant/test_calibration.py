@@ -1,0 +1,71 @@
+"""Tests for exp-clamp range calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NumericsConfig
+from repro.patterns.library import longformer_pattern
+from repro.quant.calibration import calibrate_numerics, measure_score_range
+from repro.workloads.synthetic import random_qkv
+
+
+def _setup(n=64, hidden=32, seed=0, std=1.0):
+    pattern = longformer_pattern(n, 16, (0,))
+    q, k, _ = random_qkv(n, hidden, seed=seed, std=std)
+    return pattern, q, k
+
+
+class TestMeasure:
+    def test_range_covers_bulk(self):
+        pattern, q, k = _setup()
+        report = measure_score_range(pattern, q, k, heads=2)
+        assert report.lo < 0 < report.hi
+        assert report.clip_fraction < 0.001
+
+    def test_clip_fraction_zero_with_max_percentile(self):
+        pattern, q, k = _setup()
+        report = measure_score_range(pattern, q, k, hi_percentile=100, lo_percentile=0)
+        assert report.clip_fraction == 0.0
+        assert report.hi >= report.score_max
+
+    def test_larger_activations_widen_range(self):
+        pattern, q, k = _setup(std=1.0)
+        pattern2, q2, k2 = _setup(std=3.0, seed=1)
+        r1 = measure_score_range(pattern, q, k)
+        r2 = measure_score_range(pattern2, q2, k2)
+        assert r2.hi > r1.hi
+
+    def test_subsampling_bounded(self):
+        pattern, q, k = _setup(n=64)
+        report = measure_score_range(pattern, q, k, max_rows=8)
+        assert report.num_scores < 64 * 17 + 64
+
+
+class TestCalibrateNumerics:
+    def test_headroom_traded_for_fraction(self):
+        """Wider score ranges need more integer bits in the exp output."""
+        pattern, q, k = _setup(std=3.0)
+        numerics, _ = calibrate_numerics(pattern, q, k)
+        base = NumericsConfig()
+        assert numerics.exp_input_hi > base.exp_input_hi
+        assert numerics.exp_frac_bits <= base.exp_frac_bits
+
+    def test_exp_hi_representable(self):
+        pattern, q, k = _setup(std=2.0)
+        numerics, _ = calibrate_numerics(pattern, q, k)
+        max_out = (2 ** numerics.output_bits - 1) / 2**numerics.exp_frac_bits
+        assert np.exp(numerics.exp_input_hi) <= max_out
+
+    def test_end_to_end_error_bounded(self):
+        from repro.core.config import HardwareConfig
+        from repro.core.salo import SALO
+        from repro.baselines.sparse_reference import masked_attention
+
+        pattern, q, k = _setup(n=48, hidden=16)
+        _, _, v = random_qkv(48, 16, seed=9)
+        numerics, report = calibrate_numerics(pattern, q, k, hi_percentile=100)
+        config = HardwareConfig(pe_rows=8, pe_cols=8).with_numerics(numerics)
+        res = SALO(config).attend(pattern, q, k, v, heads=1)
+        ref = masked_attention(q, k, v, pattern)
+        assert report.clip_fraction == 0.0
+        assert np.max(np.abs(res.output - ref)) < 0.2

@@ -1,0 +1,51 @@
+"""Tests for quantisation error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NumericsConfig
+from repro.patterns.library import longformer_pattern
+from repro.quant.error import attention_quant_error, sqnr_db
+from repro.workloads.synthetic import random_qkv
+
+
+class TestSqnr:
+    def test_identical_is_infinite(self):
+        x = np.ones(10)
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_known_ratio(self):
+        ref = np.ones(1000)
+        noisy = ref + 0.1
+        assert sqnr_db(ref, noisy) == pytest.approx(20.0, abs=0.1)
+
+    def test_worse_noise_lower_sqnr(self):
+        rng = np.random.default_rng(0)
+        ref = rng.standard_normal(1000)
+        assert sqnr_db(ref, ref + 0.01) > sqnr_db(ref, ref + 0.1)
+
+
+class TestAttentionQuantError:
+    def _report(self, numerics=None):
+        pattern = longformer_pattern(32, 8, (0,))
+        q, k, v = random_qkv(32, 16, seed=5)
+        return attention_quant_error(pattern, q, k, v, heads=2, numerics=numerics)
+
+    def test_default_precision_acceptable(self):
+        report = self._report()
+        assert report.acceptable(min_sqnr_db=20.0)
+        assert report.max_abs_error < 0.25
+
+    def test_exact_numerics_is_perfect(self):
+        report = self._report(NumericsConfig.exact())
+        assert report.sqnr_db > 200.0
+
+    def test_coarser_inputs_hurt(self):
+        fine = self._report()
+        coarse = self._report(NumericsConfig(input_frac_bits=1))
+        assert coarse.sqnr_db < fine.sqnr_db
+
+    def test_report_fields(self):
+        report = self._report()
+        assert report.output_rms > 0
+        assert report.mean_abs_error <= report.max_abs_error

@@ -1,0 +1,52 @@
+"""Tests for the Table 3 quantisation-study harness."""
+
+import pytest
+
+from repro.nn.data import SentimentTask
+from repro.patterns.library import longformer_pattern
+from repro.quant.qat import QuantStudyResult, run_quantization_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    task = SentimentTask(n=48, seed=2, max_polar_tokens=16, margin=6)
+    return run_quantization_study(
+        "sentiment-mini",
+        longformer_pattern(48, 12, (0,)),
+        task.sample,
+        vocab=task.vocab,
+        num_classes=2,
+        dim=24,
+        heads=2,
+        layers=1,
+        train_steps=60,
+        qat_steps=10,
+        test_size=128,
+        seed=0,
+    )
+
+
+class TestStudy:
+    def test_original_learns(self, study):
+        assert study.original_accuracy > 0.8
+
+    def test_quantized_close_to_original(self, study):
+        """The paper's Table 3 claim: quantisation costs < ~2 points
+        (we allow a little more at this tiny scale)."""
+        assert abs(study.degradation_points) < 6.0
+
+    def test_ptq_already_reasonable(self, study):
+        assert study.ptq_accuracy > study.original_accuracy - 0.15
+
+    def test_row_format(self, study):
+        row = study.row()
+        assert set(row) == {
+            "task",
+            "original_%",
+            "ptq_%",
+            "quantized_%",
+            "degradation_pts",
+        }
+
+    def test_result_type(self, study):
+        assert isinstance(study, QuantStudyResult)

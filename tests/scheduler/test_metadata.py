@@ -1,0 +1,46 @@
+"""Tests for the scheduler metadata records (Figure 3 interface)."""
+
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.patterns.mask_ops import ExplicitMaskPattern
+from repro.scheduler.metadata import HardwareMetadata, PatternMetadata
+
+import numpy as np
+
+
+class TestPatternMetadata:
+    def test_longformer(self):
+        meta = PatternMetadata.from_pattern(longformer_pattern(4096, 512, (0,)))
+        assert meta.sequence_length == 4096
+        assert meta.num_bands == 1
+        assert meta.window_size == 512
+        assert meta.max_dilation == 1
+        assert meta.num_global_tokens == 1
+
+    def test_vil_band_count(self):
+        meta = PatternMetadata.from_pattern(vil_pattern(8, 8, 3, (0,)))
+        assert meta.num_bands == 3
+        assert meta.window_size == 9
+
+    def test_unstructured_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMetadata.from_pattern(ExplicitMaskPattern(np.eye(4, dtype=bool)))
+
+    def test_as_dict(self):
+        meta = PatternMetadata.from_pattern(longformer_pattern(64, 8, ()))
+        d = meta.as_dict()
+        assert d["sequence_length"] == 64
+        assert "sparsity" in d
+
+
+class TestHardwareMetadata:
+    def test_from_config(self):
+        meta = HardwareMetadata.from_config(HardwareConfig())
+        assert (meta.pe_rows, meta.pe_cols) == (32, 32)
+        assert (meta.global_rows, meta.global_cols) == (1, 1)
+
+    def test_as_dict(self):
+        d = HardwareMetadata.from_config(HardwareConfig(pe_rows=8)).as_dict()
+        assert d["pe_rows"] == 8

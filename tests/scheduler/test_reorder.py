@@ -1,0 +1,97 @@
+"""Tests for data reordering (dilated → sliding decomposition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.base import Band
+from repro.scheduler.reorder import (
+    decompose_band,
+    group_positions,
+    group_size_for,
+    reorder_permutation,
+)
+
+
+class TestGroups:
+    def test_group_positions(self):
+        assert group_positions(10, 1, 3).tolist() == [1, 4, 7]
+
+    def test_group_size(self):
+        assert group_size_for(10, 1, 3) == 3
+        assert group_size_for(10, 0, 3) == 4
+
+    def test_group_size_empty(self):
+        assert group_size_for(2, 5, 7) == 0
+
+    def test_groups_partition_sequence(self):
+        n, d = 23, 5
+        all_ids = np.concatenate([group_positions(n, r, d) for r in range(d)])
+        assert sorted(all_ids.tolist()) == list(range(n))
+
+
+class TestPermutation:
+    def test_identity_for_dilation_one(self):
+        assert reorder_permutation(10, 1).tolist() == list(range(10))
+
+    def test_figure4_grouping(self):
+        # n=8, d=2: evens first, then odds
+        assert reorder_permutation(8, 2).tolist() == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_permutation_is_bijection(self):
+        perm = reorder_permutation(17, 4)
+        assert sorted(perm.tolist()) == list(range(17))
+
+    def test_rejects_bad_dilation(self):
+        with pytest.raises(ValueError):
+            reorder_permutation(8, 0)
+
+
+class TestDecomposeBand:
+    def test_dilation_one_single_job(self):
+        jobs = decompose_band(0, Band(-2, 2), 16)
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert (job.query_residue, job.dilation, job.group_size) == (0, 1, 16)
+        assert (job.rel_lo, job.width) == (-2, 5)
+
+    def test_job_count_equals_dilation(self):
+        jobs = decompose_band(0, Band(-4, 4, 2), 16)
+        assert len(jobs) == 2
+
+    def test_aligned_offsets(self):
+        """lo multiple of d: keys stay in the query's own residue class."""
+        jobs = decompose_band(0, Band(-4, 4, 4), 32)
+        for job in jobs:
+            assert job.key_residue == job.query_residue
+            assert job.rel_lo == -1
+
+    def test_unaligned_offsets(self):
+        """lo=1, d=2: keys live in the opposite residue class."""
+        jobs = decompose_band(0, Band(1, 5, 2), 16)
+        by_residue = {j.query_residue: j for j in jobs}
+        assert by_residue[0].key_residue == 1
+        assert by_residue[1].key_residue == 0
+
+    @given(
+        n=st.integers(4, 64),
+        lo=st.integers(-12, 12),
+        width=st.integers(1, 6),
+        dilation=st.integers(1, 5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_jobs_reproduce_band_keys(self, n, lo, width, dilation):
+        """The union of job-generated keys equals the band's key sets."""
+        band = Band(lo, lo + (width - 1) * dilation, dilation)
+        jobs = decompose_band(0, band, n)
+        seen = {i: [] for i in range(n)}
+        for job in jobs:
+            for p in range(job.group_size):
+                qi = job.query_residue + p * job.dilation
+                for t in range(job.width):
+                    ki = job.key_residue + (p + job.rel_lo + t) * job.dilation
+                    if 0 <= ki < n:
+                        seen[qi].append(ki)
+        for i in range(n):
+            assert sorted(seen[i]) == band.keys_for(i, n).tolist()

@@ -1,0 +1,173 @@
+"""Tests for the data scheduler: constraint checks and plan correctness.
+
+The central correctness property: the plan's covered (query, key) pairs —
+window passes + global PE row + global PE column — equal the pattern's
+mask *exactly*, each pair computed exactly once (no double softmax
+counting).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HardwareConfig
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.library import (
+    longformer_pattern,
+    sparse_transformer_pattern,
+    star_transformer_pattern,
+    vil_pattern,
+)
+from repro.patterns.mask_ops import ExplicitMaskPattern
+from repro.patterns.global_attn import GlobalAttentionPattern
+from repro.scheduler.scheduler import DataScheduler, SchedulerError, check_band_overlap
+
+
+def _coverage_ok(plan, pattern):
+    cov = plan.covered_pairs()
+    mask = pattern.mask()
+    assert np.array_equal(cov > 0, mask), "covered pairs != pattern mask"
+    assert cov.max() <= 1, "some pair computed more than once"
+
+
+class TestBandOverlap:
+    def test_disjoint_ok(self):
+        check_band_overlap([Band(-2, 0), Band(1, 3)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SchedulerError):
+            check_band_overlap([Band(-2, 2), Band(2, 4)])
+
+    def test_dilated_interleave_ok(self):
+        # {0,2,4} and {1,3,5} don't intersect
+        check_band_overlap([Band(0, 4, 2), Band(1, 5, 2)])
+
+    def test_dilated_collision_rejected(self):
+        with pytest.raises(SchedulerError):
+            check_band_overlap([Band(0, 4, 2), Band(0, 6, 3)])
+
+
+class TestSchedulerValidation:
+    def test_rejects_unstructured_pattern(self):
+        scheduler = DataScheduler(HardwareConfig(pe_rows=4, pe_cols=4))
+        pattern = ExplicitMaskPattern(np.eye(8, dtype=bool))
+        with pytest.raises(SchedulerError):
+            scheduler.schedule(pattern)
+
+    def test_rejects_too_many_globals(self):
+        config = HardwareConfig(pe_rows=4, pe_cols=4)
+        scheduler = DataScheduler(config)
+        n, window = 16, 4
+        bound = config.max_global_tokens(n, window)
+        pattern = longformer_pattern(n, window, tuple(range(bound + 1)))
+        with pytest.raises(SchedulerError):
+            scheduler.schedule(pattern)
+
+    def test_lenient_mode_allows_extra_globals(self):
+        config = HardwareConfig(pe_rows=4, pe_cols=4)
+        scheduler = DataScheduler(config, strict_global_bound=False)
+        pattern = longformer_pattern(16, 4, tuple(range(5)))
+        plan = scheduler.schedule(pattern)
+        assert plan.global_tokens == tuple(range(5))
+
+    def test_rejects_globals_without_global_pes(self):
+        config = HardwareConfig(pe_rows=4, pe_cols=4, global_rows=0, global_cols=0)
+        with pytest.raises(SchedulerError):
+            DataScheduler(config).schedule(longformer_pattern(16, 4, (0,)))
+
+
+class TestCoverage:
+    def _schedule(self, pattern, rows=4, cols=4, **kw):
+        config = HardwareConfig(pe_rows=rows, pe_cols=cols, **kw)
+        return DataScheduler(config).schedule(pattern)
+
+    def test_longformer_cover(self):
+        pattern = longformer_pattern(24, 8, (0,))
+        _coverage_ok(self._schedule(pattern), pattern)
+
+    def test_longformer_multiple_globals(self):
+        pattern = longformer_pattern(32, 8, (0, 17))
+        _coverage_ok(self._schedule(pattern), pattern)
+
+    def test_vil_cover(self):
+        pattern = vil_pattern(6, 6, 3, (0,))
+        _coverage_ok(self._schedule(pattern), pattern)
+
+    def test_star_cover(self):
+        pattern = star_transformer_pattern(20)
+        _coverage_ok(self._schedule(pattern), pattern)
+
+    def test_sparse_transformer_cover(self):
+        pattern = sparse_transformer_pattern(24, block=4)
+        _coverage_ok(self._schedule(pattern), pattern)
+
+    def test_pure_global_cover(self):
+        pattern = GlobalAttentionPattern(12, [0, 5])
+        plan = self._schedule(pattern)
+        assert plan.global_only_passes > 0
+        _coverage_ok(plan, pattern)
+
+    def test_no_packing_cover(self):
+        pattern = vil_pattern(6, 6, 3, (0,))
+        plan = self._schedule(pattern, pack_bands=False)
+        _coverage_ok(plan, pattern)
+
+    def test_dilated_cover(self):
+        pattern = HybridSparsePattern(30, [Band(-6, 6, 3)], (0,))
+        plan = self._schedule(pattern)
+        assert plan.reorder_applied
+        _coverage_ok(plan, pattern)
+
+    @given(
+        n=st.integers(6, 40),
+        window=st.integers(1, 10),
+        dilation=st.integers(1, 4),
+        use_global=st.booleans(),
+        rows=st.sampled_from([2, 4, 8]),
+        cols=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_property(self, n, window, dilation, use_global, rows, cols):
+        """Any banded hybrid pattern is scheduled exactly."""
+        half = window // 2
+        band = Band(-half * dilation, (window - 1 - half) * dilation, dilation)
+        tokens = (0,) if use_global else ()
+        pattern = HybridSparsePattern(n, [band], tokens)
+        config = HardwareConfig(pe_rows=rows, pe_cols=cols)
+        scheduler = DataScheduler(config, strict_global_bound=False)
+        plan = scheduler.schedule(pattern)
+        _coverage_ok(plan, pattern)
+
+    def test_passes_fit_array(self):
+        pattern = longformer_pattern(64, 16, (0,))
+        plan = self._schedule(pattern, rows=8, cols=8)
+        for tp in plan.passes:
+            assert tp.rows_used <= 8
+            assert tp.cols_used <= 8
+
+
+class TestPlanShape:
+    def test_longformer_pass_count(self):
+        """n=4096, w=512 on 32x32: 128 blocks x 16 chunks, minus none."""
+        pattern = longformer_pattern(4096, 512, (0,))
+        plan = DataScheduler(HardwareConfig()).schedule(pattern, heads=12, head_dim=64)
+        # Edge blocks lose fully-clipped chunks; the bulk remains.
+        assert 1900 <= len(plan.passes) <= 2048
+
+    def test_vil_packing_pass_count(self):
+        """ViL: 15 bands of 15 pack into 8 column groups per block."""
+        pattern = vil_pattern(56, 56, 15, (0,))
+        plan = DataScheduler(HardwareConfig()).schedule(pattern, heads=3, head_dim=64)
+        blocks = -(-3136 // 32)
+        assert len(plan.passes) <= blocks * 8
+        assert len(plan.passes) >= blocks * 6  # some edge passes drop out
+
+    def test_metadata_flags(self):
+        pattern = HybridSparsePattern(32, [Band(-4, 4, 2)])
+        plan = DataScheduler(HardwareConfig(pe_rows=4, pe_cols=4)).schedule(pattern)
+        assert plan.reorder_applied
+        pattern2 = longformer_pattern(32, 4, ())
+        plan2 = DataScheduler(HardwareConfig(pe_rows=4, pe_cols=4)).schedule(pattern2)
+        assert not plan2.reorder_applied

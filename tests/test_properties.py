@@ -1,0 +1,112 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+These complement the per-module property tests with invariants that span
+subsystems: scheduling conservation laws, monotonicity of the cost models,
+and consistency between pattern statistics and plan accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.buffers import plan_traffic
+from repro.accelerator.energy import plan_energy
+from repro.accelerator.timing import plan_timing
+from repro.core.config import HardwareConfig
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.scheduler.scheduler import DataScheduler
+
+
+def _pattern(n, window, dilation, use_global):
+    half = window // 2
+    band = Band(-half * dilation, (window - 1 - half) * dilation, dilation)
+    return HybridSparsePattern(n, [band], (0,) if use_global else ())
+
+
+@st.composite
+def pattern_and_config(draw):
+    n = draw(st.integers(8, 48))
+    window = draw(st.integers(1, 10))
+    dilation = draw(st.integers(1, 3))
+    use_global = draw(st.booleans())
+    rows = draw(st.sampled_from([2, 4, 8]))
+    cols = draw(st.sampled_from([2, 4, 8]))
+    pattern = _pattern(n, window, dilation, use_global)
+    config = HardwareConfig(pe_rows=rows, pe_cols=cols)
+    return pattern, config
+
+
+class TestSchedulingConservation:
+    @given(pattern_and_config())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_cells_equal_pattern_nnz(self, pc):
+        """Window cells + global row/column cells == pattern nnz."""
+        pattern, config = pc
+        plan = DataScheduler(config, strict_global_bound=False).schedule(pattern)
+        g = plan.global_set
+        window_cells = sum(tp.valid_cell_count(plan.n, exclude=g) for tp in plan.passes)
+        # Subtract window cells owned by global query rows (the global PE
+        # row recomputes those queries in full).
+        dup = 0
+        for tp in plan.passes:
+            ids = tp.key_ids(plan.n, exclude=g)
+            q = tp.query_ids()
+            for r, qi in enumerate(q):
+                if qi in g:
+                    dup += int((ids[r] >= 0).sum())
+        ng = len(g)
+        global_cells = ng * plan.n + ng * max(0, plan.n - ng)
+        assert window_cells - dup + global_cells == pattern.nnz()
+
+    @given(pattern_and_config())
+    @settings(max_examples=30, deadline=None)
+    def test_rows_and_cols_within_array(self, pc):
+        pattern, config = pc
+        plan = DataScheduler(config, strict_global_bound=False).schedule(pattern)
+        for tp in plan.passes:
+            assert 1 <= tp.rows_used <= config.pe_rows
+            assert 1 <= tp.cols_used <= config.pe_cols
+
+
+class TestCostModelMonotonicity:
+    @given(st.integers(2, 6), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_wider_window_never_faster(self, log_rows, window):
+        """More attended keys can never reduce cycles."""
+        config = HardwareConfig(pe_rows=2**log_rows, pe_cols=2**log_rows)
+        sched = DataScheduler(config)
+        narrow = sched.schedule(_pattern(64, window, 1, False))
+        wide = sched.schedule(_pattern(64, window + 4, 1, False))
+        assert plan_timing(wide).cycles >= plan_timing(narrow).cycles
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_increases_with_window(self, window):
+        config = HardwareConfig(pe_rows=8, pe_cols=8)
+        sched = DataScheduler(config)
+        narrow = sched.schedule(_pattern(64, window, 1, False))
+        wide = sched.schedule(_pattern(64, window + 8, 1, False))
+        area = 1.0
+        assert (
+            plan_energy(wide, area_mm2=area).total_j
+            > plan_energy(narrow, area_mm2=area).total_j
+        )
+
+    @given(pattern_and_config())
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_bounded_by_naive(self, pc):
+        """Diagonal reuse can only reduce K/V traffic."""
+        pattern, config = pc
+        plan = DataScheduler(config, strict_global_bound=False).schedule(pattern)
+        traffic = plan_traffic(plan)
+        kv = traffic.dram_bytes["k"] + traffic.dram_bytes["v"]
+        assert kv <= traffic.naive_kv_dram_bytes or traffic.naive_kv_dram_bytes == 0
+
+    @given(pattern_and_config())
+    @settings(max_examples=25, deadline=None)
+    def test_pipelined_never_slower(self, pc):
+        pattern, config = pc
+        plan = DataScheduler(config, strict_global_bound=False).schedule(pattern)
+        assert plan_timing(plan, pipelined=True).cycles <= plan_timing(plan).cycles
