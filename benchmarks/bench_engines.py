@@ -1,7 +1,12 @@
 """Library-level performance benchmarks: scheduler, engines, micro-sim.
 
 Not a paper artefact — these track the simulator's own throughput so
-regressions in the reproduction infrastructure are visible.
+regressions in the reproduction infrastructure are visible.  The
+compiled/legacy pairs measure the batched execution path introduced with
+``CompiledPlan`` against the per-pass reference it must stay bit
+identical to; ``run_benchmarks.py`` snapshots this module's timings into
+``BENCH_engines.json`` so subsequent changes have a trajectory to
+regress against.
 """
 
 import numpy as np
@@ -12,6 +17,8 @@ from repro.accelerator.systolic import SystolicSimulator
 from repro.accelerator.timing import plan_timing
 from repro.core.config import HardwareConfig
 from repro.core.salo import SALO
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
 from repro.patterns.library import longformer_pattern, vil_pattern
 from repro.scheduler.scheduler import DataScheduler
 
@@ -25,23 +32,77 @@ def test_scheduler_longformer_4096(benchmark):
     assert len(plan.passes) > 1000
 
 
+def test_plan_compile_longformer_4096(benchmark):
+    """One-off cost of compiling a large plan's index tensors."""
+    scheduler = DataScheduler(HardwareConfig())
+    plan = scheduler.schedule(longformer_pattern(4096, 512, (0,)), heads=12, head_dim=64)
+
+    def compile_fresh():
+        plan._compiled = None  # drop the memo so each round compiles
+        return plan.compiled()
+
+    compiled = benchmark.pedantic(compile_fresh, rounds=3, iterations=1)
+    assert compiled.num_passes == len(plan.passes)
+
+
 def test_timing_model_longformer(benchmark):
     plan = DataScheduler(HardwareConfig()).schedule(
         longformer_pattern(4096, 512, (0,)), heads=12, head_dim=64
     )
+    plan.compiled()  # steady-state: the serving cache holds compiled plans
     t = benchmark.pedantic(lambda: plan_timing(plan), rounds=3, iterations=1)
     assert t.cycles > 0
 
 
 def test_functional_engine_medium(benchmark):
-    """Functional simulation of a 512-token Longformer layer (1 head)."""
+    """Functional simulation of a 512-token Longformer layer (1 head).
+
+    Runs the default compiled/batched engine; the seed's per-pass engine
+    is tracked by ``test_functional_engine_legacy_medium`` below.
+    """
     config = HardwareConfig()
     plan = DataScheduler(config).schedule(longformer_pattern(512, 64, (0,)), heads=1, head_dim=64)
     rng = np.random.default_rng(0)
     q, k, v = (rng.standard_normal((512, 64)) for _ in range(3))
-    engine = FunctionalEngine(plan)
+    engine = FunctionalEngine(plan)  # compiles eagerly, outside the timer
+    res = benchmark.pedantic(lambda: engine.run(q, k, v), rounds=3, iterations=1)
+    assert res.output.shape == (512, 64)
+
+
+def test_functional_engine_legacy_medium(benchmark):
+    """Reference per-pass engine on the same workload (bit-identical)."""
+    config = HardwareConfig()
+    plan = DataScheduler(config).schedule(longformer_pattern(512, 64, (0,)), heads=1, head_dim=64)
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.standard_normal((512, 64)) for _ in range(3))
+    engine = FunctionalEngine(plan, use_compiled=False)
     res = benchmark.pedantic(lambda: engine.run(q, k, v), rounds=2, iterations=1)
     assert res.output.shape == (512, 64)
+
+
+def test_functional_engine_multihead(benchmark):
+    """Batched multi-head execution: 12 heads of a 1024-token layer."""
+    config = HardwareConfig()
+    plan = DataScheduler(config).schedule(
+        longformer_pattern(1024, 128, (0,)), heads=12, head_dim=64
+    )
+    rng = np.random.default_rng(3)
+    q, k, v = (rng.standard_normal((1024, 768)) for _ in range(3))
+    engine = FunctionalEngine(plan)
+    res = benchmark.pedantic(lambda: engine.run(q, k, v), rounds=2, iterations=1)
+    assert res.output.shape == (1024, 768)
+
+
+def test_attend_cache_hit(benchmark):
+    """Serving fast path: repeated attend() on a cached compiled plan."""
+    salo = SALO()
+    pattern = HybridSparsePattern(4096, [Band(-192, 192, 64)], ())
+    rng = np.random.default_rng(4)
+    q, k, v = (rng.standard_normal((4096, 8)) for _ in range(3))
+    salo.attend(pattern, q, k, v)  # populate the cache
+    res = benchmark.pedantic(lambda: salo.attend(pattern, q, k, v), rounds=5, iterations=1)
+    assert salo.plan_cache_hits >= 5
+    assert res.output.shape == (4096, 8)
 
 
 def test_micro_simulator_small(benchmark):

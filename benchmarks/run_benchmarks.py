@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Run the engine benchmark suite and emit a ``BENCH_engines.json`` summary.
+
+This is the perf-trajectory harness: each invocation runs the
+pytest-benchmark suite in ``benchmarks/bench_engines.py`` (the
+library-level scheduler/engine/micro-sim benchmarks — not the paper
+artefact benches) and writes a compact summary JSON that subsequent PRs
+can diff or regress against::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out BENCH_engines.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_engines.json
+
+``--compare`` loads a previous summary and reports per-benchmark speedup
+factors (new/old), exiting non-zero if any benchmark regressed by more
+than ``--tolerance`` (default 1.5x) — suitable as a CI gate.
+
+The summary schema is intentionally small and stable::
+
+    {
+      "suite": "bench_engines",
+      "benchmarks": {
+        "test_functional_engine_medium": {"min_s": ..., "mean_s": ..., "rounds": ...},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SUITE = "bench_engines"
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUT = BENCH_DIR.parent / "BENCH_engines.json"
+
+
+def run_suite() -> dict:
+    """Run pytest-benchmark on the engine suite; return its raw JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_DIR / f"{SUITE}.py"),
+            "--benchmark-only",
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        proc = subprocess.run(cmd, cwd=BENCH_DIR.parent)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark suite failed with exit code {proc.returncode}")
+        return json.loads(raw_path.read_text())
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce pytest-benchmark's verbose JSON to the stable summary schema."""
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "min_s": stats["min"],
+            "mean_s": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "suite": SUITE,
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "benchmarks": benchmarks,
+    }
+
+
+def compare(summary: dict, baseline: dict, tolerance: float) -> int:
+    """Print per-benchmark new/old ratios; return non-zero on regression."""
+    old = baseline.get("benchmarks", {})
+    failures = 0
+    for name, stats in sorted(summary["benchmarks"].items()):
+        if name not in old:
+            print(f"  {name:45s} NEW  {stats['min_s'] * 1e3:9.2f} ms")
+            continue
+        ratio = stats["min_s"] / old[name]["min_s"] if old[name]["min_s"] else float("inf")
+        flag = ""
+        if ratio > tolerance:
+            flag = f"  REGRESSION (> {tolerance:.2f}x)"
+            failures += 1
+        print(
+            f"  {name:45s} {old[name]['min_s'] * 1e3:9.2f} -> "
+            f"{stats['min_s'] * 1e3:9.2f} ms  ({ratio:5.2f}x){flag}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="summary output path")
+    parser.add_argument(
+        "--compare", type=Path, default=None, help="baseline summary to regress against"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="max allowed slowdown factor vs the baseline (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    # Snapshot the baseline before writing: --compare and --out may name
+    # the same file (the default CI invocation), and the comparison must
+    # run against the pre-existing summary, not the one just written.
+    baseline = None
+    if args.compare is not None and args.compare.exists():
+        baseline = json.loads(args.compare.read_text())
+
+    summary = summarize(run_suite())
+    args.out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({len(summary['benchmarks'])} benchmarks)")
+
+    if baseline is not None:
+        failures = compare(summary, baseline, args.tolerance)
+        if failures:
+            print(f"{failures} benchmark(s) regressed beyond {args.tolerance:.2f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

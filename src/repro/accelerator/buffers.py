@@ -25,8 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-import numpy as np
-
 from ..core.config import HardwareConfig
 from ..scheduler.plan import ExecutionPlan
 
@@ -68,26 +66,11 @@ class BufferFit:
 def _pass_key_stats(plan: ExecutionPlan) -> Tuple[int, int, int, int]:
     """(distinct kv vectors, naive kv cells, q vector loads, out vectors).
 
-    Counted over all structural passes for a single head.
+    Counted over all structural passes for a single head; read from the
+    compiled plan's precomputed aggregates.
     """
-    n = plan.n
-    g = plan.global_set
-    distinct = 0
-    naive = 0
-    q_loads = 0
-    out_vectors = 0
-    last_block: Tuple[int, int, Tuple[int, ...]] = (-1, -1, ())
-    for tp in plan.passes:
-        ids = tp.key_ids(n, exclude=g)
-        valid = ids >= 0
-        distinct += len(np.unique(ids[valid]))
-        naive += int(valid.sum())
-        block_key = (tp.query_residue, tp.dilation, tp.q_positions)
-        if block_key != last_block:
-            q_loads += tp.rows_used  # new query block enters the query buffer
-            last_block = block_key
-        out_vectors += int(valid.any(axis=1).sum())
-    return distinct, naive, q_loads, out_vectors
+    cp = plan.compiled()
+    return cp.distinct_kv_vectors, cp.total_valid_cells, cp.q_loads, cp.out_vectors
 
 
 def plan_traffic(plan: ExecutionPlan) -> TrafficResult:
@@ -130,11 +113,13 @@ def check_buffer_fit(plan: ExecutionPlan, double_buffered: bool = True) -> Buffe
     d = plan.head_dim
     factor = 2 if double_buffered else 1
 
-    rows = max((tp.rows_used for tp in plan.passes), default=config.pe_rows)
-    kv_vectors = max(
-        (tp.rows_used + tp.cols_used - 1 for tp in plan.passes),
-        default=config.pe_rows + config.pe_cols - 1,
-    )
+    cp = plan.compiled()
+    if cp.num_passes:
+        rows = int(cp.rows_used.max())
+        kv_vectors = int((cp.rows_used + cp.cols_used - 1).max())
+    else:
+        rows = config.pe_rows
+        kv_vectors = config.pe_rows + config.pe_cols - 1
     q_need = rows * d * in_bytes * factor
     kv_need = kv_vectors * d * in_bytes * factor
     out_need = rows * d * out_bytes * factor

@@ -84,9 +84,9 @@ def plan_energy(
 
     d = plan.head_dim
     h = plan.heads
-    g = plan.global_set
-    cells = sum(tp.valid_cell_count(plan.n, exclude=g) for tp in plan.passes) * h
-    rows_outputs = sum(tp.rows_used for tp in plan.passes) * h
+    cp = plan.compiled()
+    cells = cp.total_valid_cells * h
+    rows_outputs = int(cp.rows_used.sum()) * h
     ng = len(plan.global_tokens)
     global_cells = (ng * plan.n + ng * max(0, plan.n - ng)) * h
 

@@ -129,7 +129,11 @@ class PWLExpUnit:
             f = t - i
             idx = np.clip((f * self.segments).astype(np.int64), 0, self.segments - 1)
             y = self.slopes[idx] * f + self.intercepts[idx]
-            y = y * np.power(2.0, i)
+            # ldexp is the Shift box of Figure 5: an exact scale by 2^i,
+            # bit-identical to multiplying by np.power(2.0, i) but without
+            # the transcendental pow call.  int32: ldexp has no int64
+            # loop on LLP64 platforms, and |i| is tiny (s is clamped).
+            y = np.ldexp(y, i.astype(np.int32))
         else:
             idx = self.segment_index(s)
             y = self.slopes[idx] * s + self.intercepts[idx]

@@ -6,7 +6,8 @@ reciprocal unit and weighted-sum merges — but evaluates each pass with
 vectorised numpy instead of per-cycle PE state, so it scales to full
 workloads.  The cycle-accurate micro-simulator
 (:mod:`repro.accelerator.systolic`) is bit-identical to this engine on its
-(small) parameter space; see ``tests/accelerator/test_cross_engine.py``.
+(small) parameter space; see ``tests/accelerator/test_systolic.py`` and
+``tests/accelerator/test_compiled_equivalence.py``.
 
 Semantics of a pass (rows = query block, columns = packed band segments):
 
@@ -21,20 +22,41 @@ output.  Global-token queries are produced by the global PE row (their
 full row is computed in ``pe_cols``-wide chunks, merged the same way);
 global-token keys are produced once per query by the global PE column and
 excluded from window passes to avoid double counting.
+
+Execution pipeline
+------------------
+Passes are structural — identical across heads and across calls — so the
+default path consumes the plan's memoized
+:class:`~repro.scheduler.compiled.CompiledPlan`: Q/K/V are quantised once
+for all heads, stages 1–5 run as chunked batched einsums over
+``(heads, passes, rows, cols, head_dim)`` padded tensors, and the
+weighted-sum merges replay in precompiled *merge rounds* whose order
+equals the hardware's per-query pass order.  Padding is exact: masked
+cells contribute an exact ``0.0`` to every reduction, so the batched path
+is bit-identical to the legacy per-pass path (``use_compiled=False``),
+which is retained as the reference implementation for the equivalence
+suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
+from ..scheduler.compiled import WindowJob
 from ..scheduler.plan import ExecutionPlan, TilePass
 from .datapath import Datapath
 from .weighted_sum import WeightedSumModule
 
 __all__ = ["FunctionalEngine", "FunctionalResult", "EngineError"]
+
+# Per-chunk operand budget (elements) when slicing a window job's block
+# axis: bounds the transient (heads, blocks, rows, cols, head_dim)
+# working set to ~32 MB of float64 per operand.
+_JOB_ELEMENT_BUDGET = 1 << 22
 
 
 class EngineError(RuntimeError):
@@ -88,13 +110,75 @@ class _Accumulator:
         self.parts[rows] += 1
 
 
-class FunctionalEngine:
-    """Executes :class:`ExecutionPlan` instances on (Q, K, V) data."""
+class _BatchAccumulator:
+    """Running (output, weight) state for all heads at once.
 
-    def __init__(self, plan: ExecutionPlan) -> None:
+    Merges are performed on flattened ``(head, query)`` selections; each
+    selection within one :meth:`add_part` call holds a query at most once
+    per head, so the pairwise merge chain per ``(head, query)`` is exactly
+    the per-head chain of :class:`_Accumulator`.
+    """
+
+    def __init__(self, heads: int, n: int, d: int, module: WeightedSumModule) -> None:
+        self.out = np.zeros((heads, n, d), dtype=np.float64)
+        self.w = np.zeros((heads, n), dtype=np.float64)
+        self.has = np.zeros((heads, n), dtype=bool)
+        self.parts = np.zeros((heads, n), dtype=np.int64)
+        self.module = module
+        self.merges = 0
+
+    def add_part(
+        self, rows: np.ndarray, out: np.ndarray, w: np.ndarray, has: np.ndarray
+    ) -> None:
+        """Merge partials ``out (H, r, d)`` / ``w (H, r)`` where ``has`` is set."""
+        if not has.any():
+            return
+        if has.all() and not self.has[:, rows].any():
+            # Every row is a first part on every head: plain assignment,
+            # identical to the general path below without the index math.
+            self.out[:, rows] = out
+            self.w[:, rows] = w
+            self.has[:, rows] = True
+            self.parts[:, rows] += 1
+            return
+        h_idx, r_idx = np.nonzero(has)
+        q_idx = rows[r_idx]
+        cur = self.has[h_idx, q_idx]
+        fresh = ~cur
+        if fresh.any():
+            hf, qf, rf = h_idx[fresh], q_idx[fresh], r_idx[fresh]
+            self.out[hf, qf] = out[hf, rf]
+            self.w[hf, qf] = w[hf, rf]
+            self.has[hf, qf] = True
+        if cur.any():
+            hs, qs, rs = h_idx[cur], q_idx[cur], r_idx[cur]
+            merged, total = self.module.merge(
+                self.out[hs, qs], self.w[hs, qs], out[hs, rs], w[hs, rs]
+            )
+            self.out[hs, qs] = merged
+            self.w[hs, qs] = total
+            self.merges += int(cur.sum())
+        self.parts[h_idx, q_idx] += 1
+
+
+class FunctionalEngine:
+    """Executes :class:`ExecutionPlan` instances on (Q, K, V) data.
+
+    ``use_compiled=True`` (default) runs the batched multi-head path over
+    the plan's :class:`~repro.scheduler.compiled.CompiledPlan`;
+    ``use_compiled=False`` runs the legacy per-head, per-pass path.  Both
+    produce bit-identical outputs.
+    """
+
+    def __init__(self, plan: ExecutionPlan, use_compiled: bool = True) -> None:
         self.plan = plan
+        self.use_compiled = use_compiled
         self.datapath = Datapath(plan.config.numerics)
         self.module = WeightedSumModule(self.datapath)
+        if use_compiled:
+            # Compile once at construction (memoized on the plan), and
+            # force the lazy execution schedule now: engines always run.
+            plan.compiled().window_jobs
 
     # ------------------------------------------------------------------
     def run(
@@ -121,6 +205,9 @@ class FunctionalEngine:
         if scale is None:
             scale = 1.0 / np.sqrt(plan.head_dim)
 
+        if self.use_compiled:
+            return self._run_compiled(q, k, v, scale)
+
         out = np.empty((n, hidden), dtype=np.float64)
         merges = 0
         parts = np.zeros((plan.heads, n), dtype=np.int64)
@@ -133,6 +220,239 @@ class FunctionalEngine:
         return FunctionalResult(output=out, merges=merges, parts=parts)
 
     # ------------------------------------------------------------------
+    # Compiled batched path
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+    ) -> FunctionalResult:
+        plan = self.plan
+        cp = plan.compiled()
+        n, d, heads = plan.n, plan.head_dim, plan.heads
+        # Quantise once for all heads; (n, H*d) -> (H, n, d).
+        qh = np.ascontiguousarray(
+            self.datapath.quantize_input(q).reshape(n, heads, d).transpose(1, 0, 2)
+        )
+        kh = np.ascontiguousarray(
+            self.datapath.quantize_input(k).reshape(n, heads, d).transpose(1, 0, 2)
+        )
+        vh = np.ascontiguousarray(
+            self.datapath.quantize_input(v).reshape(n, heads, d).transpose(1, 0, 2)
+        )
+        acc = _BatchAccumulator(heads, n, d, self.module)
+
+        for job in cp.window_jobs:
+            self._run_window_job(job, qh, kh, vh, scale, acc)
+        if len(cp.global_tokens):
+            self._run_global_column_batched(cp, qh, kh, vh, scale, acc)
+            self._run_global_rows_batched(cp, qh, kh, vh, scale, acc)
+
+        if not acc.has.all():
+            missing = np.flatnonzero(~acc.has.all(axis=0))
+            raise EngineError(
+                f"queries {missing[:8].tolist()}... received no attention part; "
+                "the pattern leaves them without keys"
+            )
+        output = np.ascontiguousarray(acc.out.transpose(1, 0, 2)).reshape(n, heads * d)
+        return FunctionalResult(output=output, merges=acc.merges, parts=acc.parts)
+
+    def _stages_batched(
+        self,
+        qb: np.ndarray,  # (H, ..., d) quantised query rows
+        kb: np.ndarray,  # (H, ..., C, d) keys (views allowed)
+        vb: np.ndarray,  # (H, ..., C, d) values (views allowed)
+        valid: np.ndarray,  # broadcastable to (H, ..., C)
+        scale: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stages 1–5 over an arbitrary batch; returns (out, w, has).
+
+        The contraction axes (``d`` then ``C``) accumulate in the same
+        element order as the legacy per-pass einsums, and masked or
+        workless cells contribute an exact ``0.0`` through every
+        reduction, so results are bit-identical.
+        """
+        # ``ascontiguousarray`` is required for bit-identity, not speed:
+        # einsum over broadcast operands can return a strided result, and
+        # numpy's pairwise sum reduces strided layouts in a different
+        # association order than the contiguous arrays the reference
+        # engine reduces (a one-ulp difference that quantisation amplifies).
+        s = np.ascontiguousarray(np.einsum("...d,...cd->...c", qb, kb)) * scale
+        e = np.where(valid, self.datapath.exp(s), 0.0)
+        w = e.sum(axis=-1)
+        has = w > 0
+        inv = np.zeros_like(w)
+        if has.any():
+            inv[has] = self.datapath.recip(w[has])
+        probs = self.datapath.quantize_prob(e * inv[..., None])
+        out = self.datapath.quantize_output(np.einsum("...c,...cd->...d", probs, vb))
+        return out, w, has
+
+    def _run_window_job(
+        self,
+        job: WindowJob,
+        qh: np.ndarray,
+        kh: np.ndarray,
+        vh: np.ndarray,
+        scale: float,
+        acc: "_BatchAccumulator",
+    ) -> None:
+        """Stages 1–5 + merge for one window-job family.
+
+        Every query appears in at most one (group, block) cell of the
+        job, so the whole family merges with a single vectorised
+        weighted-sum call; job order replays the per-query pass order
+        (see ``scheduler.compiled``).  Memory is bounded by slicing the
+        block axis into chunks.
+        """
+        heads, _, d = qh.shape
+        rows, cols = job.rows, job.cols
+        num_blocks = job.num_blocks
+        per_block = heads * job.num_groups * rows * cols * d
+        chunk = max(1, _JOB_ELEMENT_BUDGET // max(1, per_block))
+        for b0 in range(0, num_blocks, chunk):
+            b1 = min(b0 + chunk, num_blocks)
+            qb = qh[:, job.q_safe[:, b0:b1], :]  # (H, G, Bc, R, d)
+            valid = job.valid[None, :, b0:b1]
+            if job.segments is not None:
+                kb = self._segment_views(job, kh, b0, b1)
+                vb = self._segment_views(job, vh, b0, b1)
+                if len(job.segments) == 1:
+                    kv, vv = kb[0], vb[0]
+                else:
+                    # Stage 5 reduces across the packed segments in column
+                    # order, so multi-segment jobs materialise the column
+                    # axis (a structured copy from the small key blocks).
+                    kv = np.concatenate(kb, axis=4)
+                    vv = np.concatenate(vb, axis=4)
+            else:  # pragma: no cover - irregular passes (not emitted today)
+                ids = job.safe_key_ids[:, b0:b1]
+                kv = kh[:, ids, :]
+                vv = vh[:, ids, :]
+            out, w, has = self._stages_batched(qb, kv, vv, valid, scale)
+            sel = job.keep[:, b0:b1]
+            acc.add_part(
+                job.q_ids[:, b0:b1][sel], out[:, sel], w[:, sel], has[:, sel]
+            )
+
+    @staticmethod
+    def _segment_views(
+        job: WindowJob, xh: np.ndarray, b0: int, b1: int
+    ) -> Tuple[np.ndarray, ...]:
+        """Per-segment ``(H, G, Bc, R, W, d)`` diagonal window views of ``xh``.
+
+        Each segment gathers one small ``(H, G, L, d)`` block of vectors
+        and exposes the per-cell operands through overlapping strides —
+        mirroring the diagonal k/v forwarding of the PE array, which
+        serves ``rows x cols`` cells from ``rows + cols - 1`` vectors.
+        """
+        heads, _, d = xh.shape
+        views = []
+        for seg in job.segments:
+            lo = b0 * seg.block_step
+            hi = (b1 - 1) * seg.block_step + job.rows + seg.width - 1
+            block = np.ascontiguousarray(xh[:, seg.gather_ids[:, lo:hi], :])
+            s_h, s_g, s_l, s_d = block.strides
+            views.append(
+                as_strided(
+                    block,
+                    (heads, job.num_groups, b1 - b0, job.rows, seg.width, d),
+                    (s_h, s_g, seg.block_step * s_l, s_l, s_l, s_d),
+                )
+            )
+        return tuple(views)
+
+    def _run_global_column_batched(self, cp, qh, kh, vh, scale, acc) -> None:
+        """Global PE column: every non-global query attends the global keys."""
+        rows = cp.nonglobal_rows
+        if len(rows) == 0:
+            return
+        gtok = cp.global_tokens
+        qb = qh[:, rows, :]  # (H, r, d)
+        kb = np.broadcast_to(
+            kh[:, gtok, :][:, None, :, :], (qh.shape[0], len(rows), len(gtok), qh.shape[2])
+        )
+        vb = np.broadcast_to(
+            vh[:, gtok, :][:, None, :, :], (qh.shape[0], len(rows), len(gtok), qh.shape[2])
+        )
+        valid = np.ones((1, len(rows), len(gtok)), dtype=bool)
+        out, w, has = self._stages_batched(qb, kb, vb, valid, scale)
+        acc.add_part(rows, out, w, has)
+
+    def _run_global_rows_batched(self, cp, qh, kh, vh, scale, acc) -> None:
+        """Global PE row: each global query attends the full sequence.
+
+        The row piggybacks on the key streams of the window passes
+        (Section 5.2): each pass contributes its not-yet-seen keys as one
+        partial-softmax batch (``ExecutionPlan.global_row_schedule``), so
+        the full row is assembled with the same weighted-sum merges as any
+        split window.  Stages 1–5 of every batch run in one einsum; only
+        the (inherently sequential) merge chain loops.
+        """
+        gtok = cp.global_tokens
+        num_b = cp.global_batches.shape[0]
+        if num_b == 0 or len(gtok) == 0:
+            return
+        heads_n, _, d = qh.shape
+        num_g = len(gtok)
+        # Batches are evaluated bucketed by their true length: padding a
+        # reduction axis with zeros changes numpy's pairwise-summation
+        # tree (exact for the zeros, but regrouping the real terms), so
+        # each batch must reduce over exactly its own keys to stay
+        # bit-identical to the reference engine.
+        out = np.empty((heads_n, num_b, num_g, d), dtype=np.float64)
+        w = np.empty((heads_n, num_b, num_g), dtype=np.float64)
+        has = np.empty((heads_n, num_b, num_g), dtype=bool)
+        lengths = cp.global_batch_valid.sum(axis=1)
+        for length in np.unique(lengths):
+            idx = np.flatnonzero(lengths == length)
+            keys = cp.global_batches[idx, :length]  # (nb, L) no padding
+            qb = np.broadcast_to(
+                qh[:, gtok, :][:, None, :, :], (heads_n, len(idx), num_g, d)
+            )
+            kb = np.broadcast_to(
+                kh[:, keys, :][:, :, None, :, :], (heads_n, len(idx), num_g, length, d)
+            )
+            vb = np.broadcast_to(
+                vh[:, keys, :][:, :, None, :, :], (heads_n, len(idx), num_g, length, d)
+            )
+            o, ww, hh = self._stages_batched(qb, kb, vb, np.True_, scale)
+            out[:, idx] = o
+            w[:, idx] = ww
+            has[:, idx] = hh
+        # The batches form a private merge chain: no other part ever
+        # touches a global query row, so run the chain on local (H, G)
+        # state and commit it to the accumulator once at the end.
+        heads, _, num_g, d = out.shape
+        out_run = np.zeros((heads, num_g, d), dtype=np.float64)
+        w_run = np.zeros((heads, num_g), dtype=np.float64)
+        has_run = np.zeros((heads, num_g), dtype=bool)
+        parts_run = np.zeros((heads, num_g), dtype=np.int64)
+        for b in range(num_b):
+            hb = has[:, b]
+            if not hb.any():
+                continue
+            stale = hb & has_run
+            fresh = hb & ~has_run
+            if fresh.any():
+                out_run[fresh] = out[:, b][fresh]
+                w_run[fresh] = w[:, b][fresh]
+                has_run |= fresh
+            if stale.any():
+                merged, total = self.module.merge(
+                    out_run[stale], w_run[stale], out[:, b][stale], w[:, b][stale]
+                )
+                out_run[stale] = merged
+                w_run[stale] = total
+                acc.merges += int(stale.sum())
+            parts_run[hb] += 1
+        h_idx, g_idx = np.nonzero(has_run)
+        acc.out[h_idx, gtok[g_idx]] = out_run[has_run]
+        acc.w[h_idx, gtok[g_idx]] = w_run[has_run]
+        acc.has[h_idx, gtok[g_idx]] = True
+        acc.parts[:, gtok] += parts_run
+
+    # ------------------------------------------------------------------
+    # Legacy per-head, per-pass path (reference implementation)
+    # ------------------------------------------------------------------
     def _run_head(
         self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
     ) -> Tuple[np.ndarray, _Accumulator]:
@@ -143,11 +463,14 @@ class FunctionalEngine:
         vq = self.datapath.quantize_input(v)
         acc = _Accumulator(n, d, self.module)
         gset = plan.global_set
+        gmask = np.zeros(n, dtype=bool)
+        if gset:
+            gmask[list(gset)] = True
 
         for tp in plan.passes:
-            self._run_window_pass(tp, qq, kq, vq, scale, acc, gset)
+            self._run_window_pass(tp, qq, kq, vq, scale, acc, gset, gmask)
         if plan.global_tokens:
-            self._run_global_column(qq, kq, vq, scale, acc, gset)
+            self._run_global_column(qq, kq, vq, scale, acc, gmask)
             self._run_global_rows(qq, kq, vq, scale, acc)
 
         if not acc.has.all():
@@ -194,12 +517,13 @@ class FunctionalEngine:
         scale: float,
         acc: _Accumulator,
         gset,
+        gmask: np.ndarray,
     ) -> None:
         n = self.plan.n
         q_ids = tp.query_ids()
         key_ids = tp.key_ids(n, exclude=gset)
         # Global queries are produced by the global PE row; drop their rows.
-        keep = np.array([qi not in gset for qi in q_ids])
+        keep = ~gmask[q_ids]
         if not keep.any():
             return
         q_ids = q_ids[keep]
@@ -215,11 +539,10 @@ class FunctionalEngine:
         vq: np.ndarray,
         scale: float,
         acc: _Accumulator,
-        gset,
+        gmask: np.ndarray,
     ) -> None:
         """Global PE column: every non-global query attends the global keys."""
-        n = self.plan.n
-        rows = np.array([i for i in range(n) if i not in gset], dtype=np.int64)
+        rows = np.flatnonzero(~gmask)
         if len(rows) == 0:
             return
         gtok = np.asarray(self.plan.global_tokens, dtype=np.int64)
@@ -238,11 +561,8 @@ class FunctionalEngine:
     ) -> None:
         """Global PE row: each global query attends the full sequence.
 
-        The row piggybacks on the key streams of the window passes
-        (Section 5.2): each pass contributes its not-yet-seen keys as one
-        partial-softmax batch (``ExecutionPlan.global_row_schedule``), so
-        the full row is assembled with the same weighted-sum merges as any
-        split window.
+        Consumes the same memoized ``global_row_schedule`` as the compiled
+        path and the micro-simulator, so merge orders cannot drift.
         """
         schedule = self.plan.global_row_schedule()
         rows = np.asarray(self.plan.global_tokens, dtype=np.int64)

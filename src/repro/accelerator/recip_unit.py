@@ -56,7 +56,9 @@ class ReciprocalUnit:
             ((m - 1.0) * (1 << self.lut_bits)).astype(np.int64),
             (1 << self.lut_bits) - 1,
         )
-        return self.table[idx] * np.power(2.0, -e.astype(np.float64))
+        # Exact shift by 2^-e (the denormalise step), identical to
+        # multiplying by np.power(2.0, -e) but without the pow call.
+        return np.ldexp(self.table[idx], -e)
 
     def max_relative_error(self, samples: int = 8192) -> float:
         """Worst-case relative error over one mantissa octave."""

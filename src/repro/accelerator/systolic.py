@@ -136,30 +136,24 @@ class SystolicSimulator:
 
         cycles = 0
         traces: List[PassTiming] = []
-        seen = np.zeros(n, dtype=bool)
 
         for tp in plan.passes:
             trace = self._simulate_pass(tp, qq, kq, vq, scale, state, gset)
             cycles += trace.total
             traces.append(trace)
-            if plan.global_tokens:
-                # The global PE row consumes this pass's fresh keys
-                # concurrently with the array (no extra cycles).
-                ids = tp.key_ids(n)
-                ids = np.unique(ids[ids >= 0])
-                fresh = ids[~seen[ids]]
-                if len(fresh):
-                    seen[fresh] = True
-                    self._global_row_batch(fresh, qq, kq, vq, scale, gstate)
 
         if plan.global_tokens:
-            # Cleanup batches for keys never streamed by a window pass.
-            remaining = np.flatnonzero(~seen)
-            chunk = plan.config.pe_cols
-            for start in range(0, len(remaining), chunk):
-                batch = remaining[start : start + chunk]
+            # The global PE row consumes each pass's fresh keys
+            # concurrently with the array (no extra cycles); only the
+            # trailing cleanup batches — keys never streamed by a window
+            # pass — cost dedicated global-only passes.  Both engines
+            # consume the same memoized schedule, so the partial-softmax
+            # merge order cannot drift between them.
+            schedule = plan.global_row_schedule()
+            first_cleanup = len(schedule) - plan.global_row_cleanup_batches
+            for i, batch in enumerate(schedule):
                 self._global_row_batch(batch, qq, kq, vq, scale, gstate)
-                if plan.global_only_passes:
+                if i >= first_cleanup and plan.global_only_passes:
                     pt = pass_cycles(
                         plan.config, max(1, plan.config.global_rows), plan.config.pe_cols, d
                     )

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as np
+
 from ..core.config import HardwareConfig
 from ..scheduler.plan import ExecutionPlan
 
@@ -107,29 +109,38 @@ def plan_timing(plan: ExecutionPlan, pipelined: bool = False) -> TimingResult:
     """
     config = plan.config
     d = plan.head_dim
-    g = plan.global_set
-    stage_totals = {k: 0 for k in ("stage1", "stage2", "stage3", "stage4", "stage5", "weighted_sum")}
-    cycles_one_head = 0
-    valid_cells = 0
-    total_cells = 0
-    last_tail = 0
-    for tp in plan.passes:
-        pt = pass_cycles(config, tp.rows_used, tp.cols_used, d)
-        if pipelined:
-            tail = pt.stage2 + pt.stage3 + pt.stage4 + pt.stage5 + pt.weighted_sum
-            cycles_one_head += max(pt.stage1, tail)
-            last_tail = tail
-        else:
-            cycles_one_head += pt.total
-        for key in stage_totals:
-            stage_totals[key] += getattr(pt, key)
-        valid_cells += tp.valid_cell_count(plan.n, exclude=g)
-        total_cells += config.pe_rows * config.pe_cols
-    if pipelined and plan.passes:
-        # Drain: the final pass still finishes its back half after its
-        # stage-1 slot, minus the overlap already charged.
-        pt = pass_cycles(config, plan.passes[-1].rows_used, plan.passes[-1].cols_used, d)
-        cycles_one_head += max(0, pt.total - max(pt.stage1, last_tail))
+    cp = plan.compiled()
+    # Per-pass stage cycles, vectorised over the compiled rows/cols
+    # aggregates (same formulas as pass_cycles).
+    rows = cp.rows_used
+    cols = cp.cols_used
+    num = cp.num_passes
+    stage1 = d + rows + cols - 2
+    stage2 = np.full(num, config.stage2_exp_cycles, dtype=np.int64)
+    stage3 = cols + config.stage3_inv_cycles + config.stage3_bcast_cycles
+    stage4 = np.ones(num, dtype=np.int64)
+    stage5 = d + cols - 1
+    weighted = np.full(num, config.weighted_sum_latency, dtype=np.int64)
+    totals = stage1 + stage2 + stage3 + stage4 + stage5 + weighted
+    stage_totals = {
+        "stage1": int(stage1.sum()),
+        "stage2": int(stage2.sum()),
+        "stage3": int(stage3.sum()),
+        "stage4": int(stage4.sum()),
+        "stage5": int(stage5.sum()),
+        "weighted_sum": int(weighted.sum()),
+    }
+    if pipelined:
+        tails = stage2 + stage3 + stage4 + stage5 + weighted
+        cycles_one_head = int(np.maximum(stage1, tails).sum())
+        if num:
+            # Drain: the final pass still finishes its back half after
+            # its stage-1 slot, minus the overlap already charged.
+            cycles_one_head += max(0, int(totals[-1]) - max(int(stage1[-1]), int(tails[-1])))
+    else:
+        cycles_one_head = int(totals.sum())
+    valid_cells = cp.total_valid_cells
+    total_cells = num * config.pe_rows * config.pe_cols
     # Pure-global patterns run dedicated streaming passes.
     if plan.global_only_passes:
         pt = pass_cycles(config, max(1, config.global_rows), config.pe_cols, d)

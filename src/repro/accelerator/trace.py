@@ -14,8 +14,6 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Dict, List
 
-import numpy as np
-
 from ..scheduler.plan import ExecutionPlan
 from .timing import pass_cycles
 
@@ -46,14 +44,12 @@ class PassTraceRow:
 def trace_plan(plan: ExecutionPlan) -> List[PassTraceRow]:
     """Per-pass trace of a plan (head-independent, single-head cycles)."""
     config = plan.config
-    g = plan.global_set
+    cp = plan.compiled()
     rows: List[PassTraceRow] = []
     array_cells = config.pe_rows * config.pe_cols
     for idx, tp in enumerate(plan.passes):
-        ids = tp.key_ids(plan.n, exclude=g)
-        valid = ids >= 0
-        valid_cells = int(valid.sum())
-        distinct = int(len(np.unique(ids[valid]))) if valid_cells else 0
+        valid_cells = int(cp.valid_counts[idx])
+        distinct = int(cp.distinct_per_pass[idx]) if valid_cells else 0
         pt = pass_cycles(config, tp.rows_used, tp.cols_used, plan.head_dim)
         rows.append(
             PassTraceRow(

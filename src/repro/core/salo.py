@@ -8,16 +8,30 @@ the spatial accelerator executes it.  Two entry points:
   return outputs plus full statistics;
 * :meth:`SALO.estimate` — timing/energy/traffic only (no data), fast
   enough for the paper-scale workloads driving Figures 7a/7b.
+
+Serving fast path
+-----------------
+Plans are structural: two calls with the same pattern geometry, hardware
+config and head layout produce the same plan, the same compiled index
+tensors and the same cost-model statistics.  :class:`SALO` therefore
+keeps an LRU cache keyed by ``(pattern structure, config, heads,
+head_dim)``; on a hit, :meth:`attend` skips scheduling, plan compilation,
+buffer checking and the cost models entirely and goes straight to the
+batched functional engine — the repeated-traffic scenario a deployed
+simulator serves.  Different :class:`SALO` instances (e.g. different
+hardware configs) never share cache entries because the config is part
+of the key.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..accelerator.buffers import check_buffer_fit, plan_traffic
+from ..accelerator.buffers import BufferFit, check_buffer_fit, plan_traffic
 from ..accelerator.energy import EnergyTable, plan_energy
 from ..accelerator.functional import FunctionalEngine, FunctionalResult
 from ..accelerator.synthesis import synthesize
@@ -41,6 +55,21 @@ class AttentionResult:
     functional: FunctionalResult
 
 
+@dataclass
+class _CacheEntry:
+    """Everything reusable across identical ``attend``/``estimate`` calls.
+
+    The engine is created lazily on the first ``attend`` so cost-model
+    only paths (``schedule``/``estimate``) never build the execution
+    schedule.
+    """
+
+    plan: ExecutionPlan
+    engine: Optional[FunctionalEngine] = None
+    stats: Optional[RunStats] = None
+    fit: Optional[BufferFit] = None
+
+
 class SALO:
     """A SALO accelerator instance with its data scheduler.
 
@@ -53,6 +82,9 @@ class SALO:
         45 nm per-event energy constants for the energy model.
     strict_global_bound:
         Enforce the Section 5.2 global-token bound during scheduling.
+    plan_cache_size:
+        Maximum number of compiled plans retained by the LRU serving
+        cache; ``0`` disables caching.
     """
 
     def __init__(
@@ -60,18 +92,83 @@ class SALO:
         config: Optional[HardwareConfig] = None,
         energy_table: EnergyTable = EnergyTable(),
         strict_global_bound: bool = True,
+        plan_cache_size: int = 32,
     ) -> None:
         self.config = config if config is not None else HardwareConfig()
         self.energy_table = energy_table
         self.scheduler = DataScheduler(self.config, strict_global_bound=strict_global_bound)
         self._area_mm2 = synthesize(self.config).area_mm2
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def _plan_key(
+        self, pattern: AttentionPattern, heads: int, head_dim: int
+    ) -> Optional[Tuple]:
+        """Structural cache key, or ``None`` when the pattern is opaque.
+
+        A plan depends only on the band/global structure of the pattern,
+        the hardware config and the head layout, so the key captures
+        exactly those.  The config is a frozen dataclass and participates
+        in equality, which makes entries from different configurations
+        (or a replaced ``config``) unreachable rather than stale.
+        """
+        bands = pattern.bands()
+        if bands is None:
+            return None
+        return (
+            pattern.n,
+            tuple(bands),
+            tuple(pattern.global_tokens()),
+            self.config,
+            heads,
+            head_dim,
+        )
+
+    def _lookup(
+        self, pattern: AttentionPattern, heads: int, head_dim: int
+    ) -> Tuple[Optional[Tuple], Optional[_CacheEntry]]:
+        key = self._plan_key(pattern, heads, head_dim)
+        if key is None or self.plan_cache_size <= 0:
+            return key, None
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return key, entry
+        self.plan_cache_misses += 1
+        return key, None
+
+    def _store(self, key: Optional[Tuple], entry: _CacheEntry) -> None:
+        if key is None or self.plan_cache_size <= 0:
+            return
+        self._plan_cache[key] = entry
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+
+    def _entry_for(
+        self, pattern: AttentionPattern, heads: int, head_dim: int
+    ) -> _CacheEntry:
+        """Cached (plan, engine) for the pattern, compiling on a miss."""
+        key, entry = self._lookup(pattern, heads, head_dim)
+        if entry is None:
+            plan = self.scheduler.schedule(pattern, heads=heads, head_dim=head_dim)
+            entry = _CacheEntry(plan=plan)
+            self._store(key, entry)
+        return entry
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (hit/miss counters are kept)."""
+        self._plan_cache.clear()
 
     # ------------------------------------------------------------------
     def schedule(
         self, pattern: AttentionPattern, heads: int = 1, head_dim: int = 64
     ) -> ExecutionPlan:
-        """Run only the data scheduler."""
-        return self.scheduler.schedule(pattern, heads=heads, head_dim=head_dim)
+        """Run the data scheduler (through the plan cache)."""
+        return self._entry_for(pattern, heads, head_dim).plan
 
     def stats_for(self, plan: ExecutionPlan) -> RunStats:
         """Timing, occupancy, traffic and energy for a plan."""
@@ -86,7 +183,10 @@ class SALO:
         self, pattern: AttentionPattern, heads: int = 1, head_dim: int = 64
     ) -> RunStats:
         """Schedule + performance model without executing data."""
-        return self.stats_for(self.schedule(pattern, heads=heads, head_dim=head_dim))
+        entry = self._entry_for(pattern, heads, head_dim)
+        if entry.stats is None:
+            entry.stats = self.stats_for(entry.plan)
+        return entry.stats
 
     def attend(
         self,
@@ -102,26 +202,33 @@ class SALO:
 
         ``q``, ``k``, ``v`` have shape ``(n, hidden)`` with ``hidden``
         divisible by ``heads``; the output concatenates per-head results as
-        in Figure 1.
+        in Figure 1.  Repeated calls with the same pattern structure hit
+        the plan cache and skip scheduling, compilation, buffer checks and
+        the cost models (see module docstring).
         """
         q = np.asarray(q, dtype=np.float64)
         n, hidden = q.shape
         if hidden % heads != 0:
             raise ValueError(f"hidden size {hidden} not divisible by heads {heads}")
         head_dim = hidden // heads
-        plan = self.schedule(pattern, heads=heads, head_dim=head_dim)
+        entry = self._entry_for(pattern, heads, head_dim)
+        plan = entry.plan
         if check_buffers:
-            fit = check_buffer_fit(plan)
-            if not fit.fits:
+            if entry.fit is None:
+                entry.fit = check_buffer_fit(plan)
+            if not entry.fit.fits:
                 raise ValueError(
                     "workload does not fit the on-chip buffers: "
-                    + "; ".join(fit.violations)
+                    + "; ".join(entry.fit.violations)
                 )
-        engine = FunctionalEngine(plan)
-        functional = engine.run(q, k, v, scale=scale)
+        if entry.engine is None:
+            entry.engine = FunctionalEngine(plan)
+        functional = entry.engine.run(q, k, v, scale=scale)
+        if entry.stats is None:
+            entry.stats = self.stats_for(plan)
         return AttentionResult(
             output=functional.output,
-            stats=self.stats_for(plan),
+            stats=entry.stats,
             plan=plan,
             functional=functional,
         )

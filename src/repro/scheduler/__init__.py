@@ -1,5 +1,6 @@
 """Data scheduler (paper Section 4): reordering + splitting → tile plans."""
 
+from .compiled import CompiledPlan, SegmentStream, WindowJob, compile_plan
 from .metadata import HardwareMetadata, PatternMetadata
 from .plan import BandSegment, ExecutionPlan, PlanStats, TilePass
 from .reorder import GroupedBandJob, decompose_band, group_positions, reorder_permutation
@@ -9,6 +10,10 @@ from .splitting import build_passes_for_group, chunk_band_job, pack_segments
 __all__ = [
     "PatternMetadata",
     "HardwareMetadata",
+    "CompiledPlan",
+    "SegmentStream",
+    "WindowJob",
+    "compile_plan",
     "BandSegment",
     "TilePass",
     "ExecutionPlan",

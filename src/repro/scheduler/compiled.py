@@ -1,0 +1,465 @@
+"""Compiled execution plans: precomputed index tensors for batched engines.
+
+Tile passes are *structural*: the gather indices, validity masks and
+global-token exclusions of a pass are identical across attention heads and
+across every ``attend()`` call that reuses the same plan.  The seed
+implementation nevertheless re-derived them from scratch for each head of
+each call (``TilePass.key_ids`` concatenates segments and runs ``np.isin``
+per head x pass).  :class:`CompiledPlan` performs that derivation exactly
+once per :class:`~repro.scheduler.plan.ExecutionPlan` and stores:
+
+* padded per-pass tensors — ``q_ids`` ``(P, R)``, ``key_ids`` / ``valid``
+  / ``safe_key_ids`` ``(P, R, C)`` with sequence clipping *and*
+  global-token exclusion baked in, and ``keep`` ``(P, R)`` non-global
+  row masks — consumed by the cost models, ``plan.stats()`` and the
+  engines' fallback path;
+* **window jobs** — the pass stream regrouped by
+  ``(query group, column group)``.  Within a job every pass shares its
+  segment tuple and its query block starts advance uniformly, so each
+  segment's key stream is one arithmetic sequence: the engine gathers a
+  single ``(L, d)`` key block per segment and reads it through an
+  overlapping ``as_strided`` window view — the numpy analogue of the
+  accelerator's diagonal k/v connections (Section 5.2) — instead of
+  materialising ``(passes, rows, cols, d)`` gathers.  Jobs are ordered by
+  first appearance in the pass stream, which preserves the per-query
+  weighted-sum merge order (a query receives its parts from the column
+  groups of its own block, in block-local order), keeping outputs
+  bit-identical to the per-pass reference engine;
+* the global-row batch schedule (padded) shared with the micro-simulator;
+* per-pass aggregates (valid cells, distinct keys, query loads, output
+  vectors) reused by the timing/energy/traffic models.
+
+Obtain instances through :meth:`ExecutionPlan.compiled`, which memoizes
+the compilation on the plan object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
+    from .plan import ExecutionPlan
+
+__all__ = ["CompiledPlan", "SegmentStream", "WindowJob", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class SegmentStream:
+    """One band segment of a window job as diagonal key streams.
+
+    For query group ``g``, the key id of block ``b``, PE row ``r``,
+    segment column ``t`` is ``gather_ids[g, b * block_step + r + t]``
+    (ids pre-clipped to ``[0, n)``; out-of-range and global cells are
+    masked by the job's ``valid``).
+    """
+
+    gather_ids: np.ndarray  # (G, L) int64, clipped to [0, n)
+    width: int
+    block_step: int  # key-stream advance per query block
+
+
+@dataclass(frozen=True)
+class WindowJob:
+    """A family of same-geometry (query group, column group) pairs.
+
+    Query groups of one dilated band share block structure, segment
+    widths and strides — only the residue (and hence the gather bases
+    and boundary masks) differs — so their passes batch into a single
+    job with a leading *group* axis ``G``: one set of einsums serves
+    every residue class at once.  Queries of different groups in one job
+    are disjoint (distinct residue classes of the same dilation), so the
+    whole job still merges with a single weighted-sum call.
+
+    ``segments`` is ``None`` when the member passes are irregular (non
+    contiguous query rows or unevenly spaced blocks); the engine then
+    falls back to gathering ``safe_key_ids``.  The scheduler never emits
+    such passes today, but the fallback keeps the engine correct for any
+    :class:`TilePass` sequence.
+    """
+
+    pass_indices: np.ndarray  # (G * B,) indices into plan.passes
+    num_groups: int  # G
+    num_blocks: int  # B (per group)
+    rows: int  # R: padded rows of this job
+    cols: int  # C: columns of this job (sum of segment widths)
+    q_ids: np.ndarray  # (G, B, R) int64, -1 on padding
+    q_safe: np.ndarray  # (G, B, R) int64, padding clipped to 0
+    valid: np.ndarray  # (G, B, R, C) bool
+    keep: np.ndarray  # (G, B, R) bool: rows merged by the window path
+    segments: Optional[Tuple[SegmentStream, ...]]
+    safe_key_ids: Optional[np.ndarray]  # (G, B, R, C) fallback gather ids
+
+
+@dataclass
+class CompiledPlan:
+    """Precompiled index tensors and aggregates of one execution plan.
+
+    The per-pass tensors and aggregates are built eagerly (every
+    consumer — cost models, ``plan.stats()``, the engines — needs
+    them); the execution-only :attr:`window_jobs` schedule is built
+    lazily on first engine use, so cost-model-only paths such as
+    ``SALO.estimate`` never pay for it.
+    """
+
+    plan: "ExecutionPlan"
+    n: int
+    heads: int
+    head_dim: int
+    num_passes: int
+    pad_rows: int  # R: padded PE-row count across all passes
+    pad_cols: int  # C: padded PE-column count across all passes
+    # -- per-pass padded tensors -------------------------------------
+    q_ids: np.ndarray  # (P, R) int64, -1 on padding
+    key_ids: np.ndarray  # (P, R, C) int64, -1 masked, globals excluded
+    valid: np.ndarray  # (P, R, C) bool
+    keep: np.ndarray  # (P, R) bool: rows merged by the window path
+    rows_used: np.ndarray  # (P,) int64
+    cols_used: np.ndarray  # (P,) int64
+    # -- per-pass aggregates (single head) ---------------------------
+    valid_counts: np.ndarray  # (P,) valid cells per pass (globals excluded)
+    row_has_work: np.ndarray  # (P, R) bool: row has >= 1 valid cell
+    distinct_per_pass: np.ndarray  # (P,) distinct keys streamed per pass
+    q_loads: int  # query-buffer vector loads (block transitions)
+    out_vectors: int  # partial output rows produced
+    # -- global bookkeeping ------------------------------------------
+    global_tokens: np.ndarray  # (G,) int64
+    nonglobal_rows: np.ndarray  # (n - G,) int64
+    global_batches: np.ndarray  # (B, L) int64 padded with -1
+    global_batch_valid: np.ndarray  # (B, L) bool
+    # -- batched execution schedule (lazy; see window_jobs) ----------
+    _window_jobs: Optional[List[WindowJob]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def window_jobs(self) -> List[WindowJob]:
+        """The engine's execution schedule, built on first use."""
+        if self._window_jobs is None:
+            self._window_jobs = _build_window_jobs(
+                self.plan, self.q_ids, self.key_ids, self.valid, self.keep
+            )
+        return self._window_jobs
+
+    @property
+    def safe_key_ids(self) -> np.ndarray:
+        """``key_ids`` with masked cells clipped to 0 (branch-free gathers).
+
+        Derived on demand: only the irregular-pass fallback reads it.
+        """
+        return np.where(self.valid, self.key_ids, 0)
+
+    @property
+    def total_valid_cells(self) -> int:
+        """Window cells computed per head (global exclusions applied)."""
+        return int(self.valid_counts.sum())
+
+    @property
+    def distinct_kv_vectors(self) -> int:
+        """Distinct key/value vectors streamed per head across all passes."""
+        return int(self.distinct_per_pass.sum())
+
+
+def _topo_colgroups(plan: "ExecutionPlan") -> List[Tuple[int, List[List[int]]]]:
+    """Per query group (in pass order): dilation + topo-ordered column groups.
+
+    Job order must replay the merge order every query observes in the
+    sequential pass stream: each query block runs its column groups in
+    the group's master column order, but blocks clipped at the sequence
+    boundary may *skip* column groups (the scheduler drops zero-valid
+    passes), so the per-block sequences are subsequences of that master
+    order.  A topological merge of the block sequences recovers it.
+    """
+    group_order: List[Tuple[int, int]] = []
+    group_jobs: dict = {}  # (residue, dilation) -> {segments: [pass indices]}
+    block_seqs: dict = {}  # (residue, dilation) -> {block start: [segments]}
+    for i, tp in enumerate(plan.passes):
+        gkey = (tp.query_residue, tp.dilation)
+        if gkey not in group_jobs:
+            group_order.append(gkey)
+            group_jobs[gkey] = {}
+            block_seqs[gkey] = {}
+        group_jobs[gkey].setdefault(tp.segments, []).append(i)
+        block_seqs[gkey].setdefault(tp.q_positions[0] if tp.q_positions else 0, []).append(
+            tp.segments
+        )
+
+    per_group: List[Tuple[int, List[List[int]]]] = []
+    for gkey in group_order:
+        colgroups = list(group_jobs[gkey])  # first-appearance order
+        succ = {c: set() for c in colgroups}
+        indeg = {c: 0 for c in colgroups}
+        for seq in block_seqs[gkey].values():
+            for a, b in zip(seq, seq[1:]):
+                if b not in succ[a]:
+                    succ[a].add(b)
+                    indeg[b] += 1
+        ready = [c for c in colgroups if indeg[c] == 0]
+        topo: List = []
+        while ready:
+            c = ready.pop(0)
+            topo.append(c)
+            for b in succ[c]:
+                indeg[b] -= 1
+                if indeg[b] == 0:
+                    ready.append(b)
+        if len(topo) != len(colgroups):  # pragma: no cover - inconsistent order
+            # No consistent master order: degrade to one colgroup per
+            # pass, which trivially preserves the sequential merge order.
+            cols = [[i] for i in sorted(i for c in colgroups for i in group_jobs[gkey][c])]
+        else:
+            cols = [group_jobs[gkey][c] for c in topo]
+        per_group.append((gkey[1], cols))
+    return per_group
+
+
+def _job_geometry(plan: "ExecutionPlan", idxs: List[int]):
+    """(signature, block_step, segment protos) of one colgroup's passes.
+
+    ``signature`` is ``None`` for irregular passes (non-contiguous query
+    rows or unevenly spaced blocks); otherwise jobs with equal signatures
+    have identical strided-view geometry and may batch into one family,
+    differing only in gather bases and boundary masks.
+    """
+    tps = [plan.passes[i] for i in idxs]
+    num_blocks = len(tps)
+    rows = max(tp.rows_used for tp in tps)
+    cols = tps[0].cols_used
+    starts = [tp.q_positions[0] for tp in tps]
+    contiguous = all(
+        tp.q_positions == tuple(range(tp.q_positions[0], tp.q_positions[0] + tp.rows_used))
+        for tp in tps
+    )
+    steps = {starts[b + 1] - starts[b] for b in range(num_blocks - 1)}
+    if not contiguous or len(steps) > 1:
+        return None, 0, ()
+    block_step = steps.pop() if steps else rows
+    seg_sig = tuple((seg.width, seg.dilation) for seg in tps[0].segments)
+    bases = tuple(
+        seg.key_residue + (starts[0] + seg.rel_lo) * seg.dilation for seg in tps[0].segments
+    )
+    return (num_blocks, rows, cols, block_step, seg_sig), block_step, bases
+
+
+def _build_window_jobs(
+    plan: "ExecutionPlan",
+    q_ids: np.ndarray,
+    key_ids: np.ndarray,
+    valid: np.ndarray,
+    keep: np.ndarray,
+) -> List[WindowJob]:
+    """Batch the pass stream into window-job families (see module docstring).
+
+    Within each query group, column groups execute in the group's master
+    order (``_topo_colgroups``).  Query groups of one dilation are
+    disjoint residue classes, so within a consecutive run of same
+    dilation groups the ``k``-th column groups are independent and
+    same-geometry jobs batch into one family — all residue classes of a
+    dilated band execute in a single set of einsums.  Groups of
+    *different* dilations can share queries, so distinct runs stay in
+    group order.
+    """
+    per_group = _topo_colgroups(plan)
+    runs: List[List[List[List[int]]]] = []
+    last_dil = None
+    for dil, cols in per_group:
+        if dil != last_dil or not runs:
+            runs.append([])
+            last_dil = dil
+        runs[-1].append(cols)
+
+    jobs: List[WindowJob] = []
+    for run in runs:
+        num_positions = max((len(g) for g in run), default=0)
+        for k in range(num_positions):
+            jobs.extend(_position_families(plan, run, k, q_ids, key_ids, valid, keep))
+    return tuple(jobs)
+
+
+def _position_families(
+    plan: "ExecutionPlan",
+    run: List[List[List[int]]],
+    k: int,
+    q_ids: np.ndarray,
+    key_ids: np.ndarray,
+    valid: np.ndarray,
+    keep: np.ndarray,
+) -> List[WindowJob]:
+    """Families for position ``k`` of one same-dilation run of groups."""
+    n = plan.n
+    buckets: dict = {}  # signature -> [(idxs, bases)]
+    singles: List[List[int]] = []
+    jobs: List[WindowJob] = []
+    for g in run:
+        if k >= len(g):
+            continue
+        sig, step, bases = _job_geometry(plan, g[k])
+        if sig is None:  # pragma: no cover - irregular passes
+            singles.append(g[k])
+        else:
+            buckets.setdefault((sig, step), []).append((g[k], bases))
+    for (sig, step), members in buckets.items():
+        num_blocks, rows, cols, block_step, seg_sig = sig
+        idx_arr = np.asarray([i for idxs, _ in members for i in idxs], dtype=np.int64)
+        num_groups = len(members)
+        job_q_ids = np.ascontiguousarray(
+            q_ids[idx_arr][:, :rows].reshape(num_groups, num_blocks, rows)
+        )
+        job_valid = np.ascontiguousarray(
+            valid[idx_arr][:, :rows, :cols].reshape(num_groups, num_blocks, rows, cols)
+        )
+        job_keep = np.ascontiguousarray(
+            keep[idx_arr][:, :rows].reshape(num_groups, num_blocks, rows)
+        )
+        streams: List[SegmentStream] = []
+        # Segment order == column order: the engine concatenates the
+        # per-segment views along the column axis in this order.
+        for s, (width, seg_dil) in enumerate(seg_sig):
+            # Key id of group g at (b, r, t):
+            # bases[g] + (b*step + r + t)*dil — one stream per group.
+            length = (num_blocks - 1) * block_step + rows + width - 1
+            offsets = np.arange(length, dtype=np.int64) * seg_dil
+            bases_col = np.asarray([m[1][s] for m in members], dtype=np.int64)[:, None]
+            streams.append(
+                SegmentStream(
+                    gather_ids=np.clip(bases_col + offsets, 0, n - 1),
+                    width=width,
+                    block_step=block_step,
+                )
+            )
+        jobs.append(
+            WindowJob(
+                pass_indices=idx_arr,
+                num_groups=num_groups,
+                num_blocks=num_blocks,
+                rows=rows,
+                cols=cols,
+                q_ids=job_q_ids,
+                q_safe=job_q_ids.clip(min=0),
+                valid=job_valid,
+                keep=job_keep,
+                segments=tuple(streams),
+                safe_key_ids=None,
+            )
+        )
+    for idxs in singles:  # pragma: no cover - irregular passes
+        tps = [plan.passes[i] for i in idxs]
+        num_blocks = len(tps)
+        rows = max(tp.rows_used for tp in tps)
+        cols = tps[0].cols_used
+        idx_arr = np.asarray(idxs, dtype=np.int64)
+        job_q_ids = np.ascontiguousarray(q_ids[idx_arr][:, :rows])[None]
+        jobs.append(
+            WindowJob(
+                pass_indices=idx_arr,
+                num_groups=1,
+                num_blocks=num_blocks,
+                rows=rows,
+                cols=cols,
+                q_ids=job_q_ids,
+                q_safe=job_q_ids.clip(min=0),
+                valid=np.ascontiguousarray(valid[idx_arr][:, :rows, :cols])[None],
+                keep=np.ascontiguousarray(keep[idx_arr][:, :rows])[None],
+                segments=None,
+                safe_key_ids=np.where(
+                    valid[idx_arr][:, :rows, :cols], key_ids[idx_arr][:, :rows, :cols], 0
+                )[None],
+            )
+        )
+    return jobs
+
+
+def compile_plan(plan: "ExecutionPlan") -> CompiledPlan:
+    """Precompute every structural tensor of ``plan`` (see module docstring)."""
+    n = plan.n
+    passes = plan.passes
+    num_passes = len(passes)
+    pad_rows = max((tp.rows_used for tp in passes), default=1)
+    pad_cols = max((tp.cols_used for tp in passes), default=1)
+
+    q_ids = np.full((num_passes, pad_rows), -1, dtype=np.int64)
+    key_ids = np.full((num_passes, pad_rows, pad_cols), -1, dtype=np.int64)
+    rows_used = np.empty(num_passes, dtype=np.int64)
+    cols_used = np.empty(num_passes, dtype=np.int64)
+    for i, tp in enumerate(passes):
+        q = tp.query_ids()
+        ids = tp.key_ids(n)  # clipped to the sequence, globals still present
+        rows_used[i] = tp.rows_used
+        cols_used[i] = tp.cols_used
+        q_ids[i, : len(q)] = q
+        key_ids[i, : ids.shape[0], : ids.shape[1]] = ids
+
+    row_valid = q_ids >= 0
+    gtok = np.asarray(plan.global_tokens, dtype=np.int64)
+    valid = key_ids >= 0
+    keep = row_valid
+    if len(gtok):
+        valid &= ~np.isin(key_ids, gtok)
+        keep = row_valid & ~np.isin(q_ids, gtok)
+    key_ids = np.where(valid, key_ids, -1)
+
+    valid_counts = valid.sum(axis=(1, 2)).astype(np.int64)
+    row_has_work = valid.any(axis=2)
+
+    # Traffic aggregates (see buffers.plan_traffic): distinct keys per
+    # pass, query-buffer loads per query-block transition, output rows.
+    # One batched sort replaces a per-pass np.unique: a key is "new"
+    # within its pass when it differs from its sorted predecessor.
+    sorted_ids = np.sort(key_ids.reshape(num_passes, pad_rows * pad_cols), axis=1)
+    fresh = sorted_ids >= 0
+    fresh[:, 1:] &= sorted_ids[:, 1:] != sorted_ids[:, :-1]
+    distinct_per_pass = fresh.sum(axis=1).astype(np.int64)
+    q_loads = 0
+    last_block: Tuple[int, int, Tuple[int, ...]] = (-1, -1, ())
+    for tp in passes:
+        block_key = (tp.query_residue, tp.dilation, tp.q_positions)
+        if block_key != last_block:
+            q_loads += tp.rows_used
+            last_block = block_key
+    out_vectors = int(row_has_work.sum())
+
+    mask = np.ones(n, dtype=bool)
+    if len(gtok):
+        mask[gtok] = False
+    nonglobal_rows = np.flatnonzero(mask)
+
+    if len(gtok):
+        batches = plan.global_row_schedule()
+        cleanup = plan.global_row_cleanup_batches
+        max_len = max((len(b) for b in batches), default=1)
+        global_batches = np.full((len(batches), max_len), -1, dtype=np.int64)
+        for i, b in enumerate(batches):
+            global_batches[i, : len(b)] = b
+        global_batch_valid = global_batches >= 0
+    else:
+        cleanup = 0
+        global_batches = np.empty((0, 1), dtype=np.int64)
+        global_batch_valid = np.empty((0, 1), dtype=bool)
+
+    return CompiledPlan(
+        plan=plan,
+        n=n,
+        heads=plan.heads,
+        head_dim=plan.head_dim,
+        num_passes=num_passes,
+        pad_rows=pad_rows,
+        pad_cols=pad_cols,
+        q_ids=q_ids,
+        key_ids=key_ids,
+        valid=valid,
+        keep=keep,
+        rows_used=rows_used,
+        cols_used=cols_used,
+        valid_counts=valid_counts,
+        row_has_work=row_has_work,
+        distinct_per_pass=distinct_per_pass,
+        q_loads=q_loads,
+        out_vectors=out_vectors,
+        global_tokens=gtok,
+        nonglobal_rows=nonglobal_rows,
+        global_batches=global_batches,
+        global_batch_valid=global_batch_valid,
+    )

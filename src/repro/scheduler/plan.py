@@ -12,6 +12,15 @@ Dilated bands are described in *group space* (see
 dilation form a group in which the dilated band is an ordinary sliding
 window.  A :class:`TilePass` therefore stores its residue/dilation and
 group positions, and reconstructs original token indices on demand.
+
+Because passes are structural (shared across heads and across calls), the
+index tensors they imply are compiled exactly once per plan into a
+:class:`~repro.scheduler.compiled.CompiledPlan` (see
+:meth:`ExecutionPlan.compiled`); the execution engines and the
+timing/energy/traffic models consume the compiled tensors instead of
+re-deriving ``key_ids`` per head or per query sweep.  The derived
+properties ``global_set`` and :meth:`ExecutionPlan.global_row_schedule`
+are likewise memoized — plans are treated as immutable once built.
 """
 
 from __future__ import annotations
@@ -150,6 +159,14 @@ class ExecutionPlan:
     global_only_passes: int = 0
     pattern: Optional[AttentionPattern] = None
     reorder_applied: bool = False
+    # Memoized derived state; plans are immutable once built.
+    _global_set: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _schedule: Optional[Tuple[List[np.ndarray], int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _compiled: Optional[object] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -160,7 +177,24 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     @property
     def global_set(self) -> FrozenSet[int]:
-        return frozenset(self.global_tokens)
+        if self._global_set is None:
+            self._global_set = frozenset(self.global_tokens)
+        return self._global_set
+
+    def compiled(self):
+        """The memoized :class:`~repro.scheduler.compiled.CompiledPlan`.
+
+        Compilation precomputes, once, the padded per-pass index tensors
+        (query rows, key ids with global exclusions baked in, validity
+        masks), the merge-round metadata and the per-pass aggregates that
+        the engines and cost models would otherwise re-derive per head or
+        per call.
+        """
+        if self._compiled is None:
+            from .compiled import compile_plan
+
+            self._compiled = compile_plan(self)
+        return self._compiled
 
     @property
     def num_structural_passes(self) -> int:
@@ -183,21 +217,35 @@ class ExecutionPlan:
         of ``pe_cols`` keys.  Both execution engines consume this schedule
         so their merge order — and hence their fixed-point output — is
         identical.
+
+        The schedule is memoized; callers must not mutate the returned
+        list or its arrays.
         """
-        seen = np.zeros(self.n, dtype=bool)
-        batches: List[np.ndarray] = []
-        for tp in self.passes:
-            ids = tp.key_ids(self.n)  # global keys stream too; do not exclude
-            ids = np.unique(ids[ids >= 0])
-            fresh = ids[~seen[ids]]
-            if len(fresh):
-                seen[fresh] = True
-                batches.append(fresh)
-        remaining = np.flatnonzero(~seen)
-        chunk = self.config.pe_cols
-        for start in range(0, len(remaining), chunk):
-            batches.append(remaining[start : start + chunk])
-        return batches
+        if self._schedule is None:
+            seen = np.zeros(self.n, dtype=bool)
+            batches: List[np.ndarray] = []
+            for tp in self.passes:
+                ids = tp.key_ids(self.n)  # global keys stream too; do not exclude
+                ids = np.unique(ids[ids >= 0])
+                fresh = ids[~seen[ids]]
+                if len(fresh):
+                    seen[fresh] = True
+                    batches.append(fresh)
+            remaining = np.flatnonzero(~seen)
+            chunk = self.config.pe_cols
+            cleanup = 0
+            for start in range(0, len(remaining), chunk):
+                batches.append(remaining[start : start + chunk])
+                cleanup += 1
+            self._schedule = (batches, cleanup)
+        return self._schedule[0]
+
+    @property
+    def global_row_cleanup_batches(self) -> int:
+        """Trailing batches of :meth:`global_row_schedule` not hidden
+        behind a window pass (streamed by dedicated global-only passes)."""
+        self.global_row_schedule()
+        return self._schedule[1]
 
     def covered_pairs(self) -> np.ndarray:
         """Boolean (n, n) matrix of pairs computed by the plan.
@@ -226,29 +274,25 @@ class ExecutionPlan:
         return cov
 
     def stats(self) -> PlanStats:
-        """Compute aggregate occupancy/utilisation statistics."""
-        g = self.global_set
+        """Compute aggregate occupancy/utilisation statistics.
+
+        Backed by the compiled plan, so the per-pass ``key_ids`` tensors
+        are derived once per plan rather than once per sweep point.
+        """
+        cp = self.compiled()
         rows = self.config.pe_rows
         cols = self.config.pe_cols
-        total_cells = 0
-        valid_cells = 0
-        sum_rows = 0
-        sum_cols = 0
+        num = cp.num_passes
+        total_cells = num * rows * cols
+        valid_cells = cp.total_valid_cells
+        sum_rows = int(cp.rows_used.sum())
+        sum_cols = int(cp.cols_used.sum())
         parts = np.zeros(self.n, dtype=np.int64)
-        for tp in self.passes:
-            total_cells += rows * cols
-            valid = tp.key_ids(self.n, exclude=g) >= 0
-            valid_cells += int(valid.sum())
-            sum_rows += tp.rows_used
-            sum_cols += tp.cols_used
-            q = tp.query_ids()
-            has_work = valid.any(axis=1)
-            parts[q[has_work]] += 1
-        parts[list(g)] = 1  # global rows are a single merged part
-        nonglobal = [i for i in range(self.n) if i not in g]
-        if nonglobal and self.global_tokens:
-            parts[nonglobal] += 1  # the global-column part
-        num = len(self.passes)
+        np.add.at(parts, cp.q_ids[cp.row_has_work], 1)
+        if self.global_tokens:
+            parts[cp.global_tokens] = 1  # global rows are a single merged part
+            if len(cp.nonglobal_rows):
+                parts[cp.nonglobal_rows] += 1  # the global-column part
         return PlanStats(
             num_passes=num,
             total_cells=total_cells,
