@@ -1,0 +1,31 @@
+# Smoke / CI gate for the SALO reproduction.
+#
+#   make check   - tier-1 tests + perf-regression gate against the
+#                  committed BENCH_engines.json baseline
+#   make test    - tier-1 tests only
+#   make bench   - run the engine bench suite, compare against the
+#                  baseline (writes the fresh summary to a temp file so
+#                  the committed baseline is left untouched)
+#   make bench-update - re-snapshot BENCH_engines.json (after a
+#                  deliberate perf change; commit the result)
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: check test bench bench-update
+
+check: test bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Tolerance 2.0: the suite's small (few-ms) benches see ~1.5x run-to-run
+# swings on shared/noisy hosts; genuine regressions this gate exists for
+# (reintroduced per-pass walks, lost batching) are 2x-10x.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py \
+		--out $(or $(TMPDIR),/tmp)/BENCH_engines.new.json \
+		--compare BENCH_engines.json --tolerance 2.0
+
+bench-update:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py

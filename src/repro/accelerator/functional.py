@@ -36,6 +36,22 @@ cells contribute an exact ``0.0`` to every reduction, so the batched path
 is bit-identical to the legacy per-pass path (``use_compiled=False``),
 which is retained as the reference implementation for the equivalence
 suite.
+
+Batch axis (multi-sequence serving)
+-----------------------------------
+:meth:`FunctionalEngine.run` also accepts a leading batch axis
+``(b, n, heads*head_dim)``: a batch of independent sequences that share
+the same execution plan (the unit the serving layer in
+:mod:`repro.serving` dispatches).  The compiled path folds the batch and
+head axes into a single *lane* axis ``L = b * heads`` — every stage 1–5
+einsum then runs over ``(b·heads, groups, blocks, rows, cols, head_dim)``
+operands and every weighted-sum merge chain is carried per lane.  All
+lane-axis operations are elementwise or reduce only trailing axes, so
+each sequence's arithmetic (summation trees included) is exactly that of
+its own ``b=1`` call: batched outputs are bit-identical to looped
+single-sequence runs (``tests/accelerator/test_batched_equivalence.py``).
+The single-sequence call is simply the ``b=1`` special case with the
+leading axis elided.
 """
 
 from __future__ import annotations
@@ -65,15 +81,25 @@ class EngineError(RuntimeError):
 
 @dataclass
 class FunctionalResult:
-    """Output of a functional run."""
+    """Output of a functional run.
 
-    output: np.ndarray  # (n, heads * head_dim)
-    merges: int  # weighted-sum merge operations performed
-    parts: np.ndarray  # (heads, n) number of partial outputs per query
+    Single-sequence runs produce ``output (n, heads*head_dim)`` and
+    ``parts (heads, n)``; batched runs carry a leading batch axis on
+    both (``(b, n, heads*head_dim)`` / ``(b, heads, n)``).
+    """
+
+    output: np.ndarray  # (n, heads * head_dim) or (b, n, heads * head_dim)
+    merges: int  # weighted-sum merge operations performed (all sequences)
+    parts: np.ndarray  # (heads, n) or (b, heads, n) partial outputs per query
 
     @property
     def n(self) -> int:
-        return self.output.shape[0]
+        return self.output.shape[-2]
+
+    @property
+    def batch(self) -> Optional[int]:
+        """Batch size, or ``None`` for a single-sequence result."""
+        return self.output.shape[0] if self.output.ndim == 3 else None
 
 
 class _Accumulator:
@@ -111,19 +137,22 @@ class _Accumulator:
 
 
 class _BatchAccumulator:
-    """Running (output, weight) state for all heads at once.
+    """Running (output, weight) state for all execution lanes at once.
 
-    Merges are performed on flattened ``(head, query)`` selections; each
-    selection within one :meth:`add_part` call holds a query at most once
-    per head, so the pairwise merge chain per ``(head, query)`` is exactly
-    the per-head chain of :class:`_Accumulator`.
+    A *lane* is one (sequence, head) pair: single-sequence runs carry one
+    lane per head, batched runs fold the batch and head axes into
+    ``b * heads`` lanes.  Merges are performed on flattened
+    ``(lane, query)`` selections; each selection within one
+    :meth:`add_part` call holds a query at most once per lane, so the
+    pairwise merge chain per ``(lane, query)`` is exactly the per-head
+    chain of :class:`_Accumulator` for that lane's sequence.
     """
 
-    def __init__(self, heads: int, n: int, d: int, module: WeightedSumModule) -> None:
-        self.out = np.zeros((heads, n, d), dtype=np.float64)
-        self.w = np.zeros((heads, n), dtype=np.float64)
-        self.has = np.zeros((heads, n), dtype=bool)
-        self.parts = np.zeros((heads, n), dtype=np.int64)
+    def __init__(self, lanes: int, n: int, d: int, module: WeightedSumModule) -> None:
+        self.out = np.zeros((lanes, n, d), dtype=np.float64)
+        self.w = np.zeros((lanes, n), dtype=np.float64)
+        self.has = np.zeros((lanes, n), dtype=bool)
+        self.parts = np.zeros((lanes, n), dtype=np.int64)
         self.module = module
         self.merges = 0
 
@@ -188,12 +217,21 @@ class FunctionalEngine:
         v: np.ndarray,
         scale: Optional[float] = None,
     ) -> FunctionalResult:
-        """Compute the sparse attention output for ``(n, heads*head_dim)`` inputs."""
+        """Compute the sparse attention output.
+
+        ``q``, ``k``, ``v`` are either a single sequence
+        ``(n, heads*head_dim)`` or a batch of same-plan sequences
+        ``(b, n, heads*head_dim)``; the result's shapes follow the input
+        rank.  Batched outputs are bit-identical to looping the
+        single-sequence call over the batch.
+        """
         plan = self.plan
         q = np.asarray(q, dtype=np.float64)
         k = np.asarray(k, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
-        n, hidden = q.shape
+        if q.ndim not in (2, 3):
+            raise EngineError(f"q must be (n, hidden) or (b, n, hidden), got shape {q.shape}")
+        n, hidden = q.shape[-2:]
         if n != plan.n:
             raise EngineError(f"plan is for n={plan.n}, data has n={n}")
         if hidden != plan.heads * plan.head_dim:
@@ -201,13 +239,29 @@ class FunctionalEngine:
                 f"hidden size {hidden} != heads*head_dim = {plan.heads * plan.head_dim}"
             )
         if k.shape != q.shape or v.shape != q.shape:
-            raise EngineError("q, k, v must share shape (n, hidden)")
+            raise EngineError("q, k, v must share shape")
         if scale is None:
             scale = 1.0 / np.sqrt(plan.head_dim)
 
         if self.use_compiled:
             return self._run_compiled(q, k, v, scale)
 
+        if q.ndim == 3:
+            # Reference semantics of a batch: independent per-sequence runs.
+            results = [self._run_legacy(q[b], k[b], v[b], scale) for b in range(q.shape[0])]
+            return FunctionalResult(
+                output=np.stack([r.output for r in results]),
+                merges=sum(r.merges for r in results),
+                parts=np.stack([r.parts for r in results]),
+            )
+        return self._run_legacy(q, k, v, scale)
+
+    def _run_legacy(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+    ) -> FunctionalResult:
+        """Per-head, per-pass reference path for one sequence."""
+        plan = self.plan
+        n, hidden = q.shape
         out = np.empty((n, hidden), dtype=np.float64)
         merges = 0
         parts = np.zeros((plan.heads, n), dtype=np.int64)
@@ -228,17 +282,32 @@ class FunctionalEngine:
         plan = self.plan
         cp = plan.compiled()
         n, d, heads = plan.n, plan.head_dim, plan.heads
-        # Quantise once for all heads; (n, H*d) -> (H, n, d).
+        batched = q.ndim == 3
+        b = q.shape[0] if batched else 1
+        lanes = b * heads
+        # Quantise once for all lanes; (b?, n, H*d) -> (b*H, n, d).  Every
+        # lane's slab has the same contiguous (n, d) layout a b=1 call
+        # produces, so downstream reductions see identical summation
+        # trees per sequence.
         qh = np.ascontiguousarray(
-            self.datapath.quantize_input(q).reshape(n, heads, d).transpose(1, 0, 2)
+            self.datapath.quantize_input(q)
+            .reshape(b, n, heads, d)
+            .transpose(0, 2, 1, 3)
+            .reshape(lanes, n, d)
         )
         kh = np.ascontiguousarray(
-            self.datapath.quantize_input(k).reshape(n, heads, d).transpose(1, 0, 2)
+            self.datapath.quantize_input(k)
+            .reshape(b, n, heads, d)
+            .transpose(0, 2, 1, 3)
+            .reshape(lanes, n, d)
         )
         vh = np.ascontiguousarray(
-            self.datapath.quantize_input(v).reshape(n, heads, d).transpose(1, 0, 2)
+            self.datapath.quantize_input(v)
+            .reshape(b, n, heads, d)
+            .transpose(0, 2, 1, 3)
+            .reshape(lanes, n, d)
         )
-        acc = _BatchAccumulator(heads, n, d, self.module)
+        acc = _BatchAccumulator(lanes, n, d, self.module)
 
         for job in cp.window_jobs:
             self._run_window_job(job, qh, kh, vh, scale, acc)
@@ -252,8 +321,14 @@ class FunctionalEngine:
                 f"queries {missing[:8].tolist()}... received no attention part; "
                 "the pattern leaves them without keys"
             )
-        output = np.ascontiguousarray(acc.out.transpose(1, 0, 2)).reshape(n, heads * d)
-        return FunctionalResult(output=output, merges=acc.merges, parts=acc.parts)
+        parts = acc.parts.reshape(b, heads, n)
+        output = np.ascontiguousarray(
+            acc.out.reshape(b, heads, n, d).transpose(0, 2, 1, 3)
+        ).reshape(b, n, heads * d)
+        if not batched:
+            output = output.reshape(n, heads * d)
+            parts = parts.reshape(heads, n)
+        return FunctionalResult(output=output, merges=acc.merges, parts=parts)
 
     def _stages_batched(
         self,
@@ -303,10 +378,10 @@ class FunctionalEngine:
         (see ``scheduler.compiled``).  Memory is bounded by slicing the
         block axis into chunks.
         """
-        heads, _, d = qh.shape
+        lanes, _, d = qh.shape
         rows, cols = job.rows, job.cols
         num_blocks = job.num_blocks
-        per_block = heads * job.num_groups * rows * cols * d
+        per_block = lanes * job.num_groups * rows * cols * d
         chunk = max(1, _JOB_ELEMENT_BUDGET // max(1, per_block))
         for b0 in range(0, num_blocks, chunk):
             b1 = min(b0 + chunk, num_blocks)
@@ -337,14 +412,15 @@ class FunctionalEngine:
     def _segment_views(
         job: WindowJob, xh: np.ndarray, b0: int, b1: int
     ) -> Tuple[np.ndarray, ...]:
-        """Per-segment ``(H, G, Bc, R, W, d)`` diagonal window views of ``xh``.
+        """Per-segment ``(L, G, Bc, R, W, d)`` diagonal window views of ``xh``.
 
-        Each segment gathers one small ``(H, G, L, d)`` block of vectors
-        and exposes the per-cell operands through overlapping strides —
-        mirroring the diagonal k/v forwarding of the PE array, which
-        serves ``rows x cols`` cells from ``rows + cols - 1`` vectors.
+        ``L`` is the lane axis (batch x heads).  Each segment gathers one
+        small ``(L, G, len, d)`` block of vectors and exposes the per-cell
+        operands through overlapping strides — mirroring the diagonal k/v
+        forwarding of the PE array, which serves ``rows x cols`` cells
+        from ``rows + cols - 1`` vectors.
         """
-        heads, _, d = xh.shape
+        lanes, _, d = xh.shape
         views = []
         for seg in job.segments:
             lo = b0 * seg.block_step
@@ -354,7 +430,7 @@ class FunctionalEngine:
             views.append(
                 as_strided(
                     block,
-                    (heads, job.num_groups, b1 - b0, job.rows, seg.width, d),
+                    (lanes, job.num_groups, b1 - b0, job.rows, seg.width, d),
                     (s_h, s_g, seg.block_step * s_l, s_l, s_l, s_d),
                 )
             )
@@ -418,6 +494,13 @@ class FunctionalEngine:
             out[:, idx] = o
             w[:, idx] = ww
             has[:, idx] = hh
+        if heads_n * num_g == 1:
+            # Serving-path fast path: one lane, one global token.  The
+            # general chain below spends most of its time building (1, 1)
+            # boolean masks and fancy indices per batch; the scalar chain
+            # performs the identical merges on fixed (1, d)/(1,) slices.
+            self._merge_global_chain_scalar(cp, out, w, has, acc)
+            return
         # The batches form a private merge chain: no other part ever
         # touches a global query row, so run the chain on local (H, G)
         # state and commit it to the accumulator once at the end.
@@ -449,6 +532,41 @@ class FunctionalEngine:
         acc.w[h_idx, gtok[g_idx]] = w_run[has_run]
         acc.has[h_idx, gtok[g_idx]] = True
         acc.parts[:, gtok] += parts_run
+
+    def _merge_global_chain_scalar(self, cp, out, w, has, acc) -> None:
+        """Global-row merge chain for the ``lanes * globals == 1`` case.
+
+        Operates on the same ``(1, d)`` / ``(1,)`` operand shapes the
+        general chain passes to :meth:`WeightedSumModule.merge` (so the
+        arithmetic is bit-identical), but replaces the per-batch mask and
+        fancy-index bookkeeping with direct scalar control flow.
+        """
+        o2 = out[0, :, 0]  # (num_b, d)
+        w2 = w[0, :, 0]  # (num_b,)
+        h2 = has[0, :, 0]  # (num_b,)
+        out_run: Optional[np.ndarray] = None
+        w_run: Optional[np.ndarray] = None
+        parts = 0
+        merges = 0
+        for bi in range(o2.shape[0]):
+            if not h2[bi]:
+                continue
+            if out_run is None:
+                out_run = o2[bi : bi + 1]
+                w_run = w2[bi : bi + 1]
+            else:
+                out_run, w_run = self.module.merge(
+                    out_run, w_run, o2[bi : bi + 1], w2[bi : bi + 1]
+                )
+                merges += 1
+            parts += 1
+        g = cp.global_tokens[0]
+        if out_run is not None:
+            acc.out[0, g] = out_run[0]
+            acc.w[0, g] = w_run[0]
+            acc.has[0, g] = True
+        acc.parts[0, g] += parts
+        acc.merges += merges
 
     # ------------------------------------------------------------------
     # Legacy per-head, per-pass path (reference implementation)

@@ -6,6 +6,7 @@ Usage::
     salo-repro run fig7a_speedup         # one experiment
     salo-repro run table3_quantization --fast
     salo-repro all [--fast]              # everything, in DESIGN.md order
+    salo-repro serve --requests 64       # replay a synthetic serving trace
 """
 
 from __future__ import annotations
@@ -60,6 +61,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     all_p = sub.add_parser("all", help="run every experiment in paper order")
     all_p.add_argument("--fast", action="store_true", help="reduced problem sizes")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="replay a synthetic request trace through the batching serving layer",
+        description=(
+            "Generates a synthetic multi-pattern request trace, serves it through "
+            "the length-bucketed batch scheduler (one batched engine dispatch per "
+            "batch) and reports throughput, latency percentiles and the speedup "
+            "over one-call-per-request execution of the same work."
+        ),
+    )
+    serve_p.add_argument("--requests", type=int, default=64, help="trace length (default 64)")
+    serve_p.add_argument("--batch-size", type=int, default=8, help="max requests per batch")
+    serve_p.add_argument("--n", type=int, default=256, help="base sequence length")
+    serve_p.add_argument("--window", type=int, default=32, help="attention window width")
+    serve_p.add_argument("--heads", type=int, default=2, help="attention heads")
+    serve_p.add_argument("--head-dim", type=int, default=8, help="per-head width")
+    serve_p.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    serve_p.add_argument(
+        "--uniform",
+        action="store_true",
+        help="single pattern family (default: mixed families and lengths)",
+    )
+    serve_p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the sequential one-call-per-request comparison",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -77,6 +106,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = fn(fast=args.fast)
         print(result.render())
         print(f"\n[{args.experiment} finished in {time.perf_counter() - t0:.1f}s]")
+        return 0
+
+    if args.command == "serve":
+        from .serving import TraceSpec, replay, synthetic_trace
+
+        spec = TraceSpec(
+            num_requests=args.requests,
+            n=args.n,
+            window=args.window,
+            heads=args.heads,
+            head_dim=args.head_dim,
+            mixed=not args.uniform,
+            seed=args.seed,
+        )
+        t0 = time.perf_counter()
+        report = replay(
+            synthetic_trace(spec),
+            max_batch_size=args.batch_size,
+            compare_sequential=not args.no_baseline,
+        )
+        print(report.render())
+        print(f"\n[serve finished in {time.perf_counter() - t0:.1f}s]")
         return 0
 
     if args.command == "all":

@@ -20,7 +20,17 @@ buffer checking and the cost models entirely and goes straight to the
 batched functional engine — the repeated-traffic scenario a deployed
 simulator serves.  Different :class:`SALO` instances (e.g. different
 hardware configs) never share cache entries because the config is part
-of the key.
+of the key.  ``plan_cache_size=0`` disables caching; every cacheable
+call then counts as a miss so hit-rate accounting stays meaningful.
+``cache_info()`` exposes the counters.
+
+Cross-request batching
+----------------------
+:meth:`attend` also accepts a leading batch axis ``(b, n, hidden)``: a
+batch of independent same-pattern sequences executed by a single engine
+dispatch (bit-identical to ``b`` separate calls).  The
+:mod:`repro.serving` layer builds such batches from queued requests —
+request → length bucket → batch → engine — and this is its entry point.
 """
 
 from __future__ import annotations
@@ -42,12 +52,32 @@ from ..scheduler.scheduler import DataScheduler
 from .config import HardwareConfig
 from .stats import RunStats
 
-__all__ = ["SALO", "AttentionResult"]
+__all__ = ["SALO", "AttentionResult", "pattern_structure_key"]
+
+
+def pattern_structure_key(pattern: AttentionPattern) -> Optional[Tuple]:
+    """Structural identity of a pattern, or ``None`` when opaque.
+
+    Two patterns with equal keys are guaranteed to schedule to the same
+    execution plan (given equal hardware config and head layout).  Both
+    the SALO plan cache and the serving layer's batch grouping derive
+    their keys from this single definition, so they can never drift
+    apart.
+    """
+    bands = pattern.bands()
+    if bands is None:
+        return None
+    return (pattern.n, tuple(bands), tuple(pattern.global_tokens()))
 
 
 @dataclass
 class AttentionResult:
-    """Output of :meth:`SALO.attend`."""
+    """Output of :meth:`SALO.attend`.
+
+    ``stats`` is structural (per single sequence of the plan); for a
+    batched call the accelerator would run the plan once per sequence,
+    so whole-batch latency scales the per-sequence timing by ``b``.
+    """
 
     output: np.ndarray
     stats: RunStats
@@ -109,29 +139,26 @@ class SALO:
     ) -> Optional[Tuple]:
         """Structural cache key, or ``None`` when the pattern is opaque.
 
-        A plan depends only on the band/global structure of the pattern,
-        the hardware config and the head layout, so the key captures
-        exactly those.  The config is a frozen dataclass and participates
-        in equality, which makes entries from different configurations
-        (or a replaced ``config``) unreachable rather than stale.
+        A plan depends only on the band/global structure of the pattern
+        (:func:`pattern_structure_key`), the hardware config and the head
+        layout, so the key captures exactly those.  The config is a
+        frozen dataclass and participates in equality, which makes
+        entries from different configurations (or a replaced ``config``)
+        unreachable rather than stale.
         """
-        bands = pattern.bands()
-        if bands is None:
+        structure = pattern_structure_key(pattern)
+        if structure is None:
             return None
-        return (
-            pattern.n,
-            tuple(bands),
-            tuple(pattern.global_tokens()),
-            self.config,
-            heads,
-            head_dim,
-        )
+        return structure + (self.config, heads, head_dim)
 
     def _lookup(
         self, pattern: AttentionPattern, heads: int, head_dim: int
     ) -> Tuple[Optional[Tuple], Optional[_CacheEntry]]:
         key = self._plan_key(pattern, heads, head_dim)
-        if key is None or self.plan_cache_size <= 0:
+        if key is None:
+            return key, None  # opaque pattern: uncacheable, not a miss
+        if self.plan_cache_size <= 0:
+            self.plan_cache_misses += 1
             return key, None
         entry = self._plan_cache.get(key)
         if entry is not None:
@@ -162,6 +189,17 @@ class SALO:
     def clear_plan_cache(self) -> None:
         """Drop every cached plan (hit/miss counters are kept)."""
         self._plan_cache.clear()
+
+    def cache_info(self) -> dict:
+        """Serving-cache observability: size, capacity and hit statistics."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return {
+            "size": len(self._plan_cache),
+            "capacity": self.plan_cache_size,
+            "hits": self.plan_cache_hits,
+            "misses": self.plan_cache_misses,
+            "hit_rate": self.plan_cache_hits / total if total else 0.0,
+        }
 
     # ------------------------------------------------------------------
     def schedule(
@@ -200,14 +238,19 @@ class SALO:
     ) -> AttentionResult:
         """Compute sparse attention on the accelerator model.
 
-        ``q``, ``k``, ``v`` have shape ``(n, hidden)`` with ``hidden``
-        divisible by ``heads``; the output concatenates per-head results as
-        in Figure 1.  Repeated calls with the same pattern structure hit
-        the plan cache and skip scheduling, compilation, buffer checks and
-        the cost models (see module docstring).
+        ``q``, ``k``, ``v`` have shape ``(n, hidden)`` — or, for a batch
+        of independent same-pattern sequences, ``(b, n, hidden)`` — with
+        ``hidden`` divisible by ``heads``; the output concatenates
+        per-head results as in Figure 1 and follows the input rank.
+        Batched outputs are bit-identical to ``b`` single-sequence calls.
+        Repeated calls with the same pattern structure hit the plan cache
+        and skip scheduling, compilation, buffer checks and the cost
+        models (see module docstring).
         """
         q = np.asarray(q, dtype=np.float64)
-        n, hidden = q.shape
+        if q.ndim not in (2, 3):
+            raise ValueError(f"q must be (n, hidden) or (b, n, hidden), got shape {q.shape}")
+        n, hidden = q.shape[-2:]
         if hidden % heads != 0:
             raise ValueError(f"hidden size {hidden} not divisible by heads {heads}")
         head_dim = hidden // heads

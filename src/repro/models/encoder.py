@@ -8,6 +8,11 @@ combines the accelerator cycles with a host-side projection/FFN estimate
 so that whole-layer (rather than attention-only) performance can be
 studied; the paper's evaluation isolates the attention, so the attention
 split is also reported separately.
+
+Both the layer and the stack accept a leading batch axis ``(b, n, dim)``:
+the host blocks broadcast over it and the attention executes as one
+batched SALO dispatch per layer, the serving-path configuration for
+same-length traffic.
 """
 
 from __future__ import annotations
@@ -33,15 +38,23 @@ __all__ = ["SparseEncoderLayer", "SparseEncoder", "LayerRunResult"]
 
 @dataclass
 class LayerRunResult:
-    """Output and accounting of one encoder-layer forward."""
+    """Output and accounting of one encoder-layer forward.
+
+    For batched forwards both sides of the accounting scale with the
+    batch: ``host_flops`` covers all ``batch`` sequences and
+    ``attention_seconds`` multiplies the plan's per-sequence latency by
+    ``batch`` (the accelerator runs the plan once per sequence), so
+    Amdahl-style splits stay consistent at any batch size.
+    """
 
     output: np.ndarray
     attention: AttentionResult
     host_flops: int
+    batch: int = 1
 
     @property
     def attention_seconds(self) -> float:
-        return self.attention.stats.latency_s
+        return self.batch * self.attention.stats.latency_s
 
 
 class SparseEncoderLayer:
@@ -78,9 +91,17 @@ class SparseEncoderLayer:
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> LayerRunResult:
-        """(n, dim) → (n, dim) through accelerator + host blocks."""
+        """(n, dim) → (n, dim) through accelerator + host blocks.
+
+        Also accepts a batch of same-length sequences ``(b, n, dim)``;
+        the whole batch then runs as one batched accelerator dispatch
+        (bit-identical to per-sequence forwards) and the output keeps
+        the leading batch axis.
+        """
         x = np.asarray(x, dtype=np.float64)
-        n, dim = x.shape
+        if x.ndim not in (2, 3):
+            raise ValueError(f"input must be (n, dim) or (b, n, dim), got shape {x.shape}")
+        n, dim = x.shape[-2:]
         if dim != self.dim:
             raise ValueError(f"layer is dim={self.dim}, input has dim={dim}")
         h = self.ln1(x)
@@ -89,8 +110,9 @@ class SparseEncoderLayer:
         )
         x = x + self.wo(attn.output)
         x = x + self.ffn(self.ln2(x))
-        host_flops = self.host_flops(n)
-        return LayerRunResult(output=x, attention=attn, host_flops=host_flops)
+        batch = x.shape[0] if x.ndim == 3 else 1
+        host_flops = batch * self.host_flops(n)
+        return LayerRunResult(output=x, attention=attn, host_flops=host_flops, batch=batch)
 
     def host_flops(self, n: int) -> int:
         """Multiply-accumulate count of the host-side blocks."""
@@ -136,8 +158,9 @@ class SparseEncoder:
         ]
 
     def forward(self, x: np.ndarray) -> List[LayerRunResult]:
-        """Run the stack; returns per-layer results (last one holds the
-        final hidden states)."""
+        """Run the stack on ``(n, dim)`` or batched ``(b, n, dim)`` input;
+        returns per-layer results (last one holds the final hidden
+        states)."""
         results: List[LayerRunResult] = []
         for layer in self.layers:
             res = layer.forward(x)

@@ -132,7 +132,12 @@ class SparseMultiHeadAttention(Module):
         return x.reshape(batch, n, self.heads, self.head_dim).transpose(1, 2)
 
     def forward(self, x: Tensor) -> Tensor:
-        """(batch, n, dim) → (batch, n, dim)."""
+        """(batch, n, dim) → (batch, n, dim); also accepts unbatched
+        ``(n, dim)`` input, which is routed through the batched path as a
+        batch of one and returned unbatched."""
+        if x.ndim == 2:
+            n, dim = x.shape
+            return self.forward(x.reshape(1, n, dim)).reshape(n, dim)
         batch, n, _ = x.shape
         if n != self.pattern.n:
             raise ValueError(f"pattern is for n={self.pattern.n}, input has n={n}")

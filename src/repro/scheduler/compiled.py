@@ -372,25 +372,126 @@ def _position_families(
     return jobs
 
 
+def _index_tensors(plan: "ExecutionPlan"):
+    """Vectorised construction of the padded per-pass index tensors.
+
+    The seed walked ``plan.passes`` in Python, paying several numpy
+    allocations per pass (~50 µs each; >100 ms for >1k-pass plans).
+    Passes sharing a segment tuple have key ids of the closed form
+    ``base[col] + q_position * dilation[col]`` with ``base``/``dilation``
+    fixed per column, so the walk reduces to one cheap attribute sweep
+    plus one broadcast per distinct segment tuple (a handful per plan).
+    """
+    n = plan.n
+    passes = plan.passes
+    num_passes = len(passes)
+
+    lengths = np.fromiter(
+        (len(tp.q_positions) for tp in passes), dtype=np.int64, count=num_passes
+    )
+    residues = np.fromiter(
+        (tp.query_residue for tp in passes), dtype=np.int64, count=num_passes
+    )
+    dilations = np.fromiter((tp.dilation for tp in passes), dtype=np.int64, count=num_passes)
+    seg_groups: dict = {}  # segment tuple -> [pass indices]
+    for i, tp in enumerate(passes):
+        seg_groups.setdefault(tp.segments, []).append(i)
+
+    pad_rows = int(lengths.max()) if num_passes else 1
+    seg_cols = {segs: sum(s.width for s in segs) for segs in seg_groups}
+    pad_cols = max(seg_cols.values(), default=1)
+
+    row_valid = np.arange(pad_rows, dtype=np.int64)[None, :] < lengths[:, None]
+    qpos = np.zeros((num_passes, pad_rows), dtype=np.int64)
+    qpos[row_valid] = np.fromiter(
+        (p for tp in passes for p in tp.q_positions), dtype=np.int64, count=int(lengths.sum())
+    )
+    q_ids = np.where(row_valid, residues[:, None] + qpos * dilations[:, None], -1)
+
+    key_ids = np.full((num_passes, pad_rows, pad_cols), -1, dtype=np.int64)
+    cols_used = np.empty(num_passes, dtype=np.int64)
+    for segs, idx in seg_groups.items():
+        cols = seg_cols[segs]
+        ia = np.asarray(idx, dtype=np.int64)
+        cols_used[ia] = cols
+        base = np.concatenate(
+            [
+                s.key_residue + (s.rel_lo + np.arange(s.width, dtype=np.int64)) * s.dilation
+                for s in segs
+            ]
+        )
+        dcol = np.concatenate([np.full(s.width, s.dilation, dtype=np.int64) for s in segs])
+        ids = base[None, None, :] + qpos[ia][:, :, None] * dcol[None, None, :]
+        ok = (ids >= 0) & (ids < n) & row_valid[ia][:, :, None]
+        key_ids[ia, :, :cols] = np.where(ok, ids, -1)
+
+    return q_ids, key_ids, lengths, cols_used, pad_rows, pad_cols
+
+
+def _global_row_schedule_vectorized(
+    n: int, raw_key_ids: np.ndarray, pe_cols: int
+) -> Tuple[List[np.ndarray], int]:
+    """Vectorised equivalent of :meth:`ExecutionPlan.global_row_schedule`.
+
+    A key's batch is determined by the *first* pass that streams it; the
+    sequential seen-set walk therefore reduces to a stable sort of
+    (token, pass) pairs.  Batches come out in first-pass order with
+    tokens ascending — exactly the reference walk's output.
+    """
+    num_passes = raw_key_ids.shape[0]
+    flat = raw_key_ids.reshape(num_passes, -1)
+    batches: List[np.ndarray] = []
+    seen = np.zeros(n, dtype=bool)
+    if num_passes and (num_passes + 1) * (n + 1) <= (1 << 27):
+        # Tokens are bounded by n, so a (passes, n) membership table plus
+        # argmax finds each token's first pass without sorting the full
+        # (token, pass) stream; masked cells land in a spill column.
+        contains = np.zeros((num_passes, n + 1), dtype=bool)
+        rows = np.broadcast_to(np.arange(num_passes)[:, None], flat.shape)
+        contains[rows, np.where(flat >= 0, flat, n)] = True
+        cov = contains[:, :n]
+        covered = cov.any(axis=0)
+        first_pass = cov.argmax(axis=0)
+        uniq_tok = np.flatnonzero(covered)
+        first_pass = first_pass[uniq_tok]
+    elif num_passes:  # pragma: no cover - very large plans only
+        mask = flat >= 0
+        tokens = flat[mask]
+        pass_of = np.broadcast_to(
+            np.arange(num_passes, dtype=np.int64)[:, None], flat.shape
+        )[mask]
+        order = np.argsort(tokens, kind="stable")  # pass index ascending within a token
+        ts, ps = tokens[order], pass_of[order]
+        first = np.ones(ts.size, dtype=bool)
+        first[1:] = ts[1:] != ts[:-1]
+        uniq_tok, first_pass = ts[first], ps[first]
+    else:
+        uniq_tok = np.zeros(0, dtype=np.int64)
+        first_pass = np.zeros(0, dtype=np.int64)
+    if uniq_tok.size:
+        regroup = np.argsort(first_pass, kind="stable")  # tokens stay ascending per batch
+        uniq_tok2, first_pass2 = uniq_tok[regroup], first_pass[regroup]
+        cuts = np.flatnonzero(first_pass2[1:] != first_pass2[:-1]) + 1
+        batches = [
+            np.ascontiguousarray(b.astype(np.int64, copy=False))
+            for b in np.split(uniq_tok2, cuts)
+        ]
+        seen[uniq_tok] = True
+    remaining = np.flatnonzero(~seen)
+    cleanup = 0
+    for start in range(0, len(remaining), pe_cols):
+        batches.append(remaining[start : start + pe_cols])
+        cleanup += 1
+    return batches, cleanup
+
+
 def compile_plan(plan: "ExecutionPlan") -> CompiledPlan:
     """Precompute every structural tensor of ``plan`` (see module docstring)."""
     n = plan.n
     passes = plan.passes
     num_passes = len(passes)
-    pad_rows = max((tp.rows_used for tp in passes), default=1)
-    pad_cols = max((tp.cols_used for tp in passes), default=1)
-
-    q_ids = np.full((num_passes, pad_rows), -1, dtype=np.int64)
-    key_ids = np.full((num_passes, pad_rows, pad_cols), -1, dtype=np.int64)
-    rows_used = np.empty(num_passes, dtype=np.int64)
-    cols_used = np.empty(num_passes, dtype=np.int64)
-    for i, tp in enumerate(passes):
-        q = tp.query_ids()
-        ids = tp.key_ids(n)  # clipped to the sequence, globals still present
-        rows_used[i] = tp.rows_used
-        cols_used[i] = tp.cols_used
-        q_ids[i, : len(q)] = q
-        key_ids[i, : ids.shape[0], : ids.shape[1]] = ids
+    q_ids, key_ids, rows_used, cols_used, pad_rows, pad_cols = _index_tensors(plan)
+    raw_key_ids = key_ids  # clipped to the sequence, globals still present
 
     row_valid = q_ids >= 0
     gtok = np.asarray(plan.global_tokens, dtype=np.int64)
@@ -427,6 +528,13 @@ def compile_plan(plan: "ExecutionPlan") -> CompiledPlan:
     nonglobal_rows = np.flatnonzero(mask)
 
     if len(gtok):
+        if plan._schedule is None:
+            # Pre-populate the plan's memo so neither engine ever pays
+            # for the per-pass Python walk (kept as the reference; see
+            # tests/scheduler/test_compiled.py).
+            plan._schedule = _global_row_schedule_vectorized(
+                n, raw_key_ids, plan.config.pe_cols
+            )
         batches = plan.global_row_schedule()
         cleanup = plan.global_row_cleanup_batches
         max_len = max((len(b) for b in batches), default=1)

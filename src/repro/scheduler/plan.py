@@ -219,7 +219,10 @@ class ExecutionPlan:
         identical.
 
         The schedule is memoized; callers must not mutate the returned
-        list or its arrays.
+        list or its arrays.  :func:`~repro.scheduler.compiled.compile_plan`
+        pre-populates the memo with a vectorised computation, so the
+        per-pass walk below only runs for plans that are never compiled
+        (it is kept as the reference implementation).
         """
         if self._schedule is None:
             seen = np.zeros(self.n, dtype=bool)

@@ -1,0 +1,29 @@
+"""Batched multi-sequence serving layer (request -> bucket -> batch -> engine).
+
+The reproduction's serving path for repeated-structure traffic: queued
+:class:`AttentionRequest` objects are grouped by execution-plan key and
+length bucket (:class:`BatchScheduler`), stacked into same-plan batches,
+and executed as single batched engine dispatches by a
+:class:`ServingSession` — amortising scheduling, plan compilation and
+per-job dispatch across requests while keeping outputs bit-identical to
+per-request calls.
+"""
+
+from .batching import Batch, BatchScheduler, length_bucket
+from .request import AttentionRequest, RequestResult
+from .session import ServingSession, ServingStats
+from .trace import ReplayReport, TraceSpec, replay, synthetic_trace
+
+__all__ = [
+    "AttentionRequest",
+    "RequestResult",
+    "Batch",
+    "BatchScheduler",
+    "length_bucket",
+    "ServingSession",
+    "ServingStats",
+    "TraceSpec",
+    "ReplayReport",
+    "replay",
+    "synthetic_trace",
+]

@@ -1,0 +1,153 @@
+"""Length bucketing and plan-keyed batch formation.
+
+The batch scheduler turns a stream of :class:`AttentionRequest` objects
+into same-plan batches the engine can execute as one dispatch:
+
+* **Group key** — requests batch together only when they are guaranteed
+  to produce the same execution plan: identical pattern structure (band
+  geometry, global tokens, sequence length), head count and hidden size.
+  The structural part mirrors ``SALO._plan_key``, so every request of a
+  batch hits the same plan-cache entry.  Opaque patterns (no band
+  decomposition) cannot prove structural equality, so the scheduler
+  queues them as singleton batches — note that
+  :meth:`~repro.serving.session.ServingSession.submit` rejects them up
+  front, since SALO cannot schedule a pattern without band structure.
+* **Length bucket** — queues are additionally labelled with the
+  power-of-two bucket of the sequence length.  Buckets make queue
+  observability (and any future cross-length padding policy) explicit:
+  ``pending_by_bucket`` reports queue depth per (structure, bucket).
+* **FIFO fairness** — :meth:`BatchScheduler.next_batch` always serves
+  the queue whose head request arrived earliest, taking up to
+  ``max_batch_size`` requests from it; within a queue, order is arrival
+  order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from ..core.salo import pattern_structure_key
+from .request import AttentionRequest
+
+__all__ = ["length_bucket", "Batch", "BatchScheduler"]
+
+
+def length_bucket(n: int, floor: int = 16) -> int:
+    """Smallest power of two >= ``n`` (at least ``floor``).
+
+    Used to label scheduler queues by sequence-length class; requests
+    only ever batch within a bucket (their plan keys pin the exact
+    length, so a bucket can hold several distinct queues).
+    """
+    if n < 1:
+        raise ValueError(f"sequence length must be >= 1, got {n}")
+    bucket = floor
+    while bucket < n:
+        bucket *= 2
+    return bucket
+
+
+class Batch:
+    """A group of requests guaranteed to share one execution plan."""
+
+    def __init__(self, requests: List[AttentionRequest], key: Hashable, bucket: int) -> None:
+        if not requests:
+            raise ValueError("a batch needs at least one request")
+        self.requests = list(requests)
+        self.key = key
+        self.bucket = bucket
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def pattern(self):
+        return self.requests[0].pattern
+
+    @property
+    def heads(self) -> int:
+        return self.requests[0].heads
+
+    @property
+    def n(self) -> int:
+        return self.requests[0].n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Batch(size={self.size}, n={self.n}, bucket={self.bucket})"
+
+
+class BatchScheduler:
+    """Groups queued requests by plan key and length bucket (FIFO)."""
+
+    def __init__(self, max_batch_size: int = 8, bucket_floor: int = 16) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.bucket_floor = bucket_floor
+        self._queues: "OrderedDict[Tuple, Deque[AttentionRequest]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def group_key(self, request: AttentionRequest) -> Tuple:
+        """(structural plan key, length bucket) for a request.
+
+        The structural part is :func:`~repro.core.salo.pattern_structure_key`
+        — the same definition the SALO plan cache keys on — so two
+        requests with equal keys are guaranteed to compile to the same
+        plan and may execute as one batched engine dispatch.
+        """
+        bucket = length_bucket(request.n, self.bucket_floor)
+        structure = pattern_structure_key(request.pattern)
+        if structure is None:
+            # Opaque pattern: structural equality is unprovable, so the
+            # request gets a private queue (and a singleton batch).  The
+            # request's identity keeps the key pure and repeatable; the
+            # queue only lives while the request is queued.
+            return ("opaque", id(request), bucket)
+        return structure + (request.heads, request.hidden, bucket)
+
+    def enqueue(self, request: AttentionRequest) -> Tuple:
+        """Queue a request; returns its group key."""
+        key = self.group_key(request)
+        self._queues.setdefault(key, deque()).append(request)
+        return key
+
+    def next_batch(self) -> Optional[Batch]:
+        """Pop the next batch, or ``None`` when nothing is queued.
+
+        Serves the queue whose head request has waited longest, so no
+        pattern family can starve another under mixed traffic.
+        """
+        best_key = None
+        best_arrival = None
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            arrival = queue[0].arrival_s
+            if best_arrival is None or arrival < best_arrival:
+                best_key, best_arrival = key, arrival
+        if best_key is None:
+            return None
+        queue = self._queues[best_key]
+        members = [queue.popleft() for _ in range(min(self.max_batch_size, len(queue)))]
+        if not queue:
+            del self._queues[best_key]
+        return Batch(members, key=best_key, bucket=best_key[-1])
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued requests."""
+        return sum(len(q) for q in self._queues.values())
+
+    def __len__(self) -> int:
+        return self.pending
+
+    def pending_by_bucket(self) -> Dict[int, int]:
+        """Queue depth per length bucket (observability)."""
+        depths: Dict[int, int] = {}
+        for key, queue in self._queues.items():
+            bucket = key[-1]
+            depths[bucket] = depths.get(bucket, 0) + len(queue)
+        return depths

@@ -1,0 +1,85 @@
+"""Attention requests: the unit of work the serving layer queues.
+
+An :class:`AttentionRequest` is one sequence's sparse-attention call —
+pattern, Q/K/V operands and head layout — plus the arrival timestamp the
+latency accounting is anchored to.  The serving layer batches requests
+that share an execution plan (same pattern structure, head layout and
+hardware config) into a single engine dispatch; see
+:mod:`repro.serving.batching`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..patterns.base import AttentionPattern
+
+__all__ = ["AttentionRequest", "RequestResult"]
+
+
+@dataclass
+class AttentionRequest:
+    """One queued sparse-attention call.
+
+    ``q``, ``k``, ``v`` have shape ``(n, hidden)`` with ``n`` equal to
+    the pattern's sequence length and ``hidden`` divisible by ``heads``.
+    ``arrival_s`` is the submission timestamp (session clock) queueing
+    delay is measured from.
+    """
+
+    request_id: Hashable
+    pattern: AttentionPattern
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    heads: int = 1
+    arrival_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.q = np.asarray(self.q, dtype=np.float64)
+        self.k = np.asarray(self.k, dtype=np.float64)
+        self.v = np.asarray(self.v, dtype=np.float64)
+        if self.q.ndim != 2:
+            raise ValueError(f"request q must be (n, hidden), got shape {self.q.shape}")
+        if self.k.shape != self.q.shape or self.v.shape != self.q.shape:
+            raise ValueError("request q, k, v must share shape (n, hidden)")
+        if self.q.shape[0] != self.pattern.n:
+            raise ValueError(
+                f"pattern is for n={self.pattern.n}, request data has n={self.q.shape[0]}"
+            )
+        if self.heads < 1 or self.q.shape[1] % self.heads != 0:
+            raise ValueError(
+                f"hidden size {self.q.shape[1]} not divisible by heads {self.heads}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def hidden(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+@dataclass
+class RequestResult:
+    """Per-request outcome and latency split recorded by the session."""
+
+    request_id: Hashable
+    output: np.ndarray  # (n, hidden)
+    batch_size: int  # size of the batch this request executed in
+    queue_s: float  # submit -> batch dispatch
+    service_s: float  # batch dispatch -> outputs ready (shared by the batch)
+    stats: object = field(default=None, repr=False)  # RunStats of the plan
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queueing delay plus service time."""
+        return self.queue_s + self.service_s

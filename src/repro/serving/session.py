@@ -1,0 +1,217 @@
+"""Serving session: queue -> bucket -> batch -> batched engine dispatch.
+
+:class:`ServingSession` is the facade a driver (the CLI ``serve``
+command, a benchmark, a test) talks to: submit requests, then
+:meth:`ServingSession.step` or :meth:`ServingSession.drain` them through
+the :class:`~repro.serving.batching.BatchScheduler` and a shared
+:class:`~repro.core.salo.SALO` instance.  Each batch becomes one
+``SALO.attend`` call with a leading batch axis — same-plan sequences
+share scheduling, compilation and the engine's per-job dispatch cost,
+while outputs stay bit-identical to per-request calls.
+
+Accounting: every request's queueing delay (submit -> batch dispatch)
+and service time (its batch's engine wall time) are recorded, and
+:meth:`ServingSession.stats` reduces them to throughput plus latency
+percentiles — the numbers a capacity study of the "heavy traffic"
+scenario needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..core.salo import SALO, pattern_structure_key
+from ..patterns.base import AttentionPattern
+from .batching import Batch, BatchScheduler
+from .request import AttentionRequest, RequestResult
+
+__all__ = ["ServingSession", "ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Aggregate queue/latency/throughput accounting of a session."""
+
+    completed: int
+    batches: int
+    wall_s: float
+    throughput_rps: float
+    mean_batch_size: float
+    queue_p50_ms: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    plan_cache: dict
+
+    def render(self) -> str:
+        lines = [
+            f"requests completed   {self.completed}",
+            f"batches executed     {self.batches}",
+            f"mean batch size      {self.mean_batch_size:.2f}",
+            f"wall time            {self.wall_s * 1e3:.1f} ms",
+            f"throughput           {self.throughput_rps:.1f} req/s",
+            f"queue p50            {self.queue_p50_ms:.2f} ms",
+            f"latency p50/p90/p99  {self.latency_p50_ms:.2f} / "
+            f"{self.latency_p90_ms:.2f} / {self.latency_p99_ms:.2f} ms",
+            f"plan cache           {self.plan_cache['hits']} hits / "
+            f"{self.plan_cache['misses']} misses "
+            f"(hit rate {self.plan_cache['hit_rate']:.0%})",
+        ]
+        return "\n".join(lines)
+
+
+class ServingSession:
+    """Multi-request serving facade over one :class:`SALO` instance.
+
+    Parameters
+    ----------
+    salo:
+        The accelerator instance (shared plan cache); defaults to a
+        fresh Table 1 configuration.
+    max_batch_size:
+        Upper bound on requests per engine dispatch.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        salo: Optional[SALO] = None,
+        max_batch_size: int = 8,
+        bucket_floor: int = 16,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.salo = salo if salo is not None else SALO()
+        self.scheduler = BatchScheduler(max_batch_size=max_batch_size, bucket_floor=bucket_floor)
+        self.clock = clock
+        self.results: Dict[Hashable, RequestResult] = {}
+        self.batches_executed = 0
+        self._batch_sizes: List[int] = []
+        self._serial = 0
+        self._known_ids: set = set()  # pending + completed (collision guard)
+        self._first_submit_s: Optional[float] = None
+        self._last_complete_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        pattern: AttentionPattern,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        heads: int = 1,
+        request_id: Optional[Hashable] = None,
+    ) -> Hashable:
+        """Queue one attention request; returns its id.
+
+        Rejects patterns without band structure up front: SALO cannot
+        schedule them, and failing at submit keeps one bad request from
+        crashing a drain with other requests queued.
+        """
+        if pattern_structure_key(pattern) is None:
+            raise ValueError(
+                "pattern does not expose band structure; SALO serves hybrid "
+                "sparse patterns (bands + global tokens) only"
+            )
+        if request_id is None:
+            self._serial += 1
+            while self._serial in self._known_ids:  # skip user-taken ints
+                self._serial += 1
+            request_id = self._serial
+        elif request_id in self._known_ids:
+            raise ValueError(f"request id {request_id!r} already in use")
+        self._known_ids.add(request_id)
+        now = self.clock()
+        if self._first_submit_s is None:
+            self._first_submit_s = now
+        request = AttentionRequest(
+            request_id=request_id, pattern=pattern, q=q, k=k, v=v, heads=heads, arrival_s=now
+        )
+        self.scheduler.enqueue(request)
+        return request_id
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Batch]:
+        """Execute the next batch; returns it (or ``None`` if idle).
+
+        The batch's sequences are stacked on a leading axis and run as a
+        single ``SALO.attend`` dispatch; outputs are bit-identical to
+        per-request calls, so batching is purely a throughput decision.
+        """
+        batch = self.scheduler.next_batch()
+        if batch is None:
+            return None
+        start = self.clock()
+        if batch.size == 1:
+            req = batch.requests[0]
+            result = self.salo.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
+            outputs = result.output[None]
+        else:
+            q = np.stack([r.q for r in batch.requests])
+            k = np.stack([r.k for r in batch.requests])
+            v = np.stack([r.v for r in batch.requests])
+            result = self.salo.attend(batch.pattern, q, k, v, heads=batch.heads)
+            outputs = result.output
+        end = self.clock()
+        service_s = end - start
+        for i, req in enumerate(batch.requests):
+            self.results[req.request_id] = RequestResult(
+                request_id=req.request_id,
+                output=outputs[i],
+                batch_size=batch.size,
+                queue_s=start - req.arrival_s,
+                service_s=service_s,
+                stats=result.stats,
+            )
+        self.batches_executed += 1
+        self._batch_sizes.append(batch.size)
+        self._last_complete_s = end
+        return batch
+
+    def drain(self) -> Dict[Hashable, RequestResult]:
+        """Execute batches until the queue is empty; returns all results."""
+        while self.step() is not None:
+            pass
+        return self.results
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return self.scheduler.pending
+
+    def stats(self) -> ServingStats:
+        """Reduce per-request accounting to throughput and percentiles."""
+        completed = len(self.results)
+        if completed == 0:
+            return ServingStats(
+                completed=0,
+                batches=0,
+                wall_s=0.0,
+                throughput_rps=0.0,
+                mean_batch_size=0.0,
+                queue_p50_ms=0.0,
+                latency_p50_ms=0.0,
+                latency_p90_ms=0.0,
+                latency_p99_ms=0.0,
+                plan_cache=self.salo.cache_info(),
+            )
+        latencies = np.asarray([r.latency_s for r in self.results.values()])
+        queues = np.asarray([r.queue_s for r in self.results.values()])
+        wall_s = max(self._last_complete_s - self._first_submit_s, 0.0)
+        p50, p90, p99 = np.percentile(latencies, [50, 90, 99])
+        return ServingStats(
+            completed=completed,
+            batches=self.batches_executed,
+            wall_s=wall_s,
+            throughput_rps=completed / wall_s if wall_s > 0 else float("inf"),
+            mean_batch_size=float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0,
+            queue_p50_ms=float(np.percentile(queues, 50)) * 1e3,
+            latency_p50_ms=float(p50) * 1e3,
+            latency_p90_ms=float(p90) * 1e3,
+            latency_p99_ms=float(p99) * 1e3,
+            plan_cache=self.salo.cache_info(),
+        )

@@ -1,0 +1,144 @@
+"""Synthetic request traces for serving experiments and the CLI.
+
+A trace models the repeated-structure traffic a deployed accelerator
+serves: a small set of pattern families (window, window+global, dilated)
+at a few sequence-length buckets, hit by many requests with fresh data.
+:func:`replay` pushes a trace through a :class:`ServingSession` and —
+optionally — through the sequential one-call-per-request baseline, so
+the batching win is measured on identical work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.salo import SALO
+from ..patterns.base import AttentionPattern, Band
+from ..patterns.hybrid import HybridSparsePattern
+from ..patterns.library import longformer_pattern
+from .request import AttentionRequest
+from .session import ServingSession, ServingStats
+
+__all__ = ["TraceSpec", "synthetic_trace", "replay", "ReplayReport"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Shape of a synthetic trace."""
+
+    num_requests: int = 64
+    n: int = 512
+    window: int = 64
+    heads: int = 4
+    head_dim: int = 16
+    global_tokens: Tuple[int, ...] = (0,)
+    mixed: bool = True  # draw from several pattern families / lengths
+    seed: int = 0
+
+
+def _pattern_families(spec: TraceSpec) -> List[AttentionPattern]:
+    """The pattern families a mixed trace samples from."""
+    families: List[AttentionPattern] = [
+        longformer_pattern(spec.n, spec.window, spec.global_tokens)
+    ]
+    if spec.mixed:
+        half = spec.n // 2
+        families.append(longformer_pattern(half, max(8, spec.window // 2), spec.global_tokens))
+        dil = max(2, spec.window // 8)
+        families.append(
+            HybridSparsePattern(
+                spec.n, [Band(-spec.window * dil // 2, spec.window * dil // 2, dil)], ()
+            )
+        )
+    return families
+
+
+def synthetic_trace(spec: TraceSpec) -> List[AttentionRequest]:
+    """Generate ``num_requests`` requests over the spec's families."""
+    rng = np.random.default_rng(spec.seed)
+    families = _pattern_families(spec)
+    hidden = spec.heads * spec.head_dim
+    requests: List[AttentionRequest] = []
+    for i in range(spec.num_requests):
+        pattern = families[int(rng.integers(len(families)))]
+        q, k, v = (rng.standard_normal((pattern.n, hidden)) for _ in range(3))
+        requests.append(
+            AttentionRequest(
+                request_id=i, pattern=pattern, q=q, k=k, v=v, heads=spec.heads
+            )
+        )
+    return requests
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace through the serving layer."""
+
+    stats: ServingStats
+    sequential_s: Optional[float]  # baseline wall time (None if skipped)
+    batched_s: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.sequential_s is None or self.batched_s <= 0:
+            return None
+        return self.sequential_s / self.batched_s
+
+    def render(self) -> str:
+        lines = [self.stats.render()]
+        if self.sequential_s is not None:
+            lines.append(f"sequential baseline  {self.sequential_s * 1e3:.1f} ms")
+            lines.append(f"batched speedup      {self.speedup:.2f}x")
+        return "\n".join(lines)
+
+
+def replay(
+    requests: Sequence[AttentionRequest],
+    salo: Optional[SALO] = None,
+    max_batch_size: int = 8,
+    compare_sequential: bool = True,
+) -> ReplayReport:
+    """Serve a trace; optionally time the sequential baseline on a
+    fresh :class:`SALO` with the same configuration.  Both sides warm
+    their plan caches at the scheduling level and then pay one plan
+    compile + engine build per pattern family inside their timed
+    region — symmetric costs, so the comparison isolates batching.
+    """
+    salo = salo if salo is not None else SALO()
+    sequential_s: Optional[float] = None
+    outputs_seq: Dict[object, np.ndarray] = {}
+    if compare_sequential:
+        baseline = SALO(
+            config=salo.config,
+            energy_table=salo.energy_table,
+            strict_global_bound=salo.scheduler.strict_global_bound,
+            plan_cache_size=salo.plan_cache_size,
+        )
+        for req in requests:  # schedule-level warm (compile stays timed, as for the session)
+            baseline.schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+        t0 = time.perf_counter()
+        for req in requests:
+            res = baseline.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
+            outputs_seq[req.request_id] = res.output
+        sequential_s = time.perf_counter() - t0
+
+    session = ServingSession(salo=salo, max_batch_size=max_batch_size)
+    for req in requests:  # schedule-level warm, symmetric with the baseline
+        salo.schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+    t0 = time.perf_counter()
+    for req in requests:
+        session.submit(req.pattern, req.q, req.k, req.v, heads=req.heads, request_id=req.request_id)
+    session.drain()
+    batched_s = time.perf_counter() - t0
+
+    if compare_sequential:
+        for req in requests:
+            if not np.array_equal(session.results[req.request_id].output, outputs_seq[req.request_id]):
+                raise AssertionError(
+                    f"batched output diverged from sequential for request {req.request_id}"
+                )
+    return ReplayReport(stats=session.stats(), sequential_s=sequential_s, batched_s=batched_s)

@@ -24,6 +24,43 @@ class TestCli:
     def test_unknown_experiment(self, capsys):
         assert main(["run", "bogus"]) == 2
 
+    def test_serve_trace(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "8",
+                    "--n", "64",
+                    "--window", "8",
+                    "--heads", "2",
+                    "--head-dim", "4",
+                    "--batch-size", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput" in out and "speedup" in out
+
+    def test_serve_uniform_no_baseline(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "4",
+                    "--n", "64",
+                    "--window", "8",
+                    "--heads", "1",
+                    "--head-dim", "8",
+                    "--uniform",
+                    "--no-baseline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "requests completed   4" in out and "speedup" not in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

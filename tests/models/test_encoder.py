@@ -67,6 +67,42 @@ class TestLayerForward:
         assert not np.array_equal(a, b)
 
 
+class TestBatchedForward:
+    def test_batched_layer_equals_looped(self):
+        """(b, n, dim) forward == per-sequence forwards, bit for bit."""
+        layer = _layer()
+        x = np.random.default_rng(4).standard_normal((3, 24, 16))
+        res = layer.forward(x)
+        assert res.output.shape == (3, 24, 16)
+        for b in range(3):
+            single = _layer().forward(x[b])  # fresh layer: same seed/weights
+            assert np.array_equal(res.output[b], single.output)
+
+    def test_batched_host_flops_scale(self):
+        layer = _layer()
+        x = np.random.default_rng(5).standard_normal((4, 24, 16))
+        assert layer.forward(x).host_flops == 4 * layer.host_flops(24)
+
+    def test_batched_stack(self):
+        pattern = longformer_pattern(16, 4, (0,))
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        enc = SparseEncoder(2, 8, 2, pattern, salo=salo)
+        x = np.random.default_rng(6).standard_normal((3, 16, 8))
+        results = enc.forward(x)
+        assert results[-1].output.shape == (3, 16, 8)
+        ref = SparseEncoder(
+            2, 8, 2, pattern, salo=SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        )
+        for b in range(3):
+            singles = ref.forward(x[b])
+            assert np.array_equal(results[-1].output[b], singles[-1].output)
+
+    def test_rejects_bad_rank(self):
+        layer = _layer()
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 2, 24, 16)))
+
+
 class TestLatencyModel:
     def test_host_flops_formula(self):
         layer = _layer(dim=16)

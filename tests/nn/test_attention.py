@@ -27,6 +27,21 @@ class TestForward:
         with pytest.raises(ValueError):
             layer(Tensor(np.zeros((1, 10, 8))))
 
+    def test_unbatched_input_routes_through_batched_path(self):
+        """(n, dim) input == batch-of-one, returned unbatched."""
+        layer = _layer()
+        x = np.random.default_rng(7).standard_normal((12, 8))
+        out2d = layer(Tensor(x))
+        out3d = layer(Tensor(x[None]))
+        assert out2d.shape == (12, 8)
+        assert np.array_equal(out2d.numpy(), out3d.numpy()[0])
+
+    def test_unbatched_gradients_flow(self):
+        layer = _layer()
+        x = Tensor(np.random.default_rng(8).standard_normal((12, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None and x.grad.shape == (12, 8)
+
     def test_rejects_indivisible_heads(self):
         with pytest.raises(ValueError):
             _layer(dim=10, heads=3)

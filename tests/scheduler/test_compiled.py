@@ -1,0 +1,88 @@
+"""Vectorised plan compilation: pinned to the per-pass reference walks.
+
+``compile_plan`` builds its index tensors with grouped broadcasts and
+pre-populates the global-row schedule with a sort-free first-pass
+computation.  These tests pin both against the straightforward per-pass
+derivations (``TilePass.query_ids``/``key_ids`` and the sequential
+seen-set walk in ``ExecutionPlan.global_row_schedule``), which stay in
+the tree as the reference implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.library import (
+    longformer_pattern,
+    sparse_transformer_pattern,
+    star_transformer_pattern,
+    vil_pattern,
+)
+from repro.scheduler.scheduler import DataScheduler
+
+PATTERN_CASES = [
+    ("window", longformer_pattern(64, 8, (0,))),
+    ("window-no-global", longformer_pattern(64, 8, ())),
+    ("dilated", HybridSparsePattern(60, [Band(-6, 6, 3)], (0, 3))),
+    ("mixed-dilations", HybridSparsePattern(40, [Band(-4, 4, 1), Band(6, 18, 6)], (0, 3))),
+    ("twod-vil", vil_pattern(6, 7, 3, (0, 1))),
+    ("star", star_transformer_pattern(20)),
+    ("sparse-transformer", sparse_transformer_pattern(24, block=4)),
+]
+
+
+def _schedule(pattern, rows=4, cols=4):
+    return DataScheduler(
+        HardwareConfig(pe_rows=rows, pe_cols=cols), strict_global_bound=False
+    ).schedule(pattern, heads=1, head_dim=8)
+
+
+class TestIndexTensorsMatchReference:
+    @pytest.mark.parametrize("name,pattern", PATTERN_CASES, ids=[c[0] for c in PATTERN_CASES])
+    def test_per_pass_tensors(self, name, pattern):
+        plan = _schedule(pattern)
+        cp = plan.compiled()
+        n = plan.n
+        gtok = np.asarray(plan.global_tokens, dtype=np.int64)
+        for i, tp in enumerate(plan.passes):
+            q = tp.query_ids()
+            assert np.array_equal(cp.q_ids[i, : len(q)], q)
+            assert (cp.q_ids[i, len(q):] == -1).all()
+            assert cp.rows_used[i] == tp.rows_used
+            assert cp.cols_used[i] == tp.cols_used
+            ids = tp.key_ids(n)
+            padded = np.full((cp.pad_rows, cp.pad_cols), -1, dtype=np.int64)
+            padded[: ids.shape[0], : ids.shape[1]] = ids
+            valid = padded >= 0
+            if len(gtok):
+                valid &= ~np.isin(padded, gtok)
+            assert np.array_equal(cp.key_ids[i], np.where(valid, padded, -1))
+            assert np.array_equal(cp.valid[i], valid)
+
+
+class TestGlobalRowScheduleMatchesWalk:
+    @pytest.mark.parametrize("name,pattern", PATTERN_CASES, ids=[c[0] for c in PATTERN_CASES])
+    def test_vectorised_equals_reference(self, name, pattern):
+        compiled_plan = _schedule(pattern)
+        compiled_plan.compiled()  # pre-populates the memo (vectorised)
+        reference_plan = _schedule(pattern)  # fresh: uses the Python walk
+        got = compiled_plan.global_row_schedule()
+        ref = reference_plan.global_row_schedule()
+        assert len(got) == len(ref)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)
+            assert b.dtype == np.int64
+        assert (
+            compiled_plan.global_row_cleanup_batches
+            == reference_plan.global_row_cleanup_batches
+        )
+
+    def test_schedule_streams_every_key_exactly_once(self):
+        """The global PE row sees each key in exactly one batch."""
+        for pattern in (star_transformer_pattern(20), longformer_pattern(64, 8, (0,))):
+            plan = _schedule(pattern)
+            plan.compiled()
+            streamed = np.concatenate(plan.global_row_schedule())
+            assert np.array_equal(np.sort(streamed), np.arange(plan.n))

@@ -1,0 +1,158 @@
+"""Tests for the serving session facade (queue -> batch -> engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.patterns.base import Band
+from repro.patterns.hybrid import HybridSparsePattern
+from repro.patterns.library import longformer_pattern
+from repro.serving import ServingSession, TraceSpec, replay, synthetic_trace
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``tick`` seconds."""
+
+    def __init__(self, tick=0.001):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+def _session(max_batch_size=8, tick=0.001):
+    salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+    return ServingSession(salo=salo, max_batch_size=max_batch_size, clock=FakeClock(tick))
+
+
+def _data(n, hidden, seed):
+    rng = np.random.default_rng(seed)
+    return tuple(rng.standard_normal((n, hidden)) for _ in range(3))
+
+
+class TestSession:
+    def test_outputs_bit_identical_to_direct_calls(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        payloads = {i: _data(24, 8, seed=i) for i in range(5)}
+        for i, (q, k, v) in payloads.items():
+            session.submit(pattern, q, k, v, request_id=i)
+        results = session.drain()
+        assert set(results) == set(payloads)
+        oracle = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        for i, (q, k, v) in payloads.items():
+            direct = oracle.attend(pattern, q, k, v)
+            assert np.array_equal(results[i].output, direct.output)
+
+    def test_mixed_patterns_batch_by_structure(self):
+        session = _session()
+        win = longformer_pattern(24, 6, (0,))
+        dil = HybridSparsePattern(24, [Band(-4, 4, 2)], ())
+        for i in range(4):
+            session.submit(win, *_data(24, 8, seed=i), request_id=f"w{i}")
+        for i in range(3):
+            session.submit(dil, *_data(24, 8, seed=10 + i), request_id=f"d{i}")
+        session.drain()
+        assert session.batches_executed == 2
+        sizes = sorted(r.batch_size for r in session.results.values())
+        assert sizes == [3, 3, 3, 4, 4, 4, 4]
+
+    def test_latency_accounting_with_fake_clock(self):
+        session = _session(tick=0.5)
+        pattern = longformer_pattern(24, 6, (0,))
+        session.submit(pattern, *_data(24, 8, 0), request_id="a")
+        session.submit(pattern, *_data(24, 8, 1), request_id="b")
+        session.drain()
+        a, b = session.results["a"], session.results["b"]
+        # Clock reads: submit a (0.5), submit b (1.0), dispatch (1.5), done (2.0).
+        assert a.queue_s == pytest.approx(1.0)
+        assert b.queue_s == pytest.approx(0.5)
+        assert a.service_s == b.service_s == pytest.approx(0.5)
+        assert a.latency_s == pytest.approx(1.5)
+        assert a.batch_size == 2
+
+    def test_stats_summary(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        for i in range(6):
+            session.submit(pattern, *_data(24, 8, i))
+        session.drain()
+        stats = session.stats()
+        assert stats.completed == 6
+        assert stats.batches == 1
+        assert stats.mean_batch_size == 6.0
+        assert stats.throughput_rps > 0
+        assert stats.latency_p99_ms >= stats.latency_p50_ms >= 0
+        text = stats.render()
+        assert "throughput" in text and "p50" in text
+
+    def test_empty_stats(self):
+        stats = _session().stats()
+        assert stats.completed == 0 and stats.throughput_rps == 0.0
+
+    def test_step_idle_returns_none(self):
+        assert _session().step() is None
+
+    def test_duplicate_request_id_rejected(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        session.submit(pattern, *_data(24, 8, 0), request_id="x")
+        session.drain()
+        with pytest.raises(ValueError):
+            session.submit(pattern, *_data(24, 8, 1), request_id="x")
+
+    def test_auto_ids_unique(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        ids = {session.submit(pattern, *_data(24, 8, i)) for i in range(4)}
+        assert len(ids) == 4
+
+    def test_duplicate_pending_id_rejected(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        session.submit(pattern, *_data(24, 8, 0), request_id="x")
+        with pytest.raises(ValueError):  # still queued, not yet completed
+            session.submit(pattern, *_data(24, 8, 1), request_id="x")
+
+    def test_opaque_pattern_rejected_at_submit(self):
+        """SALO cannot schedule mask-only patterns; submit fails fast
+        instead of crashing a later drain with other requests queued."""
+        from repro.patterns.base import AttentionPattern
+
+        class Opaque(AttentionPattern):
+            def row_keys(self, i):
+                return np.asarray([i], dtype=np.int64)
+
+        session = _session()
+        z = np.zeros((16, 4))
+        with pytest.raises(ValueError, match="band structure"):
+            session.submit(Opaque(16), z, z, z)
+        assert session.pending == 0
+
+    def test_auto_serial_skips_user_taken_ints(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        session.submit(pattern, *_data(24, 8, 0), request_id=1)
+        auto = session.submit(pattern, *_data(24, 8, 1))
+        assert auto != 1
+        results = session.drain()
+        assert len(results) == 2  # neither request's result was overwritten
+
+
+class TestTraceReplay:
+    def test_replay_verifies_outputs_and_reports(self):
+        spec = TraceSpec(num_requests=12, n=64, window=8, heads=2, head_dim=4, seed=3)
+        requests = synthetic_trace(spec)
+        assert len(requests) == 12
+        report = replay(requests, max_batch_size=4)
+        assert report.stats.completed == 12
+        assert report.speedup is not None and report.speedup > 0
+        assert "speedup" in report.render()
+
+    def test_replay_without_baseline(self):
+        spec = TraceSpec(num_requests=6, n=64, window=8, heads=1, head_dim=8, mixed=False)
+        report = replay(synthetic_trace(spec), compare_sequential=False)
+        assert report.sequential_s is None and report.speedup is None
