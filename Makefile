@@ -1,20 +1,23 @@
 # Smoke / CI gate for the SALO reproduction.
 #
 #   make check   - tier-1 tests + perf-regression gate against the
-#                  committed BENCH_engines.json baseline
+#                  committed BENCH_engines.json baseline + a tiny
+#                  end-to-end cluster simulation
 #   make test    - tier-1 tests only
 #   make bench   - run the engine bench suite, compare against the
 #                  baseline (writes the fresh summary to a temp file so
 #                  the committed baseline is left untouched)
 #   make bench-update - re-snapshot BENCH_engines.json (after a
 #                  deliberate perf change; commit the result)
+#   make simulate-smoke - 2-worker discrete-event simulation end to end
+#                  (deterministic cost-model clock; seconds, not minutes)
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test bench bench-update
+.PHONY: check test bench bench-update simulate-smoke
 
-check: test bench
+check: test bench simulate-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -29,3 +32,8 @@ bench:
 
 bench-update:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py
+
+simulate-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
+		--workers 2 --requests 48 --n 64 --window 8 --heads 2 --head-dim 4 \
+		--policy edf --seed 0

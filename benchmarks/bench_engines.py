@@ -6,7 +6,9 @@ compiled/legacy pairs measure the batched execution path introduced with
 ``CompiledPlan`` against the per-pass reference it must stay bit
 identical to; the ``attend_sequential_8`` / ``attend_batch_8`` pair
 measures the cross-request batching win of the serving layer (one
-batched dispatch vs 8 cache-hit calls on the same data);
+batched dispatch vs 8 cache-hit calls on the same data); the
+``cluster_simulate`` pair tracks the discrete-event cluster simulator
+(and asserts the EDF-vs-FIFO policy comparison it exists for);
 ``run_benchmarks.py`` snapshots this module's timings into
 ``BENCH_engines.json`` so subsequent changes have a trajectory to
 regress against.
@@ -26,6 +28,14 @@ from repro.patterns.base import Band
 from repro.patterns.hybrid import HybridSparsePattern
 from repro.patterns.library import longformer_pattern, vil_pattern
 from repro.scheduler.scheduler import DataScheduler
+from repro.cluster import (
+    PoissonProcess,
+    SimConfig,
+    WorkloadSpec,
+    make_policy,
+    open_loop,
+    simulate,
+)
 from repro.serving import TraceSpec, ServingSession, synthetic_trace
 
 
@@ -225,6 +235,70 @@ def test_serving_session_trace(benchmark):
     session = benchmark.pedantic(serve, rounds=3, iterations=1)
     assert len(session.results) == 32
     assert session.stats().mean_batch_size > 1.0
+
+
+def test_serving_padded_batch_8(benchmark):
+    """Cross-length batch via pad_to_bucket: 8 mixed-length sequences
+    execute as one bucket-length dispatch with masked tails (the
+    occupancy win under long-tail length distributions)."""
+    salo = SALO()
+    session_lengths = (192, 160, 144, 192, 176, 130, 150, 192)  # one 256-bucket
+    rng = np.random.default_rng(8)
+    payloads = []
+    for n in session_lengths:
+        pattern = HybridSparsePattern(n, [Band(-48, 48, 24)], (0,))
+        q, k, v = (rng.standard_normal((n, 16)) for _ in range(3))
+        payloads.append((pattern, q, k, v))
+    # Warm: one padded dispatch pays scheduling/compile outside the timer.
+    def serve():
+        session = ServingSession(salo=salo, max_batch_size=8, pad_to_bucket=True)
+        for i, (pattern, q, k, v) in enumerate(payloads):
+            session.submit(pattern, q, k, v, request_id=i)
+        session.drain()
+        return session
+
+    serve()
+    session = benchmark.pedantic(serve, rounds=5, iterations=1)
+    assert session.batches_executed == 1  # all 8 lengths rode one batch
+    assert session.stats().mean_batch_size == 8.0
+
+
+def _capacity_workload(num_requests=200, seed=7):
+    spec = WorkloadSpec(
+        num_requests=num_requests, n=256, window=32, heads=2, head_dim=8, seed=seed
+    )
+    return spec, 4.0e5  # offered rate (req/s): congests 2 workers
+
+
+def test_cluster_simulate_fifo(benchmark):
+    """Discrete-event simulator throughput: 200 Poisson requests on a
+    2-worker pool under greedy FIFO (deterministic cost-model clock)."""
+    spec, rate = _capacity_workload()
+
+    def run():
+        source = open_loop(spec, PoissonProcess(rate_rps=rate))
+        return simulate(source, SimConfig(workers=2, policy=make_policy("greedy-fifo")))
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.completed == spec.num_requests
+
+
+def test_cluster_simulate_edf(benchmark):
+    """Same workload under EDF: the policy comparison the simulator
+    exists for — EDF must not lose to FIFO on deadline-met rate."""
+    spec, rate = _capacity_workload()
+
+    def run_policy(name):
+        source = open_loop(spec, PoissonProcess(rate_rps=rate))
+        return simulate(source, SimConfig(workers=2, policy=make_policy(name)))
+
+    report = benchmark.pedantic(lambda: run_policy("edf"), rounds=3, iterations=1)
+    assert report.completed == spec.num_requests
+    fifo = run_policy("greedy-fifo")
+    assert report.deadline_met_rate >= fifo.deadline_met_rate, (
+        f"EDF deadline-met rate {report.deadline_met_rate:.2%} fell below "
+        f"greedy FIFO {fifo.deadline_met_rate:.2%}"
+    )
 
 
 def test_micro_simulator_small(benchmark):

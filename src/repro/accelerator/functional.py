@@ -52,6 +52,25 @@ its own ``b=1`` call: batched outputs are bit-identical to looped
 single-sequence runs (``tests/accelerator/test_batched_equivalence.py``).
 The single-sequence call is simply the ``b=1`` special case with the
 leading axis elided.
+
+Padded tails (cross-length batching)
+------------------------------------
+:meth:`FunctionalEngine.run` optionally takes per-sequence ``valid_lens``:
+sequence ``i`` of the batch carries real data only in rows
+``[0, valid_lens[i])`` and the rest is zero padding up to the plan length.
+Keys at or beyond a lane's valid length are masked out of stage 2 (their
+``exp`` contribution is an exact ``0.0``, excluded from the softmax
+denominator), so the retained query rows attend exactly the key set of an
+unpadded run at the true length — the serving layer's ``pad_to_bucket``
+mode uses this to batch same-structure requests of different lengths
+under one bucket-length plan and slice outputs back.  Padded query rows
+compute garbage (the caller slices them away) and are exempt from the
+every-query-has-a-part check.  Global tokens must lie inside every lane's
+valid prefix.  Equivalence to the unpadded per-request plan is
+mathematical, not bit-exact: the bucket-length plan partitions the same
+key sets into different passes, so partial-softmax merge trees (and their
+quantisation points) differ — ``tests/serving/test_padding.py``
+characterises the bound.
 """
 
 from __future__ import annotations
@@ -204,6 +223,10 @@ class FunctionalEngine:
         self.use_compiled = use_compiled
         self.datapath = Datapath(plan.config.numerics)
         self.module = WeightedSumModule(self.datapath)
+        # (id(job), b0, b1) -> key-id tensor for padded-tail masking;
+        # pure plan structure, so cached for the engine's lifetime (the
+        # engine keeps the compiled plan — and its jobs — alive).
+        self._segment_ids_cache: dict = {}
         if use_compiled:
             # Compile once at construction (memoized on the plan), and
             # force the lazy execution schedule now: engines always run.
@@ -216,6 +239,7 @@ class FunctionalEngine:
         k: np.ndarray,
         v: np.ndarray,
         scale: Optional[float] = None,
+        valid_lens: Optional[np.ndarray] = None,
     ) -> FunctionalResult:
         """Compute the sparse attention output.
 
@@ -224,6 +248,13 @@ class FunctionalEngine:
         ``(b, n, heads*head_dim)``; the result's shapes follow the input
         rank.  Batched outputs are bit-identical to looping the
         single-sequence call over the batch.
+
+        ``valid_lens`` (one int per sequence, or a scalar for the
+        single-sequence form) marks each sequence's real length: rows at
+        or beyond it are zero padding whose keys are masked out of the
+        softmax and whose query outputs are unspecified (see the module
+        docstring).  ``None`` — the common case — means every sequence
+        fills the plan length and takes the unmodified fast path.
         """
         plan = self.plan
         q = np.asarray(q, dtype=np.float64)
@@ -242,22 +273,64 @@ class FunctionalEngine:
             raise EngineError("q, k, v must share shape")
         if scale is None:
             scale = 1.0 / np.sqrt(plan.head_dim)
+        lens = self._check_valid_lens(valid_lens, q)
 
         if self.use_compiled:
-            return self._run_compiled(q, k, v, scale)
+            return self._run_compiled(q, k, v, scale, lens)
 
         if q.ndim == 3:
             # Reference semantics of a batch: independent per-sequence runs.
-            results = [self._run_legacy(q[b], k[b], v[b], scale) for b in range(q.shape[0])]
+            results = [
+                self._run_legacy(
+                    q[b], k[b], v[b], scale, None if lens is None else int(lens[b])
+                )
+                for b in range(q.shape[0])
+            ]
             return FunctionalResult(
                 output=np.stack([r.output for r in results]),
                 merges=sum(r.merges for r in results),
                 parts=np.stack([r.parts for r in results]),
             )
-        return self._run_legacy(q, k, v, scale)
+        return self._run_legacy(q, k, v, scale, None if lens is None else int(lens[0]))
+
+    def _check_valid_lens(
+        self, valid_lens, q: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Normalise ``valid_lens`` to an int64 ``(b,)`` array (or ``None``).
+
+        All-full lens collapse to ``None`` so the common case stays on
+        the untouched (bit-identical) execution path.
+        """
+        if valid_lens is None:
+            return None
+        plan = self.plan
+        b = q.shape[0] if q.ndim == 3 else 1
+        lens = np.atleast_1d(np.asarray(valid_lens, dtype=np.int64))
+        if lens.shape != (b,):
+            raise EngineError(
+                f"valid_lens must hold one length per sequence ({b}), got shape {lens.shape}"
+            )
+        if np.any(lens < 1) or np.any(lens > plan.n):
+            raise EngineError(
+                f"valid_lens must lie in [1, {plan.n}], got {lens.tolist()}"
+            )
+        if np.all(lens == plan.n):
+            return None
+        gtok = plan.global_tokens
+        if gtok and max(gtok) >= int(lens.min()):
+            raise EngineError(
+                f"global tokens {tuple(gtok)} must lie inside every sequence's "
+                f"valid prefix (min valid_len {int(lens.min())})"
+            )
+        return lens
 
     def _run_legacy(
-        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: float,
+        valid_len: Optional[int] = None,
     ) -> FunctionalResult:
         """Per-head, per-pass reference path for one sequence."""
         plan = self.plan
@@ -267,7 +340,7 @@ class FunctionalEngine:
         parts = np.zeros((plan.heads, n), dtype=np.int64)
         for h in range(plan.heads):
             sl = slice(h * plan.head_dim, (h + 1) * plan.head_dim)
-            head_out, acc = self._run_head(q[:, sl], k[:, sl], v[:, sl], scale)
+            head_out, acc = self._run_head(q[:, sl], k[:, sl], v[:, sl], scale, valid_len)
             out[:, sl] = head_out
             merges += acc.merges
             parts[h] = acc.parts
@@ -277,7 +350,12 @@ class FunctionalEngine:
     # Compiled batched path
     # ------------------------------------------------------------------
     def _run_compiled(
-        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: float,
+        lens: Optional[np.ndarray] = None,
     ) -> FunctionalResult:
         plan = self.plan
         cp = plan.compiled()
@@ -285,6 +363,8 @@ class FunctionalEngine:
         batched = q.ndim == 3
         b = q.shape[0] if batched else 1
         lanes = b * heads
+        # Per-lane valid lengths: each sequence's heads share its length.
+        lane_lens = None if lens is None else np.repeat(lens, heads)
         # Quantise once for all lanes; (b?, n, H*d) -> (b*H, n, d).  Every
         # lane's slab has the same contiguous (n, d) layout a b=1 call
         # produces, so downstream reductions see identical summation
@@ -310,13 +390,18 @@ class FunctionalEngine:
         acc = _BatchAccumulator(lanes, n, d, self.module)
 
         for job in cp.window_jobs:
-            self._run_window_job(job, qh, kh, vh, scale, acc)
+            self._run_window_job(job, qh, kh, vh, scale, acc, lane_lens)
         if len(cp.global_tokens):
             self._run_global_column_batched(cp, qh, kh, vh, scale, acc)
-            self._run_global_rows_batched(cp, qh, kh, vh, scale, acc)
+            self._run_global_rows_batched(cp, qh, kh, vh, scale, acc, lane_lens)
 
-        if not acc.has.all():
-            missing = np.flatnonzero(~acc.has.all(axis=0))
+        # Padded query rows (>= a lane's valid length) are sliced away by
+        # the caller and need not receive a part.
+        covered = acc.has
+        if lane_lens is not None:
+            covered = covered | (np.arange(n)[None, :] >= lane_lens[:, None])
+        if not covered.all():
+            missing = np.flatnonzero(~covered.all(axis=0))
             raise EngineError(
                 f"queries {missing[:8].tolist()}... received no attention part; "
                 "the pattern leaves them without keys"
@@ -369,6 +454,7 @@ class FunctionalEngine:
         vh: np.ndarray,
         scale: float,
         acc: "_BatchAccumulator",
+        lane_lens: Optional[np.ndarray] = None,
     ) -> None:
         """Stages 1–5 + merge for one window-job family.
 
@@ -398,15 +484,52 @@ class FunctionalEngine:
                     # axis (a structured copy from the small key blocks).
                     kv = np.concatenate(kb, axis=4)
                     vv = np.concatenate(vb, axis=4)
+                if lane_lens is not None:
+                    ids = self._segment_key_ids(job, b0, b1)
+                    valid = valid & (ids[None] < lane_lens[:, None, None, None, None])
             else:  # pragma: no cover - irregular passes (not emitted today)
                 ids = job.safe_key_ids[:, b0:b1]
                 kv = kh[:, ids, :]
                 vv = vh[:, ids, :]
+                if lane_lens is not None:
+                    valid = valid & (ids[None] < lane_lens[:, None, None, None, None])
             out, w, has = self._stages_batched(qb, kv, vv, valid, scale)
             sel = job.keep[:, b0:b1]
             acc.add_part(
                 job.q_ids[:, b0:b1][sel], out[:, sel], w[:, sel], has[:, sel]
             )
+
+    def _segment_key_ids(self, job: WindowJob, b0: int, b1: int) -> np.ndarray:
+        """Key ids aligned with the segment views: ``(G, Bc, R, C)``.
+
+        Built with the same stride trick as :meth:`_segment_views`, so
+        cell ``(g, b, r, c)`` holds exactly the sequence index of the key
+        the views place there (clipped cells are covered by ``job.valid``
+        and may carry any id).  Only needed for padded-tail masking;
+        memoized per (job, chunk) because it is pure plan structure and
+        the serving fast path re-dispatches padded batches on a cached
+        plan.
+        """
+        cache_key = (id(job), b0, b1)
+        cached = self._segment_ids_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        per_seg = []
+        for seg in job.segments:
+            lo = b0 * seg.block_step
+            hi = (b1 - 1) * seg.block_step + job.rows + seg.width - 1
+            block = np.ascontiguousarray(seg.gather_ids[:, lo:hi])
+            s_g, s_l = block.strides
+            per_seg.append(
+                as_strided(
+                    block,
+                    (job.num_groups, b1 - b0, job.rows, seg.width),
+                    (s_g, seg.block_step * s_l, s_l, s_l),
+                )
+            )
+        ids = per_seg[0] if len(per_seg) == 1 else np.concatenate(per_seg, axis=3)
+        self._segment_ids_cache[cache_key] = ids
+        return ids
 
     @staticmethod
     def _segment_views(
@@ -453,7 +576,9 @@ class FunctionalEngine:
         out, w, has = self._stages_batched(qb, kb, vb, valid, scale)
         acc.add_part(rows, out, w, has)
 
-    def _run_global_rows_batched(self, cp, qh, kh, vh, scale, acc) -> None:
+    def _run_global_rows_batched(
+        self, cp, qh, kh, vh, scale, acc, lane_lens: Optional[np.ndarray] = None
+    ) -> None:
         """Global PE row: each global query attends the full sequence.
 
         The row piggybacks on the key streams of the window passes
@@ -490,7 +615,12 @@ class FunctionalEngine:
             vb = np.broadcast_to(
                 vh[:, keys, :][:, :, None, :, :], (heads_n, len(idx), num_g, length, d)
             )
-            o, ww, hh = self._stages_batched(qb, kb, vb, np.True_, scale)
+            if lane_lens is None:
+                valid = np.True_
+            else:
+                # (H, nb, 1, L): mask keys in each lane's padded tail.
+                valid = (keys[None] < lane_lens[:, None, None])[:, :, None, :]
+            o, ww, hh = self._stages_batched(qb, kb, vb, valid, scale)
             out[:, idx] = o
             w[:, idx] = ww
             has[:, idx] = hh
@@ -572,7 +702,12 @@ class FunctionalEngine:
     # Legacy per-head, per-pass path (reference implementation)
     # ------------------------------------------------------------------
     def _run_head(
-        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: float,
+        valid_len: Optional[int] = None,
     ) -> Tuple[np.ndarray, _Accumulator]:
         plan = self.plan
         n, d = q.shape
@@ -586,13 +721,14 @@ class FunctionalEngine:
             gmask[list(gset)] = True
 
         for tp in plan.passes:
-            self._run_window_pass(tp, qq, kq, vq, scale, acc, gset, gmask)
+            self._run_window_pass(tp, qq, kq, vq, scale, acc, gset, gmask, valid_len)
         if plan.global_tokens:
             self._run_global_column(qq, kq, vq, scale, acc, gmask)
-            self._run_global_rows(qq, kq, vq, scale, acc)
+            self._run_global_rows(qq, kq, vq, scale, acc, valid_len)
 
-        if not acc.has.all():
-            missing = np.flatnonzero(~acc.has)
+        covered = acc.has if valid_len is None else acc.has | (np.arange(n) >= valid_len)
+        if not covered.all():
+            missing = np.flatnonzero(~covered)
             raise EngineError(
                 f"queries {missing[:8].tolist()}... received no attention part; "
                 "the pattern leaves them without keys"
@@ -636,10 +772,13 @@ class FunctionalEngine:
         acc: _Accumulator,
         gset,
         gmask: np.ndarray,
+        valid_len: Optional[int] = None,
     ) -> None:
         n = self.plan.n
         q_ids = tp.query_ids()
         key_ids = tp.key_ids(n, exclude=gset)
+        if valid_len is not None:
+            key_ids = np.where(key_ids >= valid_len, -1, key_ids)
         # Global queries are produced by the global PE row; drop their rows.
         keep = ~gmask[q_ids]
         if not keep.any():
@@ -676,6 +815,7 @@ class FunctionalEngine:
         vq: np.ndarray,
         scale: float,
         acc: _Accumulator,
+        valid_len: Optional[int] = None,
     ) -> None:
         """Global PE row: each global query attends the full sequence.
 
@@ -687,6 +827,8 @@ class FunctionalEngine:
         if len(rows) == 0:
             return
         for batch in schedule:
+            if valid_len is not None:
+                batch = np.where(np.asarray(batch) >= valid_len, -1, batch)
             key_ids = np.broadcast_to(batch, (len(rows), len(batch)))
             out, w, has = self._attend_block(qq[rows], key_ids, kq, vq, scale)
             if has.any():

@@ -7,6 +7,7 @@ Usage::
     salo-repro run table3_quantization --fast
     salo-repro all [--fast]              # everything, in DESIGN.md order
     salo-repro serve --requests 64       # replay a synthetic serving trace
+    salo-repro simulate --workers 4      # discrete-event cluster simulation
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ _ORDER = [
     "ablation_pipelining",
     "design_space",
     "seq_scaling",
+    "serving_capacity",
 ]
 
 
@@ -43,6 +45,134 @@ def _ordered_names() -> List[str]:
     ordered = [n for n in _ORDER if n in known]
     ordered.extend(sorted(set(known) - set(ordered)))
     return ordered
+
+
+def _cmd_simulate(args) -> int:
+    """Build a workload + policy from CLI args and run the simulator."""
+    import numpy as np
+
+    from .cluster import (
+        BULK_BUDGET,
+        INTERACTIVE_BUDGET,
+        ClosedLoopSource,
+        CostModelClock,
+        MeasuredClock,
+        OnOffProcess,
+        PoissonProcess,
+        SimConfig,
+        SLOClass,
+        WorkloadSpec,
+        make_policy,
+        open_loop,
+        service_scales,
+        simulate,
+    )
+    from .core.salo import SALO
+    from .serving.trace import pattern_families
+
+    if args.batch_size < 1:
+        print(f"--batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
+        return 2
+    # Cheap flag validation first: a typo'd --slo must not wait for the
+    # service-time probe below.
+    explicit_slo = None
+    if args.slo:
+        classes = []
+        for spec_str in args.slo:
+            try:
+                name, deadline_ms, share = spec_str.split(":")
+                deadline = None if deadline_ms in ("none", "") else float(deadline_ms) / 1e3
+                classes.append(SLOClass(name, deadline, float(share)))
+            except ValueError:
+                print(f"bad --slo {spec_str!r}; expected NAME:DEADLINE_MS:SHARE", file=sys.stderr)
+                return 2
+        explicit_slo = tuple(classes)
+
+    clock = CostModelClock()
+    probe = WorkloadSpec(
+        n=args.n,
+        window=args.window,
+        heads=args.heads,
+        head_dim=args.head_dim,
+        mixed=not args.uniform,
+    )
+    if args.measured:
+        # Measured mode runs on the host wall clock (milliseconds per
+        # batch), not the accelerator cycle model (microseconds) — the
+        # auto rate and default SLO deadlines must be probed on the same
+        # clock or every deadline is missed by construction.
+        salo = SALO()
+        rng = np.random.default_rng(0)
+        hidden = args.heads * args.head_dim
+        probed = []
+        for pattern in pattern_families(probe.trace_spec()):
+            q, k, v = (rng.standard_normal((pattern.n, hidden)) for _ in range(3))
+            salo.attend(pattern, q, k, v, heads=args.heads)  # warm compile
+            t0 = time.perf_counter()
+            salo.attend(pattern, q, k, v, heads=args.heads)
+            probed.append(time.perf_counter() - t0)
+        unit_s = dispatch_s = float(np.mean(probed))
+    else:
+        unit_s, dispatch_s = service_scales(probe, clock, full_batch=args.batch_size)
+
+    if explicit_slo is not None:
+        slo_classes = explicit_slo
+    else:
+        slo_classes = (
+            SLOClass("interactive", deadline_s=INTERACTIVE_BUDGET * dispatch_s, share=0.5),
+            SLOClass("bulk", deadline_s=BULK_BUDGET * dispatch_s, share=0.5),
+        )
+
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        n=args.n,
+        window=args.window,
+        heads=args.heads,
+        head_dim=args.head_dim,
+        mixed=not args.uniform,
+        slo_classes=slo_classes,
+        seed=args.seed,
+    )
+    rate = args.rate if args.rate is not None else 0.9 * args.workers / unit_s
+    if args.arrival == "closed":
+        source = ClosedLoopSource(spec, clients=args.clients, think_time_s=args.think_ms / 1e3)
+    elif args.arrival == "bursty":
+        source = open_loop(
+            spec,
+            OnOffProcess(
+                rate_on_rps=2.0 * rate,
+                rate_off_rps=0.0,
+                mean_on_s=50.0 / rate,
+                mean_off_s=50.0 / rate,
+            ),
+        )
+    else:
+        source = open_loop(spec, PoissonProcess(rate_rps=rate))
+
+    policy_kwargs = {}
+    if args.policy in ("max-wait", "size-latency"):
+        policy_kwargs["max_wait_s"] = args.max_wait_ms / 1e3
+    if args.policy == "size-latency":
+        policy_kwargs["target_size"] = args.target_size
+    config = SimConfig(
+        workers=args.workers,
+        max_batch_size=args.batch_size,
+        pad_to_bucket=args.pad,
+        steal=not args.no_steal,
+        policy=make_policy(args.policy, **policy_kwargs),
+        service=MeasuredClock() if args.measured else clock,
+    )
+
+    t0 = time.perf_counter()
+    report = simulate(source, config)
+    print(
+        f"workload: {args.requests} requests, {args.arrival} arrivals"
+        + (f" @ {rate:.0f} req/s" if args.arrival != "closed" else f", {args.clients} clients")
+        + f", policy {args.policy}, {args.workers} workers"
+    )
+    print(report.render())
+    print(f"\n[simulate finished in {time.perf_counter() - t0:.1f}s]")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -89,6 +219,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the sequential one-call-per-request comparison",
     )
 
+    sim_p = sub.add_parser(
+        "simulate",
+        help="discrete-event simulation of a multi-worker SALO cluster",
+        description=(
+            "Simulates N worker engines serving timestamped traffic (Poisson, "
+            "bursty on-off, or closed-loop clients) under a batch-close policy, "
+            "with plan-affinity routing and work stealing.  Service times come "
+            "from the paper's cycle model (SALO.estimate) — deterministic, no "
+            "wall clock — unless --measured executes batches for real.  Reports "
+            "per-SLO-class latency percentiles, goodput and per-worker "
+            "utilisation."
+        ),
+    )
+    sim_p.add_argument("--workers", type=int, default=2, help="worker engines (default 2)")
+    sim_p.add_argument("--requests", type=int, default=200, help="total requests (default 200)")
+    sim_p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in req/s (default: 0.9x the pool's cost-model capacity)",
+    )
+    sim_p.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "closed"),
+        default="poisson",
+        help="arrival process (closed = fixed client population)",
+    )
+    sim_p.add_argument(
+        "--policy",
+        choices=("greedy-fifo", "max-wait", "edf", "size-latency"),
+        default="greedy-fifo",
+        help="batch-close policy",
+    )
+    sim_p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=0.2,
+        help="holding bound for max-wait / size-latency policies (ms)",
+    )
+    sim_p.add_argument(
+        "--target-size", type=int, default=4, help="size-latency policy batch target"
+    )
+    sim_p.add_argument("--batch-size", type=int, default=8, help="max requests per batch")
+    sim_p.add_argument("--n", type=int, default=256, help="base sequence length")
+    sim_p.add_argument("--window", type=int, default=32, help="attention window width")
+    sim_p.add_argument("--heads", type=int, default=2, help="attention heads")
+    sim_p.add_argument("--head-dim", type=int, default=8, help="per-head width")
+    sim_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    sim_p.add_argument(
+        "--slo",
+        action="append",
+        metavar="NAME:DEADLINE_MS:SHARE",
+        help=(
+            "an SLO class (repeatable); default: interactive/bulk classes with "
+            "deadlines scaled to the workload's cost-model dispatch unit"
+        ),
+    )
+    sim_p.add_argument(
+        "--clients", type=int, default=16, help="closed-loop client population"
+    )
+    sim_p.add_argument(
+        "--think-ms", type=float, default=0.1, help="closed-loop mean think time (ms)"
+    )
+    sim_p.add_argument(
+        "--pad",
+        action="store_true",
+        help="pad_to_bucket batching (cross-length batches with masked tails)",
+    )
+    sim_p.add_argument("--no-steal", action="store_true", help="disable work stealing")
+    sim_p.add_argument(
+        "--measured",
+        action="store_true",
+        help="execute batches on the engines and use measured wall time "
+        "(default: deterministic cost-model clock)",
+    )
+    sim_p.add_argument(
+        "--uniform",
+        action="store_true",
+        help="single pattern family (default: mixed families and lengths)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -129,6 +340,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.render())
         print(f"\n[serve finished in {time.perf_counter() - t0:.1f}s]")
         return 0
+
+    if args.command == "simulate":
+        return _cmd_simulate(args)
 
     if args.command == "all":
         for name in _ordered_names():

@@ -1,0 +1,98 @@
+"""Discrete-event cluster simulator for SALO serving deployments.
+
+Answers the provisioning question a deployed accelerator study needs:
+*how many SALO engines, under which batching policy, meet a p99 latency
+SLO at a given traffic level?*  Layered on the serving stack:
+
+* :mod:`repro.cluster.arrivals` — traffic: Poisson / bursty (on-off)
+  open-loop generators, recorded-trace replay, and a closed-loop client
+  population, all emitting timestamped ``AttentionRequest`` s with SLO
+  classes and latency deadlines.
+* :mod:`repro.cluster.policy` — *when* a batch closes: greedy FIFO,
+  max-wait timeout, size-vs-latency target, earliest-deadline-first.
+* :mod:`repro.cluster.pool` — N worker engines with plan-affinity
+  routing (warm plan caches are per-engine state worth routing for),
+  work stealing and per-worker accounting; service times come from the
+  paper's cycle model (``SALO.estimate``) in the deterministic default,
+  or measured engine wall time.
+* :mod:`repro.cluster.simulator` / :mod:`repro.cluster.metrics` — the
+  heap-driven event loop and the :class:`ClusterReport` (per-class
+  percentiles, goodput, utilisation, queue-depth time series).
+
+Entry points: the ``salo-repro simulate`` CLI subcommand and the
+``serving_capacity`` experiment sweep.
+"""
+
+from .arrivals import (
+    DEFAULT_SLO_CLASSES,
+    ClosedLoopSource,
+    OnOffProcess,
+    OpenLoopSource,
+    PoissonProcess,
+    RequestFactory,
+    RequestSource,
+    SLOClass,
+    WorkloadSpec,
+    open_loop,
+    replay_source,
+)
+from .metrics import ClassReport, ClusterReport, MetricsCollector, RequestRecord, WorkerReport
+from .policy import (
+    POLICIES,
+    BatchDecision,
+    BatchPolicy,
+    EDFPolicy,
+    GreedyFIFOPolicy,
+    MaxWaitPolicy,
+    SizeLatencyPolicy,
+    make_policy,
+)
+from .pool import (
+    BULK_BUDGET,
+    INTERACTIVE_BUDGET,
+    CostModelClock,
+    EnginePool,
+    MeasuredClock,
+    ServiceModel,
+    Worker,
+    service_scales,
+)
+from .simulator import ClusterSimulator, SimConfig, simulate
+
+__all__ = [
+    "SLOClass",
+    "DEFAULT_SLO_CLASSES",
+    "WorkloadSpec",
+    "RequestFactory",
+    "RequestSource",
+    "OpenLoopSource",
+    "ClosedLoopSource",
+    "PoissonProcess",
+    "OnOffProcess",
+    "open_loop",
+    "replay_source",
+    "BatchDecision",
+    "BatchPolicy",
+    "GreedyFIFOPolicy",
+    "MaxWaitPolicy",
+    "SizeLatencyPolicy",
+    "EDFPolicy",
+    "POLICIES",
+    "make_policy",
+    "Worker",
+    "EnginePool",
+    "ServiceModel",
+    "CostModelClock",
+    "MeasuredClock",
+    "service_scales",
+    "INTERACTIVE_BUDGET",
+    "BULK_BUDGET",
+    "SimConfig",
+    "ClusterSimulator",
+    "simulate",
+    "MetricsCollector",
+    "RequestRecord",
+    "ClassReport",
+    "WorkerReport",
+    "ClusterReport",
+]

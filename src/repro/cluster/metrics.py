@@ -1,0 +1,236 @@
+"""Cluster-simulation metrics: per-request records -> ClusterReport.
+
+The simulator appends one :class:`RequestRecord` per completed request
+and samples a small time series (queue depth, busy workers) at every
+event; :meth:`MetricsCollector.report` reduces them to the numbers a
+capacity study reads off: per-SLO-class latency percentiles, *goodput*
+(deadline-met completions per second — the metric a deployment is
+actually provisioned for), and per-worker utilisation.  All percentile
+and rate computations are guarded for the empty and single-request
+edges, mirroring ``ServingStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RequestRecord",
+    "WorkerReport",
+    "ClassReport",
+    "SeriesPoint",
+    "MetricsCollector",
+    "ClusterReport",
+]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """``np.percentile`` that tolerates empty inputs (returns 0.0)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one simulated request (all times in simulated s)."""
+
+    request_id: Hashable
+    slo_class: str
+    arrival_s: float
+    dispatch_s: float
+    complete_s: float
+    worker: int
+    batch_size: int
+    deadline_s: Optional[float]  # latency budget (relative to arrival)
+    stolen: bool = False  # served by a worker it was not routed to
+
+    @property
+    def queue_s(self) -> float:
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.complete_s - self.arrival_s
+
+    @property
+    def deadline_met(self) -> bool:
+        return self.deadline_s is None or self.latency_s <= self.deadline_s
+
+
+@dataclass
+class WorkerReport:
+    """Per-worker accounting over the simulated horizon."""
+
+    wid: int
+    utilization: float  # busy_s / makespan
+    busy_s: float
+    batches: int
+    served: int
+    mean_batch_size: float
+    stolen_in: int
+    cold_compiles: int
+    plan_cache: dict  # SALO.cache_info() of the worker's engine
+
+
+@dataclass
+class ClassReport:
+    """Latency/goodput statistics of one SLO class."""
+
+    name: str
+    completed: int
+    deadline_s: Optional[float]
+    latency_p50_ms: float
+    latency_p99_ms: float
+    queue_p50_ms: float
+    deadline_met_rate: float
+    goodput_rps: float  # deadline-met completions per simulated second
+
+
+@dataclass
+class SeriesPoint:
+    """One sample of cluster state (taken at every simulator event)."""
+
+    t_s: float
+    queued: int
+    busy_workers: int
+
+
+@dataclass
+class ClusterReport:
+    """Everything a capacity decision needs from one simulation run."""
+
+    completed: int
+    makespan_s: float
+    throughput_rps: float
+    goodput_rps: float
+    deadline_met_rate: float
+    mean_batch_size: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    classes: List[ClassReport]
+    workers: List[WorkerReport]
+    steals: int
+    series: List[SeriesPoint] = field(repr=False, default_factory=list)
+
+    def class_report(self, name: str) -> ClassReport:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no SLO class {name!r} in report")
+
+    def render(self) -> str:
+        lines = [
+            f"requests completed   {self.completed}",
+            f"makespan             {self.makespan_s * 1e3:.2f} ms (simulated)",
+            f"throughput           {self.throughput_rps:.0f} req/s",
+            f"goodput              {self.goodput_rps:.0f} req/s "
+            f"(deadline-met rate {self.deadline_met_rate:.1%})",
+            f"mean batch size      {self.mean_batch_size:.2f}",
+            f"latency p50/p99      {self.latency_p50_ms:.3f} / {self.latency_p99_ms:.3f} ms",
+            f"work steals          {self.steals}",
+        ]
+        for cls in self.classes:
+            budget = "none" if cls.deadline_s is None else f"{cls.deadline_s * 1e3:.0f} ms"
+            lines.append(
+                f"  class {cls.name:<12} n={cls.completed:<5} deadline {budget:>7}  "
+                f"p50 {cls.latency_p50_ms:.3f} ms  p99 {cls.latency_p99_ms:.3f} ms  "
+                f"met {cls.deadline_met_rate:.1%}"
+            )
+        for w in self.workers:
+            lines.append(
+                f"  worker {w.wid}: util {w.utilization:.1%}  "
+                f"batches {w.batches} (mean size {w.mean_batch_size:.2f})  "
+                f"stolen-in {w.stolen_in}  cold compiles {w.cold_compiles}  "
+                f"plan cache {w.plan_cache['hits']}h/{w.plan_cache['misses']}m"
+            )
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Accumulates records + time series during a simulation run."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self.series: List[SeriesPoint] = []
+        self.first_arrival_s: Optional[float] = None
+        self.last_complete_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    def note_arrival(self, t: float) -> None:
+        if self.first_arrival_s is None or t < self.first_arrival_s:
+            self.first_arrival_s = t
+
+    def note_completion(self, record: RequestRecord) -> None:
+        self.records.append(record)
+        self.last_complete_s = max(self.last_complete_s, record.complete_s)
+
+    def sample(self, t: float, queued: int, busy_workers: int) -> None:
+        self.series.append(SeriesPoint(t_s=t, queued=queued, busy_workers=busy_workers))
+
+    # ------------------------------------------------------------------
+    def report(self, workers, steals: int) -> ClusterReport:
+        """Reduce to a :class:`ClusterReport` (safe on empty runs)."""
+        records = self.records
+        completed = len(records)
+        start = self.first_arrival_s if self.first_arrival_s is not None else 0.0
+        makespan = max(self.last_complete_s - start, 0.0)
+        latencies = [r.latency_s for r in records]
+        met = [r for r in records if r.deadline_met]
+        throughput = completed / makespan if makespan > 0 else 0.0
+        goodput = len(met) / makespan if makespan > 0 else 0.0
+
+        by_class: Dict[str, List[RequestRecord]] = {}
+        for r in records:
+            by_class.setdefault(r.slo_class, []).append(r)
+        classes = []
+        for name in sorted(by_class):
+            recs = by_class[name]
+            cls_met = [r for r in recs if r.deadline_met]
+            classes.append(
+                ClassReport(
+                    name=name,
+                    completed=len(recs),
+                    deadline_s=recs[0].deadline_s,
+                    latency_p50_ms=_percentile([r.latency_s for r in recs], 50) * 1e3,
+                    latency_p99_ms=_percentile([r.latency_s for r in recs], 99) * 1e3,
+                    queue_p50_ms=_percentile([r.queue_s for r in recs], 50) * 1e3,
+                    deadline_met_rate=len(cls_met) / len(recs),
+                    goodput_rps=len(cls_met) / makespan if makespan > 0 else 0.0,
+                )
+            )
+
+        worker_reports = []
+        for w in workers:
+            worker_reports.append(
+                WorkerReport(
+                    wid=w.wid,
+                    utilization=w.busy_s / makespan if makespan > 0 else 0.0,
+                    busy_s=w.busy_s,
+                    batches=w.batches,
+                    served=w.served,
+                    mean_batch_size=w.served / w.batches if w.batches else 0.0,
+                    stolen_in=w.stolen_in,
+                    cold_compiles=w.cold_compiles,
+                    plan_cache=w.salo.cache_info(),
+                )
+            )
+
+        batch_sizes = [r.batch_size for r in records]
+        return ClusterReport(
+            completed=completed,
+            makespan_s=makespan,
+            throughput_rps=throughput,
+            goodput_rps=goodput,
+            deadline_met_rate=len(met) / completed if completed else 0.0,
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            latency_p50_ms=_percentile(latencies, 50) * 1e3,
+            latency_p99_ms=_percentile(latencies, 99) * 1e3,
+            classes=classes,
+            workers=worker_reports,
+            steals=steals,
+            series=self.series,
+        )

@@ -1,0 +1,194 @@
+"""Batch-close policies: *when* to dispatch, not just which queue to pop.
+
+The serving layer's :class:`~repro.serving.batching.BatchScheduler`
+groups requests into same-plan queues; a :class:`BatchPolicy` decides
+when a worker should close one of those queues into a batch.  The
+decision trades batch occupancy (amortised dispatch cost, higher
+throughput) against queueing delay (deadline risk):
+
+* :class:`GreedyFIFOPolicy` — dispatch immediately, longest-waiting
+  queue head first (what :meth:`BatchScheduler.next_batch` does; the
+  PR 2 serving behaviour).
+* :class:`MaxWaitPolicy` — hold a queue open until it fills
+  ``max_batch_size`` or its head has waited ``max_wait_s``; bounded
+  batching delay with better occupancy under trickle traffic.
+* :class:`SizeLatencyPolicy` — the explicit size-vs-latency tradeoff:
+  dispatch at ``target_size`` (below the scheduler's maximum), waiting
+  at most ``max_wait_s``.
+* :class:`EDFPolicy` — earliest-deadline-first across queues *and*
+  members: the queue holding the most urgent request is served first and
+  its most urgent members ride the batch.  Work-conserving; requests
+  without a deadline sort after all deadlined ones (by arrival).
+
+Policies return a :class:`BatchDecision`: a batch to launch now, and/or
+the next instant the decision could change without a new arrival (the
+simulator arms a timer for it).  They are pure functions of the queue
+snapshot and the current time, so the discrete-event simulator stays
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..serving.batching import Batch, BatchScheduler
+from ..serving.request import AttentionRequest
+
+__all__ = [
+    "BatchDecision",
+    "BatchPolicy",
+    "GreedyFIFOPolicy",
+    "MaxWaitPolicy",
+    "SizeLatencyPolicy",
+    "EDFPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+_EPS = 1e-12  # float slack when comparing "has waited long enough"
+
+
+@dataclass
+class BatchDecision:
+    """Outcome of one policy consultation.
+
+    ``batch`` — launch now (``None``: nothing ready).
+    ``next_check_s`` — earliest future time the answer could change with
+    no new arrival; the simulator arms a timer (``None``: only a new
+    arrival or completion can change the answer).
+    """
+
+    batch: Optional[Batch] = None
+    next_check_s: Optional[float] = None
+
+
+class BatchPolicy:
+    """Decides when a worker closes a queue into a batch."""
+
+    name = "abstract"
+
+    def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GreedyFIFOPolicy(BatchPolicy):
+    """Dispatch immediately: longest-waiting queue head, FIFO members."""
+
+    name = "greedy-fifo"
+
+    def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        return BatchDecision(batch=queue.next_batch())
+
+
+class MaxWaitPolicy(BatchPolicy):
+    """Wait for fuller batches, but never longer than ``max_wait_s``.
+
+    A queue is *ready* once it holds ``target_size`` requests (default:
+    the scheduler's ``max_batch_size``) or its head request has waited
+    ``max_wait_s``.  Among ready queues the longest-waiting head goes
+    first; with none ready, the decision names the earliest expiry so
+    the caller can re-consult exactly then.
+    """
+
+    name = "max-wait"
+
+    def __init__(self, max_wait_s: float, target_size: Optional[int] = None) -> None:
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if target_size is not None and target_size < 1:
+            raise ValueError(f"target_size must be >= 1, got {target_size}")
+        self.max_wait_s = max_wait_s
+        self.target_size = target_size
+
+    def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        target = self.target_size or queue.max_batch_size
+        target = min(target, queue.max_batch_size)
+        best_key: Optional[Tuple] = None
+        best_arrival: Optional[float] = None
+        next_expiry: Optional[float] = None
+        for key, members in queue.group_items():
+            head = members[0].arrival_s
+            ready = len(members) >= target or (now - head) >= self.max_wait_s - _EPS
+            if ready:
+                if best_arrival is None or head < best_arrival:
+                    best_key, best_arrival = key, head
+            else:
+                expiry = head + self.max_wait_s
+                if next_expiry is None or expiry < next_expiry:
+                    next_expiry = expiry
+        if best_key is not None:
+            return BatchDecision(batch=queue.take(best_key))
+        return BatchDecision(next_check_s=next_expiry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_wait_s={self.max_wait_s})"
+
+
+class SizeLatencyPolicy(MaxWaitPolicy):
+    """Dispatch at ``target_size`` members, waiting at most ``max_wait_s``.
+
+    The explicit occupancy-vs-latency knob: target 1 degenerates to
+    greedy FIFO, target ``max_batch_size`` to :class:`MaxWaitPolicy`.
+    """
+
+    name = "size-latency"
+
+    def __init__(self, target_size: int, max_wait_s: float) -> None:
+        super().__init__(max_wait_s=max_wait_s, target_size=target_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(target_size={self.target_size}, "
+            f"max_wait_s={self.max_wait_s})"
+        )
+
+
+def _urgency(request: AttentionRequest) -> Tuple[float, float]:
+    """EDF sort key: absolute deadline first, arrival as tiebreak.
+
+    ``absolute_deadline_s`` is ``inf`` for deadline-free requests, so
+    best-effort traffic naturally yields to any deadlined request.
+    """
+    return (request.absolute_deadline_s, request.arrival_s)
+
+
+class EDFPolicy(BatchPolicy):
+    """Earliest-deadline-first with SLO classes (work-conserving).
+
+    Serves the queue containing the globally most urgent request and
+    fills the batch with that queue's most urgent members.  Batches stay
+    same-plan (the scheduler's grouping invariant); urgency only decides
+    *which* queue and *which* members.
+    """
+
+    name = "edf"
+
+    def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        best_key: Optional[Tuple] = None
+        best_urgency: Optional[Tuple[float, float]] = None
+        for key, members in queue.group_items():
+            urgency = min(_urgency(r) for r in members)
+            if best_urgency is None or urgency < best_urgency:
+                best_key, best_urgency = key, urgency
+        if best_key is None:
+            return BatchDecision()
+        return BatchDecision(batch=queue.take(best_key, order=_urgency))
+
+
+POLICIES: Dict[str, Type[BatchPolicy]] = {
+    GreedyFIFOPolicy.name: GreedyFIFOPolicy,
+    MaxWaitPolicy.name: MaxWaitPolicy,
+    SizeLatencyPolicy.name: SizeLatencyPolicy,
+    EDFPolicy.name: EDFPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> BatchPolicy:
+    """Instantiate a policy by registry name (CLI / experiment sweeps)."""
+    if name not in POLICIES:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICIES)}")
+    return POLICIES[name](**kwargs)

@@ -1,0 +1,290 @@
+"""Engine pool: N SALO workers, plan-affinity routing, work stealing.
+
+Each :class:`Worker` owns a full :class:`~repro.core.salo.SALO` instance
+(its *warm* plan cache is the point: compiled plans are per-engine
+state) plus a plan-keyed request queue.  The :class:`EnginePool` routes
+arrivals by scoring workers on *cache-hit probability over queue
+pressure* — a worker that has served a structure before will skip
+scheduling, compilation and the cost models on a repeat, so sending the
+repeat there is usually worth a slightly deeper queue.  When a worker
+runs dry it steals queued work from the most loaded peer, trading a cold
+compile for idleness.
+
+Service-time clocks
+-------------------
+The simulator charges a batch's service time through a
+:class:`ServiceModel`:
+
+* :class:`CostModelClock` — **deterministic**: the paper's cycle model
+  via ``SALO.estimate`` is the service-time oracle (the accelerator runs
+  the plan once per sequence, so a batch of ``b`` costs ``b`` times the
+  per-sequence latency), plus a host-side dispatch overhead per batch
+  and a cold-compile penalty the first time a worker serves a structure
+  (measured scale: ~45 µs/pass plan compilation, PR 1).  No wall clock
+  is read anywhere on this path.
+* :class:`MeasuredClock` — executes the batch on the worker's engine and
+  uses the measured wall time; grounding runs that trade determinism for
+  end-to-end realism.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.salo import SALO
+from ..serving.batching import Batch, BatchScheduler
+from ..serving.request import AttentionRequest
+from ..serving.session import execute_batch
+
+__all__ = [
+    "Worker",
+    "ServiceModel",
+    "CostModelClock",
+    "MeasuredClock",
+    "EnginePool",
+    "service_scales",
+    "INTERACTIVE_BUDGET",
+    "BULK_BUDGET",
+]
+
+# Default SLO deadline budgets as multiples of the dispatch unit (one
+# request's cost-model latency plus a full per-batch overhead): shared
+# by the CLI `simulate` defaults and the serving_capacity sweep so their
+# deadline semantics cannot drift apart.
+INTERACTIVE_BUDGET = 30.0
+BULK_BUDGET = 400.0
+
+
+def service_scales(spec, clock: "CostModelClock", full_batch: int = 8) -> Tuple[float, float]:
+    """(amortised unit, dispatch unit) of the cost model, in seconds.
+
+    ``spec`` is a :class:`~repro.cluster.arrivals.WorkloadSpec`.  The
+    *amortised unit* — mean per-request service over the workload's
+    pattern families at full batches — sets pool capacity; the *dispatch
+    unit* — one request plus one whole batch overhead — is the latency
+    floor SLO deadlines are scaled from.  Shared by the CLI ``simulate``
+    defaults and the ``serving_capacity`` sweep so the two cannot drift.
+    """
+    from ..serving.trace import pattern_families
+
+    if full_batch < 1:
+        raise ValueError(f"full_batch must be >= 1, got {full_batch}")
+    salo = SALO()
+    units = [
+        salo.estimate(p, heads=spec.heads, head_dim=spec.head_dim).latency_s
+        for p in pattern_families(spec.trace_spec())
+    ]
+    mean_unit = float(np.mean(units))
+    return (
+        mean_unit + clock.batch_overhead_s / full_batch,
+        mean_unit + clock.batch_overhead_s,
+    )
+
+
+class Worker:
+    """One engine: a SALO instance, its queue, and accounting."""
+
+    def __init__(
+        self,
+        wid: int,
+        salo: SALO,
+        max_batch_size: int = 8,
+        bucket_floor: int = 16,
+        pad_to_bucket: bool = False,
+    ) -> None:
+        self.wid = wid
+        self.salo = salo
+        self.queue = BatchScheduler(
+            max_batch_size=max_batch_size,
+            bucket_floor=bucket_floor,
+            pad_to_bucket=pad_to_bucket,
+        )
+        self.busy = False
+        self.inflight = 0  # requests in the batch currently executing
+        self.busy_s = 0.0  # accumulated service time
+        self.batches = 0
+        self.served = 0
+        self.stolen_in = 0  # requests stolen from peers
+        self.cold_compiles = 0
+        self.warm: set = set()  # group keys this worker has served (routing)
+        self.warm_plans: set = set()  # plan keys actually compiled (cold accounting)
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Queue pressure the router scores against: queued + executing."""
+        return self.queue.pending + self.inflight
+
+    def is_warm(self, group_key: Tuple) -> bool:
+        return group_key in self.warm
+
+    def is_cold_plan(self, batch: Batch) -> bool:
+        """True when this batch's dispatch compiles a new plan here.
+
+        Keyed on the executed plan, not the group key: in
+        ``pad_to_bucket`` mode one group key covers both the exact- and
+        bucket-length plans, and only the one actually run gets warm.
+        """
+        return batch.plan_key() not in self.warm_plans
+
+    def note_dispatch(self, batch: Batch, service_s: float, cold: bool) -> None:
+        self.busy = True
+        self.inflight = batch.size
+        self.busy_s += service_s
+        self.batches += 1
+        self.served += batch.size
+        if cold:
+            self.cold_compiles += 1
+        self.warm.add(batch.key)
+        self.warm_plans.add(batch.plan_key())
+
+    def note_complete(self) -> None:
+        self.busy = False
+        self.inflight = 0
+
+
+class ServiceModel:
+    """Maps (worker, batch) to a service time; may execute the batch."""
+
+    #: True when service times are free of wall-clock reads (replayable).
+    deterministic = True
+
+    def service_s(self, worker: Worker, batch: Batch, cold: bool) -> float:
+        raise NotImplementedError
+
+
+class CostModelClock(ServiceModel):
+    """Paper-grounded oracle: ``SALO.estimate`` latency per sequence.
+
+    ``batch_overhead_s`` models the host-side dispatch cost one engine
+    call amortises across the batch (queue pop, operand staging) — the
+    term that makes batching a throughput win in simulated time, exactly
+    as it is in the measured benches.  ``cold_compile_s`` is charged the
+    first time a worker serves a structure (scheduling + plan
+    compilation + engine build on its SALO), which is what plan-affinity
+    routing exists to avoid.
+    """
+
+    deterministic = True
+
+    def __init__(
+        self, batch_overhead_s: float = 2e-5, cold_compile_s: float = 5e-4
+    ) -> None:
+        if batch_overhead_s < 0 or cold_compile_s < 0:
+            raise ValueError("overheads must be >= 0")
+        self.batch_overhead_s = batch_overhead_s
+        self.cold_compile_s = cold_compile_s
+
+    def service_s(self, worker: Worker, batch: Batch, cold: bool) -> float:
+        req = batch.requests[0]
+        pattern = batch.execution_pattern()
+        stats = worker.salo.estimate(pattern, heads=req.heads, head_dim=req.head_dim)
+        service = stats.latency_s * batch.size + self.batch_overhead_s
+        if cold:
+            service += self.cold_compile_s
+        return service
+
+
+class MeasuredClock(ServiceModel):
+    """Run the batch on the worker's engine; the wall clock is the time."""
+
+    deterministic = False
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+
+    def service_s(self, worker: Worker, batch: Batch, cold: bool) -> float:
+        t0 = self.clock()
+        execute_batch(worker.salo, batch)
+        return self.clock() - t0
+
+
+class EnginePool:
+    """Routes requests across workers; steals work for idle ones."""
+
+    def __init__(
+        self,
+        workers: int,
+        salo_factory: Callable[[], SALO] = SALO,
+        max_batch_size: int = 8,
+        bucket_floor: int = 16,
+        pad_to_bucket: bool = False,
+        affinity_miss_prob: float = 0.1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not 0.0 < affinity_miss_prob <= 1.0:
+            raise ValueError(
+                f"affinity_miss_prob must be in (0, 1], got {affinity_miss_prob}"
+            )
+        self.workers: List[Worker] = [
+            Worker(
+                wid,
+                salo_factory(),
+                max_batch_size=max_batch_size,
+                bucket_floor=bucket_floor,
+                pad_to_bucket=pad_to_bucket,
+            )
+            for wid in range(workers)
+        ]
+        self.affinity_miss_prob = affinity_miss_prob
+        self.steals = 0
+
+    # ------------------------------------------------------------------
+    def route(self, request: AttentionRequest) -> Worker:
+        """Pick the worker maximising cache-hit probability per queue slot.
+
+        Score = P(plan cache hit) / (1 + depth): a warm worker wins until
+        its backlog outweighs the compile it would save (with miss
+        probability 0.1, a warm worker is preferred up to ~10x the queue
+        depth).  Ties break toward the shallower queue, then the lower
+        id — fully deterministic.
+        """
+        key = self.workers[0].queue.group_key(request)
+        best: Optional[Worker] = None
+        best_score: Optional[Tuple[float, int, int]] = None
+        for worker in self.workers:
+            hit_p = 1.0 if worker.is_warm(key) else self.affinity_miss_prob
+            score = (-hit_p / (1 + worker.depth()), worker.depth(), worker.wid)
+            if best_score is None or score < best_score:
+                best, best_score = worker, score
+        return best
+
+    def steal_into(self, thief: Worker, now: float) -> int:
+        """Move queued work from the most loaded *busy* peer to an idle thief.
+
+        Takes up to ``max_batch_size`` requests from the back of the
+        victim's deepest queue (the work the victim would reach last),
+        re-enqueues them on the thief and returns the count.  The thief
+        pays a cold compile unless it happens to be warm for the stolen
+        structure — idleness is worse.  Only busy victims qualify: an
+        idle worker with queued requests is *holding* them open on
+        purpose (a max-wait policy building a batch), and robbing it
+        would defeat the policy rather than reduce idleness.
+        """
+        victim: Optional[Worker] = None
+        for worker in self.workers:
+            if worker is thief or not worker.busy or worker.queue.pending == 0:
+                continue
+            if victim is None or worker.queue.pending > victim.queue.pending:
+                victim = worker
+        if victim is None:
+            return 0
+        stolen = victim.queue.steal(thief.queue.max_batch_size)
+        if not stolen:
+            return 0
+        thief.queue.requeue(stolen)
+        thief.stolen_in += len(stolen)
+        self.steals += 1
+        return len(stolen)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(w.queue.pending for w in self.workers)
+
+    @property
+    def busy_workers(self) -> int:
+        return sum(1 for w in self.workers if w.busy)

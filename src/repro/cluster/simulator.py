@@ -1,0 +1,181 @@
+"""Heap-driven discrete-event loop over the engine pool.
+
+Three event kinds drive the clock forward:
+
+* **arrival** — a request lands; the pool routes it to a worker and, if
+  that worker is idle, its batch policy is consulted immediately.
+* **service-complete** — a worker finishes a batch: completions are
+  recorded, closed-loop sources may inject follow-up arrivals, the
+  worker steals work if its own queue ran dry, and the policy is
+  consulted for the next batch.
+* **batch-close timer** — a holding policy (max-wait / size-latency)
+  named a future instant at which an open queue must be re-examined;
+  nothing else changes at that time, so the consultation is cheap.
+
+Simulated time is whatever the configured
+:class:`~repro.cluster.pool.ServiceModel` says a batch costs — with the
+default :class:`~repro.cluster.pool.CostModelClock`, every duration
+derives from the paper's cycle model (``SALO.estimate``) and the run is
+fully deterministic: same seed, same report, no wall-clock reads.  Ties
+in the event heap break by insertion order, which is itself
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..core.salo import SALO
+from ..serving.batching import Batch
+from ..serving.request import AttentionRequest
+from .arrivals import RequestSource
+from .metrics import MetricsCollector, ClusterReport, RequestRecord
+from .policy import BatchPolicy, GreedyFIFOPolicy
+from .pool import CostModelClock, EnginePool, ServiceModel, Worker
+
+__all__ = ["SimConfig", "ClusterSimulator", "simulate"]
+
+_ARRIVE, _COMPLETE, _TIMER = 0, 1, 2
+_MIN_TIMER_STEP = 1e-9  # forward progress guard for degenerate timers
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one cluster simulation."""
+
+    workers: int = 2
+    max_batch_size: int = 8
+    bucket_floor: int = 16
+    pad_to_bucket: bool = False
+    steal: bool = True
+    affinity_miss_prob: float = 0.1
+    policy: BatchPolicy = field(default_factory=GreedyFIFOPolicy)
+    service: ServiceModel = field(default_factory=CostModelClock)
+    salo_factory: Callable[[], SALO] = SALO
+
+
+class ClusterSimulator:
+    """Runs one :class:`~repro.cluster.arrivals.RequestSource` to empty."""
+
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.config = config if config is not None else SimConfig()
+        cfg = self.config
+        self.pool = EnginePool(
+            workers=cfg.workers,
+            salo_factory=cfg.salo_factory,
+            max_batch_size=cfg.max_batch_size,
+            bucket_floor=cfg.bucket_floor,
+            pad_to_bucket=cfg.pad_to_bucket,
+            affinity_miss_prob=cfg.affinity_miss_prob,
+        )
+        self.metrics = MetricsCollector()
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._routed: Dict[Hashable, int] = {}  # request id -> routed worker id
+        self._timer_armed: Dict[int, float] = {}  # worker id -> armed time
+
+    # ------------------------------------------------------------------
+    def _push(self, t: float, kind: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, kind, payload))
+
+    def _arm_timer(self, worker: Worker, t: float, now: float) -> None:
+        t = max(t, now + _MIN_TIMER_STEP)
+        armed = self._timer_armed.get(worker.wid)
+        if armed is not None and armed <= t:
+            return  # an earlier (or equal) consultation is already scheduled
+        self._timer_armed[worker.wid] = t
+        self._push(t, _TIMER, worker)
+
+    def _dispatch(self, worker: Worker, now: float) -> None:
+        """Consult the policy; launch a batch or arm its re-check timer."""
+        if worker.busy:
+            return
+        decision = self.config.policy.next_batch(worker.queue, now)
+        batch = decision.batch
+        if batch is not None:
+            cold = worker.is_cold_plan(batch)
+            service = self.config.service.service_s(worker, batch, cold)
+            worker.note_dispatch(batch, service, cold)
+            self._push(now + service, _COMPLETE, (worker, batch, now))
+        elif decision.next_check_s is not None:
+            self._arm_timer(worker, decision.next_check_s, now)
+
+    # ------------------------------------------------------------------
+    def _on_arrive(self, request: AttentionRequest, now: float) -> None:
+        self.metrics.note_arrival(now)
+        worker = self.pool.route(request)
+        self._routed[request.request_id] = worker.wid
+        worker.queue.enqueue(request)
+        self._dispatch(worker, now)
+
+    def _on_complete(self, worker: Worker, batch: Batch, dispatched: float, now: float) -> None:
+        worker.note_complete()
+        source_arrivals: List[AttentionRequest] = []
+        for req in batch.requests:
+            self.metrics.note_completion(
+                RequestRecord(
+                    request_id=req.request_id,
+                    slo_class=req.slo_class,
+                    arrival_s=req.arrival_s,
+                    dispatch_s=dispatched,
+                    complete_s=now,
+                    worker=worker.wid,
+                    batch_size=batch.size,
+                    deadline_s=req.deadline_s,
+                    stolen=self._routed.get(req.request_id, worker.wid) != worker.wid,
+                )
+            )
+            source_arrivals.extend(self._source.on_complete(req, now))
+        for req in source_arrivals:
+            self._push(max(req.arrival_s, now), _ARRIVE, req)
+        self._dispatch(worker, now)
+
+    def _balance(self, now: float) -> None:
+        """Idle workers with dry queues steal from saturated peers.
+
+        Runs after every event, so an engine never sits idle while a
+        *busy* peer has backlog (idle peers holding requests open under a
+        max-wait policy are off limits — see ``EnginePool.steal_into``).
+        """
+        if not self.config.steal:
+            return
+        for worker in self.pool.workers:
+            if worker.busy or worker.queue.pending:
+                continue
+            if self.pool.steal_into(worker, now):
+                self._dispatch(worker, now)
+
+    # ------------------------------------------------------------------
+    def run(self, source: RequestSource) -> ClusterReport:
+        """Drive the event loop until every queued request completed."""
+        self._source = source
+        for req in source.initial():
+            self._push(req.arrival_s, _ARRIVE, req)
+        while self._heap:
+            t, _, kind, payload = heapq.heappop(self._heap)
+            if kind == _ARRIVE:
+                self._on_arrive(payload, t)
+            elif kind == _COMPLETE:
+                worker, batch, dispatched = payload
+                self._on_complete(worker, batch, dispatched, t)
+            else:  # _TIMER
+                worker = payload
+                if self._timer_armed.get(worker.wid) is not None and t >= self._timer_armed[worker.wid]:
+                    del self._timer_armed[worker.wid]
+                self._dispatch(worker, t)
+            self._balance(t)
+            self.metrics.sample(t, self.pool.pending, self.pool.busy_workers)
+        if self.pool.pending:  # pragma: no cover - policy bug guard
+            raise RuntimeError(
+                f"simulation drained its event heap with {self.pool.pending} "
+                "requests still queued (policy never closed a batch)"
+            )
+        return self.metrics.report(self.pool.workers, self.pool.steals)
+
+
+def simulate(source: RequestSource, config: Optional[SimConfig] = None) -> ClusterReport:
+    """One-shot convenience wrapper: build a simulator, run the source."""
+    return ClusterSimulator(config).run(source)

@@ -235,6 +235,7 @@ class SALO:
         heads: int = 1,
         scale: Optional[float] = None,
         check_buffers: bool = True,
+        valid_lens: Optional[np.ndarray] = None,
     ) -> AttentionResult:
         """Compute sparse attention on the accelerator model.
 
@@ -246,6 +247,12 @@ class SALO:
         Repeated calls with the same pattern structure hit the plan cache
         and skip scheduling, compilation, buffer checks and the cost
         models (see module docstring).
+
+        ``valid_lens`` (one int per sequence) marks zero-padded tails for
+        cross-length batches: keys beyond a sequence's valid length are
+        masked out of its softmax and the caller slices outputs back to
+        the true lengths (the serving layer's ``pad_to_bucket`` mode).
+        ``stats`` always describe the plan at the padded length.
         """
         q = np.asarray(q, dtype=np.float64)
         if q.ndim not in (2, 3):
@@ -266,7 +273,7 @@ class SALO:
                 )
         if entry.engine is None:
             entry.engine = FunctionalEngine(plan)
-        functional = entry.engine.run(q, k, v, scale=scale)
+        functional = entry.engine.run(q, k, v, scale=scale, valid_lens=valid_lens)
         if entry.stats is None:
             entry.stats = self.stats_for(plan)
         return AttentionResult(

@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     sec21_quadratic,
     sec63_sanger,
     seq_scaling,
+    serving_capacity,
     table1_synthesis,
     table2_workloads,
     table3_quantization,

@@ -11,8 +11,8 @@ per-request calls.
 
 from .batching import Batch, BatchScheduler, length_bucket
 from .request import AttentionRequest, RequestResult
-from .session import ServingSession, ServingStats
-from .trace import ReplayReport, TraceSpec, replay, synthetic_trace
+from .session import ServingSession, ServingStats, execute_batch
+from .trace import ArrivalSpec, ReplayReport, TraceSpec, replay, synthetic_trace
 
 __all__ = [
     "AttentionRequest",
@@ -22,6 +22,8 @@ __all__ = [
     "length_bucket",
     "ServingSession",
     "ServingStats",
+    "execute_batch",
+    "ArrivalSpec",
     "TraceSpec",
     "ReplayReport",
     "replay",

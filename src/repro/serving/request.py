@@ -11,7 +11,7 @@ hardware config) into a single engine dispatch; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Optional
 
 import numpy as np
 
@@ -27,7 +27,10 @@ class AttentionRequest:
     ``q``, ``k``, ``v`` have shape ``(n, hidden)`` with ``n`` equal to
     the pattern's sequence length and ``hidden`` divisible by ``heads``.
     ``arrival_s`` is the submission timestamp (session clock) queueing
-    delay is measured from.
+    delay is measured from.  ``deadline_s`` is a latency budget relative
+    to arrival (the request meets its SLO when it completes by
+    ``arrival_s + deadline_s``); ``slo_class`` labels the request for
+    per-class latency accounting and deadline-aware batch policies.
     """
 
     request_id: Hashable
@@ -37,6 +40,8 @@ class AttentionRequest:
     v: np.ndarray
     heads: int = 1
     arrival_s: float = 0.0
+    deadline_s: Optional[float] = None
+    slo_class: str = "default"
 
     def __post_init__(self) -> None:
         self.q = np.asarray(self.q, dtype=np.float64)
@@ -54,6 +59,15 @@ class AttentionRequest:
             raise ValueError(
                 f"hidden size {self.q.shape[1]} not divisible by heads {self.heads}"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+
+    @property
+    def absolute_deadline_s(self) -> float:
+        """Completion time the SLO requires (``inf`` without a deadline)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.arrival_s + self.deadline_s
 
     @property
     def n(self) -> int:

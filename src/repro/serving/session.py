@@ -7,7 +7,10 @@ the :class:`~repro.serving.batching.BatchScheduler` and a shared
 :class:`~repro.core.salo.SALO` instance.  Each batch becomes one
 ``SALO.attend`` call with a leading batch axis — same-plan sequences
 share scheduling, compilation and the engine's per-job dispatch cost,
-while outputs stay bit-identical to per-request calls.
+while outputs stay bit-identical to per-request calls.  In
+``pad_to_bucket`` mode, same-structure requests of different lengths
+batch under one bucket-length plan with masked tails (outputs are sliced
+back to each request's true length; see :mod:`repro.serving.batching`).
 
 Accounting: every request's queueing delay (submit -> batch dispatch)
 and service time (its batch's engine wall time) are recorded, and
@@ -20,16 +23,52 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.salo import SALO, pattern_structure_key
+from ..core.salo import SALO, AttentionResult, pattern_structure_key
 from ..patterns.base import AttentionPattern
 from .batching import Batch, BatchScheduler
 from .request import AttentionRequest, RequestResult
 
-__all__ = ["ServingSession", "ServingStats"]
+__all__ = ["ServingSession", "ServingStats", "execute_batch"]
+
+
+def execute_batch(salo: SALO, batch: Batch) -> Tuple[List[np.ndarray], AttentionResult]:
+    """One engine dispatch for a batch; returns per-request outputs.
+
+    Uniform-length batches stack members on a leading batch axis
+    (bit-identical to per-request calls); mixed-length padded batches
+    zero-pad members to the bucket length, mask the tails via
+    ``valid_lens`` and slice outputs back.  This is the single execution
+    path shared by :class:`ServingSession` and the cluster simulator's
+    measured-clock workers.
+    """
+    requests = batch.requests
+    if batch.size == 1:
+        req = requests[0]
+        result = salo.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
+        return [result.output], result
+    pattern = batch.execution_pattern()
+    if not batch.mixed_lengths:
+        q = np.stack([r.q for r in requests])
+        k = np.stack([r.k for r in requests])
+        v = np.stack([r.v for r in requests])
+        result = salo.attend(pattern, q, k, v, heads=batch.heads)
+        return [result.output[i] for i in range(batch.size)], result
+    # Padded cross-length batch: one bucket-length plan, masked tails.
+    n_pad, hidden = pattern.n, requests[0].hidden
+    q = np.zeros((batch.size, n_pad, hidden))
+    k = np.zeros((batch.size, n_pad, hidden))
+    v = np.zeros((batch.size, n_pad, hidden))
+    lens = np.asarray([r.n for r in requests], dtype=np.int64)
+    for i, req in enumerate(requests):
+        q[i, : req.n] = req.q
+        k[i, : req.n] = req.k
+        v[i, : req.n] = req.v
+    result = salo.attend(pattern, q, k, v, heads=batch.heads, valid_lens=lens)
+    return [result.output[i, : requests[i].n] for i in range(batch.size)], result
 
 
 @dataclass
@@ -74,6 +113,11 @@ class ServingSession:
         fresh Table 1 configuration.
     max_batch_size:
         Upper bound on requests per engine dispatch.
+    pad_to_bucket:
+        Batch same-structure requests of different lengths under one
+        bucket-length plan with masked tails (higher occupancy, outputs
+        equivalent up to partial-softmax regrouping — no longer
+        guaranteed bit-identical to per-request calls).
     clock:
         Monotonic time source; injectable for deterministic tests.
     """
@@ -83,14 +127,20 @@ class ServingSession:
         salo: Optional[SALO] = None,
         max_batch_size: int = 8,
         bucket_floor: int = 16,
+        pad_to_bucket: bool = False,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.salo = salo if salo is not None else SALO()
-        self.scheduler = BatchScheduler(max_batch_size=max_batch_size, bucket_floor=bucket_floor)
+        self.scheduler = BatchScheduler(
+            max_batch_size=max_batch_size,
+            bucket_floor=bucket_floor,
+            pad_to_bucket=pad_to_bucket,
+        )
         self.clock = clock
         self.results: Dict[Hashable, RequestResult] = {}
         self.batches_executed = 0
         self._batch_sizes: List[int] = []
+        self._service_s_total = 0.0  # summed per-batch engine time
         self._serial = 0
         self._known_ids: set = set()  # pending + completed (collision guard)
         self._first_submit_s: Optional[float] = None
@@ -105,8 +155,16 @@ class ServingSession:
         v: np.ndarray,
         heads: int = 1,
         request_id: Optional[Hashable] = None,
+        arrival_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        slo_class: str = "default",
     ) -> Hashable:
         """Queue one attention request; returns its id.
+
+        ``arrival_s`` overrides the arrival timestamp (trace replay with
+        recorded arrivals — queueing delay is then measured from trace
+        time, not the submit call).  ``deadline_s``/``slo_class`` ride
+        along for deadline-aware schedulers and per-class accounting.
 
         Rejects patterns without band structure up front: SALO cannot
         schedule them, and failing at submit keeps one bad request from
@@ -129,7 +187,15 @@ class ServingSession:
         if self._first_submit_s is None:
             self._first_submit_s = now
         request = AttentionRequest(
-            request_id=request_id, pattern=pattern, q=q, k=k, v=v, heads=heads, arrival_s=now
+            request_id=request_id,
+            pattern=pattern,
+            q=q,
+            k=k,
+            v=v,
+            heads=heads,
+            arrival_s=now if arrival_s is None else arrival_s,
+            deadline_s=deadline_s,
+            slo_class=slo_class,
         )
         self.scheduler.enqueue(request)
         return request_id
@@ -140,22 +206,15 @@ class ServingSession:
 
         The batch's sequences are stacked on a leading axis and run as a
         single ``SALO.attend`` dispatch; outputs are bit-identical to
-        per-request calls, so batching is purely a throughput decision.
+        per-request calls (equivalent up to partial-softmax regrouping
+        for padded cross-length batches), so batching is a throughput
+        decision.
         """
         batch = self.scheduler.next_batch()
         if batch is None:
             return None
         start = self.clock()
-        if batch.size == 1:
-            req = batch.requests[0]
-            result = self.salo.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
-            outputs = result.output[None]
-        else:
-            q = np.stack([r.q for r in batch.requests])
-            k = np.stack([r.k for r in batch.requests])
-            v = np.stack([r.v for r in batch.requests])
-            result = self.salo.attend(batch.pattern, q, k, v, heads=batch.heads)
-            outputs = result.output
+        outputs, result = execute_batch(self.salo, batch)
         end = self.clock()
         service_s = end - start
         for i, req in enumerate(batch.requests):
@@ -163,12 +222,13 @@ class ServingSession:
                 request_id=req.request_id,
                 output=outputs[i],
                 batch_size=batch.size,
-                queue_s=start - req.arrival_s,
+                queue_s=max(0.0, start - req.arrival_s),
                 service_s=service_s,
                 stats=result.stats,
             )
         self.batches_executed += 1
         self._batch_sizes.append(batch.size)
+        self._service_s_total += service_s
         self._last_complete_s = end
         return batch
 
@@ -184,7 +244,13 @@ class ServingSession:
         return self.scheduler.pending
 
     def stats(self) -> ServingStats:
-        """Reduce per-request accounting to throughput and percentiles."""
+        """Reduce per-request accounting to throughput and percentiles.
+
+        Safe on the edge cases a capacity script hits first: an empty
+        session (no requests yet) and a single-request session with an
+        arbitrarily coarse clock both return finite, renderable numbers
+        — never a division by zero or an ``inf`` throughput.
+        """
         completed = len(self.results)
         if completed == 0:
             return ServingStats(
@@ -202,12 +268,22 @@ class ServingSession:
         latencies = np.asarray([r.latency_s for r in self.results.values()])
         queues = np.asarray([r.queue_s for r in self.results.values()])
         wall_s = max(self._last_complete_s - self._first_submit_s, 0.0)
+        if wall_s <= 0.0:
+            # Degenerate clock (frozen test clock, sub-resolution run):
+            # fall back to the summed per-batch engine time — counted
+            # once per batch, not once per member — so throughput stays
+            # finite; 0.0 when even that is zero.
+            throughput = (
+                completed / self._service_s_total if self._service_s_total > 0 else 0.0
+            )
+        else:
+            throughput = completed / wall_s
         p50, p90, p99 = np.percentile(latencies, [50, 90, 99])
         return ServingStats(
             completed=completed,
             batches=self.batches_executed,
             wall_s=wall_s,
-            throughput_rps=completed / wall_s if wall_s > 0 else float("inf"),
+            throughput_rps=throughput,
             mean_batch_size=float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0,
             queue_p50_ms=float(np.percentile(queues, 50)) * 1e3,
             latency_p50_ms=float(p50) * 1e3,

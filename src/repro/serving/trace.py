@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,7 +23,37 @@ from ..patterns.library import longformer_pattern
 from .request import AttentionRequest
 from .session import ServingSession, ServingStats
 
-__all__ = ["TraceSpec", "synthetic_trace", "replay", "ReplayReport"]
+__all__ = ["ArrivalSpec", "TraceSpec", "synthetic_trace", "replay", "ReplayReport"]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How a synthetic trace's arrival timestamps are drawn.
+
+    Either a Poisson ``rate_rps`` (exponential inter-arrivals) or a
+    custom ``sampler`` drawing one inter-arrival gap per call from the
+    trace RNG.  Timestamps start at 0 and accumulate, so a recorded
+    trace carries realistic relative arrival times instead of the
+    submit-time wall clock — the bridge the cluster simulator replays.
+    """
+
+    rate_rps: Optional[float] = None
+    sampler: Optional[Callable[[np.random.Generator], float]] = None
+
+    def __post_init__(self) -> None:
+        if (self.rate_rps is None) == (self.sampler is None):
+            raise ValueError("specify exactly one of rate_rps or sampler")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
+
+    def inter_arrival(self, rng: np.random.Generator) -> float:
+        if self.sampler is not None:
+            gap = float(self.sampler(rng))
+        else:
+            gap = float(rng.exponential(1.0 / self.rate_rps))
+        if gap < 0:
+            raise ValueError(f"inter-arrival gap must be >= 0, got {gap}")
+        return gap
 
 
 @dataclass(frozen=True)
@@ -38,10 +68,16 @@ class TraceSpec:
     global_tokens: Tuple[int, ...] = (0,)
     mixed: bool = True  # draw from several pattern families / lengths
     seed: int = 0
+    arrival: Optional[ArrivalSpec] = None  # None: all requests at t=0
 
 
-def _pattern_families(spec: TraceSpec) -> List[AttentionPattern]:
-    """The pattern families a mixed trace samples from."""
+def pattern_families(spec: TraceSpec) -> List[AttentionPattern]:
+    """The pattern families a mixed trace samples from.
+
+    Shared with the cluster workload generator
+    (:mod:`repro.cluster.arrivals`), so simulated traffic and the serve
+    CLI's traces draw from the same structural mix.
+    """
     families: List[AttentionPattern] = [
         longformer_pattern(spec.n, spec.window, spec.global_tokens)
     ]
@@ -58,17 +94,27 @@ def _pattern_families(spec: TraceSpec) -> List[AttentionPattern]:
 
 
 def synthetic_trace(spec: TraceSpec) -> List[AttentionRequest]:
-    """Generate ``num_requests`` requests over the spec's families."""
+    """Generate ``num_requests`` requests over the spec's families.
+
+    With ``spec.arrival`` set, requests carry accumulated synthetic
+    arrival timestamps (starting at 0) instead of the default 0.0 —
+    :func:`replay` forwards them into the session and the cluster
+    simulator replays them as its arrival events.
+    """
     rng = np.random.default_rng(spec.seed)
-    families = _pattern_families(spec)
+    families = pattern_families(spec)
     hidden = spec.heads * spec.head_dim
     requests: List[AttentionRequest] = []
+    t = 0.0
     for i in range(spec.num_requests):
         pattern = families[int(rng.integers(len(families)))]
         q, k, v = (rng.standard_normal((pattern.n, hidden)) for _ in range(3))
+        if spec.arrival is not None:
+            t += spec.arrival.inter_arrival(rng)
         requests.append(
             AttentionRequest(
-                request_id=i, pattern=pattern, q=q, k=k, v=v, heads=spec.heads
+                request_id=i, pattern=pattern, q=q, k=k, v=v, heads=spec.heads,
+                arrival_s=t,
             )
         )
     return requests
@@ -129,9 +175,23 @@ def replay(
     session = ServingSession(salo=salo, max_batch_size=max_batch_size)
     for req in requests:  # schedule-level warm, symmetric with the baseline
         salo.schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+    # A trace recorded with synthetic arrival timestamps replays them:
+    # queueing delay is then measured from trace time (rebased onto the
+    # session clock), not from the submit call.
+    has_arrivals = any(req.arrival_s > 0 for req in requests)
     t0 = time.perf_counter()
     for req in requests:
-        session.submit(req.pattern, req.q, req.k, req.v, heads=req.heads, request_id=req.request_id)
+        session.submit(
+            req.pattern,
+            req.q,
+            req.k,
+            req.v,
+            heads=req.heads,
+            request_id=req.request_id,
+            arrival_s=t0 + req.arrival_s if has_arrivals else None,
+            deadline_s=req.deadline_s,
+            slo_class=req.slo_class,
+        )
     session.drain()
     batched_s = time.perf_counter() - t0
 

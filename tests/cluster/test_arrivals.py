@@ -1,0 +1,118 @@
+"""Arrival processes and request sources."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClosedLoopSource,
+    OnOffProcess,
+    PoissonProcess,
+    RequestFactory,
+    SLOClass,
+    WorkloadSpec,
+    open_loop,
+    replay_source,
+)
+from repro.serving import ArrivalSpec, TraceSpec, synthetic_trace
+
+
+class TestProcesses:
+    def test_poisson_mean_rate(self):
+        rng = np.random.default_rng(0)
+        times = PoissonProcess(rate_rps=1000.0).times(rng, 4000)
+        assert np.all(np.diff(times) >= 0)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1e-3, rel=0.1)
+
+    def test_poisson_seeded_reproducible(self):
+        t1 = PoissonProcess(500.0).times(np.random.default_rng(7), 100)
+        t2 = PoissonProcess(500.0).times(np.random.default_rng(7), 100)
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_on_off_is_burstier_than_poisson(self):
+        """Same mean rate, higher inter-arrival variance (the MMPP point)."""
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        n = 4000
+        poisson = PoissonProcess(rate_rps=1000.0).times(rng1, n)
+        bursty = OnOffProcess(
+            rate_on_rps=2000.0, rate_off_rps=0.0, mean_on_s=0.01, mean_off_s=0.01
+        ).times(rng2, n)
+        assert np.all(np.diff(bursty) >= 0)
+        # mean rates comparable...
+        assert bursty[-1] / n == pytest.approx(poisson[-1] / n, rel=0.35)
+        # ...but the on-off gaps have a heavier tail
+        cv_p = np.std(np.diff(poisson)) / np.mean(np.diff(poisson))
+        cv_b = np.std(np.diff(bursty)) / np.mean(np.diff(bursty))
+        assert cv_b > cv_p * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            OnOffProcess(rate_on_rps=-1.0)
+
+
+class TestFactoryAndSources:
+    def test_factory_assigns_slo_classes_by_share(self):
+        spec = WorkloadSpec(
+            num_requests=300,
+            n=64,
+            window=8,
+            heads=2,
+            head_dim=4,
+            slo_classes=(
+                SLOClass("tight", 0.001, share=0.25),
+                SLOClass("loose", 0.1, share=0.75),
+            ),
+            seed=2,
+        )
+        factory = RequestFactory(spec)
+        reqs = [factory.make(0.0) for _ in range(300)]
+        tight = sum(1 for r in reqs if r.slo_class == "tight")
+        assert 40 < tight < 110  # ~75 expected
+        assert all(r.deadline_s in (0.001, 0.1) for r in reqs)
+
+    def test_open_loop_same_workload_across_processes(self):
+        """Arrival timing and request mix draw from separate streams, so
+        two processes see identical work at different times."""
+        spec = WorkloadSpec(num_requests=32, n=64, window=8, heads=2, head_dim=4, seed=5)
+        from repro.core.salo import pattern_structure_key
+
+        a = open_loop(spec, PoissonProcess(1000.0)).requests
+        b = open_loop(spec, PoissonProcess(250.0)).requests
+        for ra, rb in zip(a, b):
+            assert pattern_structure_key(ra.pattern) == pattern_structure_key(rb.pattern)
+            np.testing.assert_array_equal(ra.q, rb.q)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_replay_source_preserves_trace_timestamps(self):
+        """The serving-trace bridge: synthetic_trace arrivals replay as-is."""
+        trace = synthetic_trace(
+            TraceSpec(
+                num_requests=16, n=64, window=8, heads=2, head_dim=4,
+                arrival=ArrivalSpec(rate_rps=5000.0), seed=3,
+            )
+        )
+        source = replay_source(trace)
+        replayed = source.initial()
+        assert [r.arrival_s for r in replayed] == [r.arrival_s for r in trace]
+        assert all(r.deadline_s is not None for r in replayed)  # classes assigned
+
+    def test_closed_loop_budget_and_feedback(self):
+        spec = WorkloadSpec(num_requests=10, n=64, window=8, heads=2, head_dim=4, seed=1)
+        source = ClosedLoopSource(spec, clients=4, think_time_s=0.0)
+        first = source.initial()
+        assert len(first) == 4
+        emitted = len(first)
+        for req in list(first):
+            nxt = source.on_complete(req, now=1.0)
+            emitted += len(nxt)
+            for r in nxt:
+                assert r.arrival_s >= 1.0
+        # budget caps total emission
+        while True:
+            nxt = source.on_complete(first[0], now=2.0)
+            if not nxt:
+                break
+            emitted += len(nxt)
+        assert emitted == spec.num_requests

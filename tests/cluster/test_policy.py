@@ -1,0 +1,120 @@
+"""Batch-close policies over the scheduler's peek/take interface."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EDFPolicy,
+    GreedyFIFOPolicy,
+    MaxWaitPolicy,
+    SizeLatencyPolicy,
+    make_policy,
+)
+from repro.patterns.library import longformer_pattern
+from repro.serving import AttentionRequest, BatchScheduler
+
+
+def _request(rid, n=32, window=6, arrival=0.0, deadline=None, slo="default", seed=0):
+    rng = np.random.default_rng(seed)
+    pattern = longformer_pattern(n, window, (0,))
+    q, k, v = (rng.standard_normal((n, 8)) for _ in range(3))
+    return AttentionRequest(
+        request_id=rid, pattern=pattern, q=q, k=k, v=v, heads=2,
+        arrival_s=arrival, deadline_s=deadline, slo_class=slo,
+    )
+
+
+def _scheduler(*requests, max_batch_size=4):
+    sched = BatchScheduler(max_batch_size=max_batch_size)
+    for req in requests:
+        sched.enqueue(req)
+    return sched
+
+
+class TestGreedyFIFO:
+    def test_dispatches_immediately_oldest_head(self):
+        sched = _scheduler(
+            _request(0, window=6, arrival=1.0),
+            _request(1, window=4, arrival=0.5),
+        )
+        decision = GreedyFIFOPolicy().next_batch(sched, now=2.0)
+        assert decision.batch is not None
+        assert decision.batch.requests[0].request_id == 1
+        assert decision.next_check_s is None
+
+    def test_empty_queue(self):
+        decision = GreedyFIFOPolicy().next_batch(BatchScheduler(), now=0.0)
+        assert decision.batch is None and decision.next_check_s is None
+
+
+class TestMaxWait:
+    def test_holds_partial_batch_and_names_expiry(self):
+        sched = _scheduler(_request(0, arrival=1.0), _request(1, arrival=1.2))
+        policy = MaxWaitPolicy(max_wait_s=0.5)
+        decision = policy.next_batch(sched, now=1.3)
+        assert decision.batch is None
+        assert decision.next_check_s == pytest.approx(1.5)  # head + max_wait
+
+    def test_dispatches_at_expiry(self):
+        sched = _scheduler(_request(0, arrival=1.0), _request(1, arrival=1.2))
+        policy = MaxWaitPolicy(max_wait_s=0.5)
+        decision = policy.next_batch(sched, now=1.5)
+        assert decision.batch is not None and decision.batch.size == 2
+
+    def test_dispatches_full_batch_immediately(self):
+        reqs = [_request(i, arrival=1.0 + i * 0.01) for i in range(4)]
+        sched = _scheduler(*reqs, max_batch_size=4)
+        decision = MaxWaitPolicy(max_wait_s=10.0).next_batch(sched, now=1.05)
+        assert decision.batch is not None and decision.batch.size == 4
+
+    def test_size_latency_target_below_max(self):
+        reqs = [_request(i, arrival=1.0) for i in range(2)]
+        sched = _scheduler(*reqs, max_batch_size=8)
+        policy = SizeLatencyPolicy(target_size=2, max_wait_s=10.0)
+        decision = policy.next_batch(sched, now=1.001)
+        assert decision.batch is not None and decision.batch.size == 2
+
+
+class TestEDF:
+    def test_serves_most_urgent_group_first(self):
+        # Two structures; the *later-arriving* group holds the tighter deadline.
+        loose = [_request(i, window=6, arrival=0.0, deadline=10.0) for i in range(2)]
+        tight = [_request(10 + i, window=4, arrival=1.0, deadline=0.1) for i in range(2)]
+        sched = _scheduler(*(loose + tight))
+        decision = EDFPolicy().next_batch(sched, now=1.0)
+        assert decision.batch is not None
+        assert {r.request_id for r in decision.batch.requests} == {10, 11}
+
+    def test_orders_members_by_deadline_within_group(self):
+        reqs = [
+            _request(0, arrival=0.0, deadline=5.0),
+            _request(1, arrival=0.1, deadline=0.2),
+            _request(2, arrival=0.2, deadline=1.0),
+        ]
+        sched = _scheduler(*reqs, max_batch_size=2)
+        batch = EDFPolicy().next_batch(sched, now=0.3).batch
+        assert [r.request_id for r in batch.requests] == [1, 2]
+        assert sched.pending == 1  # the loose-deadline head stayed queued
+
+    def test_deadline_free_requests_yield(self):
+        sched = _scheduler(
+            _request(0, arrival=0.0),  # no deadline
+            _request(1, window=4, arrival=5.0, deadline=0.01),
+        )
+        batch = EDFPolicy().next_batch(sched, now=5.0).batch
+        assert batch.requests[0].request_id == 1
+
+
+class TestRegistry:
+    def test_make_policy(self):
+        assert isinstance(make_policy("greedy-fifo"), GreedyFIFOPolicy)
+        assert isinstance(make_policy("edf"), EDFPolicy)
+        assert make_policy("max-wait", max_wait_s=0.1).max_wait_s == 0.1
+        with pytest.raises(KeyError):
+            make_policy("bogus")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxWaitPolicy(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            SizeLatencyPolicy(target_size=0, max_wait_s=0.1)

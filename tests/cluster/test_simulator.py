@@ -1,0 +1,178 @@
+"""Discrete-event loop: determinism, clocks, timers, report integrity."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClosedLoopSource,
+    CostModelClock,
+    EDFPolicy,
+    GreedyFIFOPolicy,
+    MaxWaitPolicy,
+    MeasuredClock,
+    OnOffProcess,
+    PoissonProcess,
+    SimConfig,
+    SLOClass,
+    WorkloadSpec,
+    open_loop,
+    replay_source,
+    simulate,
+)
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.serving import ArrivalSpec, TraceSpec, synthetic_trace
+
+
+def _small_salo():
+    return SALO(HardwareConfig(pe_rows=4, pe_cols=4))
+
+
+def _spec(num=60, seed=3, **kw):
+    kw.setdefault(
+        "slo_classes",
+        (SLOClass("interactive", 0.001, 0.5), SLOClass("bulk", 0.01, 0.5)),
+    )
+    return WorkloadSpec(num_requests=num, n=64, window=8, heads=2, head_dim=4, seed=seed, **kw)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        def run():
+            source = open_loop(_spec(), PoissonProcess(rate_rps=30000.0))
+            return simulate(source, SimConfig(workers=2, policy=EDFPolicy()))
+
+        r1, r2 = run(), run()
+        assert r1.render() == r2.render()
+        assert [p.t_s for p in r1.series] == [p.t_s for p in r2.series]
+
+    def test_no_wall_clock_in_deterministic_mode(self, monkeypatch):
+        """The acceptance contract: simulated time derives only from the
+        cost model — any perf_counter/monotonic read is a bug."""
+
+        def bomb():  # pragma: no cover - must never run
+            raise AssertionError("wall clock read inside a deterministic simulation")
+
+        monkeypatch.setattr(time, "perf_counter", bomb)
+        monkeypatch.setattr(time, "monotonic", bomb)
+        source = open_loop(_spec(num=30), PoissonProcess(rate_rps=30000.0))
+        report = simulate(
+            source, SimConfig(workers=2, policy=MaxWaitPolicy(max_wait_s=1e-4))
+        )
+        assert report.completed == 30
+
+    def test_cost_model_clock_is_flagged_deterministic(self):
+        assert CostModelClock().deterministic
+        assert not MeasuredClock().deterministic
+
+
+class TestEventLoop:
+    def test_all_requests_complete_under_every_policy(self):
+        for policy in (
+            GreedyFIFOPolicy(),
+            EDFPolicy(),
+            MaxWaitPolicy(max_wait_s=1e-4),
+        ):
+            source = open_loop(_spec(), PoissonProcess(rate_rps=20000.0))
+            report = simulate(source, SimConfig(workers=3, policy=policy))
+            assert report.completed == 60, policy.name
+            assert report.throughput_rps > 0
+            assert 0.0 <= report.deadline_met_rate <= 1.0
+            for w in report.workers:
+                assert 0.0 <= w.utilization <= 1.0 + 1e-9
+
+    def test_max_wait_timer_closes_trickle_batches(self):
+        """A trickle (one request, then silence) must still dispatch —
+        via the policy's batch-close timer, not a new arrival."""
+        source = open_loop(_spec(num=3), PoissonProcess(rate_rps=100.0))
+        report = simulate(
+            source, SimConfig(workers=1, policy=MaxWaitPolicy(max_wait_s=5e-3))
+        )
+        assert report.completed == 3
+        # Each request waited out the max-wait bound before dispatch.
+        assert report.latency_p50_ms >= 5.0
+
+    def test_max_wait_improves_occupancy_over_greedy(self):
+        def run(policy):
+            source = open_loop(_spec(num=80, seed=11), PoissonProcess(rate_rps=50000.0))
+            return simulate(source, SimConfig(workers=2, policy=policy))
+
+        greedy = run(GreedyFIFOPolicy())
+        holding = run(MaxWaitPolicy(max_wait_s=1e-3))
+        assert holding.mean_batch_size > greedy.mean_batch_size
+
+    def test_bursty_arrivals(self):
+        source = open_loop(
+            _spec(),
+            OnOffProcess(
+                rate_on_rps=60000.0, rate_off_rps=0.0, mean_on_s=1e-3, mean_off_s=2e-3
+            ),
+        )
+        report = simulate(source, SimConfig(workers=2))
+        assert report.completed == 60
+        assert report.makespan_s > 0
+
+    def test_closed_loop_completes_budget(self):
+        source = ClosedLoopSource(_spec(num=40), clients=8, think_time_s=1e-4)
+        report = simulate(source, SimConfig(workers=2))
+        assert report.completed == 40
+        # With 8 clients and batch cap 8, batches never exceed the population.
+        assert report.mean_batch_size <= 8.0
+
+    def test_trace_replay_bridge(self):
+        trace = synthetic_trace(
+            TraceSpec(
+                num_requests=24, n=64, window=8, heads=2, head_dim=4,
+                arrival=ArrivalSpec(rate_rps=20000.0), seed=9,
+            )
+        )
+        report = simulate(replay_source(trace), SimConfig(workers=2))
+        assert report.completed == 24
+
+    def test_empty_source(self):
+        from repro.cluster import OpenLoopSource
+
+        report = simulate(OpenLoopSource([]), SimConfig(workers=2))
+        assert report.completed == 0
+        assert report.throughput_rps == 0.0
+        assert report.render()  # renders without crashing
+
+
+class TestReportIntegrity:
+    def test_goodput_bounded_by_throughput_and_classes_sum(self):
+        source = open_loop(_spec(num=100, seed=5), PoissonProcess(rate_rps=60000.0))
+        report = simulate(source, SimConfig(workers=2, policy=EDFPolicy()))
+        assert report.goodput_rps <= report.throughput_rps + 1e-9
+        assert sum(c.completed for c in report.classes) == report.completed
+        met = sum(
+            round(c.deadline_met_rate * c.completed) for c in report.classes
+        )
+        assert met == round(report.deadline_met_rate * report.completed)
+        for cls in report.classes:
+            assert cls.latency_p50_ms <= cls.latency_p99_ms + 1e-9
+
+    def test_series_tracks_queue_drain(self):
+        source = open_loop(_spec(num=50, seed=6), PoissonProcess(rate_rps=1e6))
+        report = simulate(source, SimConfig(workers=2))
+        depths = [p.queued for p in report.series]
+        assert max(depths) > 0  # the burst backed up
+        assert depths[-1] == 0  # and fully drained
+        times = [p.t_s for p in report.series]
+        assert times == sorted(times)
+
+    def test_padded_cluster_mode_runs(self):
+        source = open_loop(_spec(num=40, seed=8), PoissonProcess(rate_rps=1e5))
+        report = simulate(source, SimConfig(workers=2, pad_to_bucket=True))
+        assert report.completed == 40
+
+    def test_measured_clock_end_to_end(self):
+        spec = _spec(num=10, seed=12)
+        source = open_loop(spec, PoissonProcess(rate_rps=5000.0))
+        report = simulate(
+            source,
+            SimConfig(workers=2, service=MeasuredClock(), salo_factory=_small_salo),
+        )
+        assert report.completed == 10
+        assert all(w.busy_s >= 0 for w in report.workers)

@@ -61,6 +61,56 @@ class TestCli:
         out = capsys.readouterr().out
         assert "requests completed   4" in out and "speedup" not in out
 
+    def test_simulate_reports_classes_and_workers(self, capsys):
+        """The acceptance shape: Poisson arrivals, 2 SLO classes, multiple
+        workers, per-class percentiles + goodput + per-worker utilisation."""
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workers", "2",
+                    "--requests", "40",
+                    "--n", "64",
+                    "--window", "8",
+                    "--heads", "2",
+                    "--head-dim", "4",
+                    "--policy", "edf",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "requests completed   40" in out
+        assert "goodput" in out
+        assert "class interactive" in out and "class bulk" in out
+        assert "p50" in out and "p99" in out
+        assert "worker 0: util" in out and "worker 1: util" in out
+
+    def test_simulate_custom_slo_and_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workers", "2",
+                    "--requests", "16",
+                    "--n", "64",
+                    "--window", "8",
+                    "--head-dim", "4",
+                    "--policy", "max-wait",
+                    "--max-wait-ms", "0.1",
+                    "--slo", "gold:1:0.3",
+                    "--slo", "best-effort:none:0.7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "class gold" in out and "class best-effort" in out
+
+    def test_simulate_bad_slo(self, capsys):
+        assert main(["simulate", "--slo", "oops"]) == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,44 @@
+"""The committed serving-capacity claims (fixed seed, cost-model clock).
+
+The headline assertion from the issue: earliest-deadline-first beats
+greedy FIFO on deadline-met rate under congestion, on exactly the
+workload the committed ``serving_capacity`` sweep runs.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return get_experiment("serving_capacity")(fast=True)
+
+
+class TestServingCapacity:
+    def test_sweep_shape(self, result):
+        assert len(result.rows) == 4  # fast grid: one point x four policies
+        policies = {row["policy"] for row in result.rows}
+        assert policies == {"greedy-fifo", "max-wait", "size-latency", "edf"}
+        for row in result.rows:
+            assert 0.0 <= row["met_rate"] <= 1.0
+            assert row["goodput_rps"] > 0
+            assert row["batch"] > 1.0  # congestion filled the batches
+
+    def test_edf_beats_greedy_fifo_on_deadline_met_rate(self, result):
+        met = {row["policy"]: row["met_rate"] for row in result.rows}
+        assert met["edf"] > met["greedy-fifo"], (
+            f"EDF ({met['edf']:.1%}) should beat greedy FIFO "
+            f"({met['greedy-fifo']:.1%}) under congestion"
+        )
+
+    def test_edf_protects_the_interactive_class(self, result):
+        iact = {row["policy"]: row["iact_met"] for row in result.rows}
+        assert iact["edf"] > iact["greedy-fifo"]
+        # ...without dropping overall goodput below FIFO's.
+        goodput = {row["policy"]: row["goodput_rps"] for row in result.rows}
+        assert goodput["edf"] >= goodput["greedy-fifo"]
+
+    def test_deterministic_rerun(self, result):
+        again = get_experiment("serving_capacity")(fast=True)
+        assert again.rows == result.rows
