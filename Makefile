@@ -11,13 +11,17 @@
 #                  deliberate perf change; commit the result)
 #   make simulate-smoke - 2-worker discrete-event simulation end to end
 #                  (deterministic cost-model clock; seconds, not minutes)
+#   make simulate-overload - overload smoke at rho 1.5: shed + admission
+#                  vs no-control on the same seed (the overload-control
+#                  path end to end: --drop-expired, --admission,
+#                  --class-weights)
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test bench bench-update simulate-smoke
+.PHONY: check test bench bench-update simulate-smoke simulate-overload
 
-check: test bench simulate-smoke
+check: test bench simulate-smoke simulate-overload
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -37,3 +41,12 @@ simulate-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
 		--workers 2 --requests 48 --n 64 --window 8 --heads 2 --head-dim 4 \
 		--policy edf --seed 0
+
+simulate-overload:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
+		--workers 2 --requests 64 --n 64 --window 8 --heads 2 --head-dim 4 \
+		--policy edf --rho 1.5 --seed 0
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
+		--workers 2 --requests 64 --n 64 --window 8 --heads 2 --head-dim 4 \
+		--policy weighted-fair --class-weights interactive:3,bulk:1 \
+		--drop-expired --admission est-wait --rho 1.5 --seed 0

@@ -36,6 +36,7 @@ from repro.cluster import (
     open_loop,
     simulate,
 )
+from repro.experiments.overload import mode_config, overload_spec
 from repro.serving import TraceSpec, ServingSession, synthetic_trace
 
 
@@ -298,6 +299,31 @@ def test_cluster_simulate_edf(benchmark):
     assert report.deadline_met_rate >= fifo.deadline_met_rate, (
         f"EDF deadline-met rate {report.deadline_met_rate:.2%} fell below "
         f"greedy FIFO {fifo.deadline_met_rate:.2%}"
+    )
+
+
+def test_cluster_simulate_overload_shed(benchmark):
+    """Overload-control path at rho 1.5: EDF + drop_expired + est-wait
+    admission over the committed overload workload — and the committed
+    claim that shedding beats serving doomed work on goodput."""
+    from repro.cluster import CostModelClock, service_scales
+
+    clock = CostModelClock()
+    spec_probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
+    unit_s, dispatch_s = service_scales(spec_probe, clock)
+    spec = overload_spec(200, dispatch_s)
+    rate = 1.5 * 2 / unit_s
+
+    def run_mode(mode):
+        source = open_loop(spec, PoissonProcess(rate_rps=rate))
+        return simulate(source, mode_config(mode, workers=2, clock=CostModelClock()))
+
+    report = benchmark.pedantic(lambda: run_mode("admit+shed"), rounds=3, iterations=1)
+    assert report.submitted == report.completed + report.rejected + report.shed
+    no_control = run_mode("no-control")
+    assert report.goodput_rps > no_control.goodput_rps, (
+        f"shedding+admission goodput {report.goodput_rps:.0f} rps fell below "
+        f"no-control {no_control.goodput_rps:.0f} rps under overload"
     )
 
 

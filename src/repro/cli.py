@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -37,6 +38,7 @@ _ORDER = [
     "design_space",
     "seq_scaling",
     "serving_capacity",
+    "overload",
 ]
 
 
@@ -62,6 +64,7 @@ def _cmd_simulate(args) -> int:
         SimConfig,
         SLOClass,
         WorkloadSpec,
+        make_admission,
         make_policy,
         open_loop,
         service_scales,
@@ -73,8 +76,53 @@ def _cmd_simulate(args) -> int:
     if args.batch_size < 1:
         print(f"--batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
         return 2
-    # Cheap flag validation first: a typo'd --slo must not wait for the
-    # service-time probe below.
+    if args.rate is not None and args.rho is not None:
+        print("--rate and --rho are mutually exclusive", file=sys.stderr)
+        return 2
+    # `not (x > 0)` instead of `x <= 0` throughout: NaN compares False
+    # both ways, and a NaN knob must exit 2, not hang or crash later.
+    if args.rho is not None and not (args.rho > 0):
+        print(f"--rho must be positive, got {args.rho}", file=sys.stderr)
+        return 2
+    if args.rate is not None and not (args.rate > 0):
+        print(f"--rate must be positive, got {args.rate}", file=sys.stderr)
+        return 2
+    # Cheap flag validation first: a typo'd --slo or --class-weights
+    # must not wait for the service-time probe below.
+    class_weights = {}
+    if args.class_weights:
+        if args.policy != "weighted-fair":
+            print(
+                "--class-weights only applies to --policy weighted-fair",
+                file=sys.stderr,
+            )
+            return 2
+        for part in args.class_weights.split(","):
+            try:
+                name, weight = part.split(":")
+                class_weights[name] = float(weight)
+            except ValueError:
+                print(
+                    f"bad --class-weights {args.class_weights!r}; expected "
+                    "NAME:WEIGHT[,NAME:WEIGHT...]",
+                    file=sys.stderr,
+                )
+                return 2
+            if not (class_weights[name] > 0) or math.isinf(class_weights[name]):
+                print(f"--class-weights entries must be positive, got {part!r}", file=sys.stderr)
+                return 2
+    if args.admission_depth < 1:
+        print(f"--admission-depth must be >= 1, got {args.admission_depth}", file=sys.stderr)
+        return 2
+    if not (args.admission_slack > 0):
+        print(f"--admission-slack must be positive, got {args.admission_slack}", file=sys.stderr)
+        return 2
+    if args.admission_rate is not None and not (args.admission_rate > 0):
+        print(f"--admission-rate must be positive, got {args.admission_rate}", file=sys.stderr)
+        return 2
+    if args.admission_wait_ms is not None and not (args.admission_wait_ms >= 0):
+        print(f"--admission-wait-ms must be >= 0, got {args.admission_wait_ms}", file=sys.stderr)
+        return 2
     explicit_slo = None
     if args.slo:
         classes = []
@@ -122,6 +170,16 @@ def _cmd_simulate(args) -> int:
             SLOClass("interactive", deadline_s=INTERACTIVE_BUDGET * dispatch_s, share=0.5),
             SLOClass("bulk", deadline_s=BULK_BUDGET * dispatch_s, share=0.5),
         )
+    # A typo'd class name would silently fall back to default_weight and
+    # neutralise the fairness knob the user thinks is in force.
+    unknown = set(class_weights) - {c.name for c in slo_classes}
+    if unknown:
+        print(
+            f"--class-weights names {sorted(unknown)} match no SLO class "
+            f"(known: {sorted(c.name for c in slo_classes)})",
+            file=sys.stderr,
+        )
+        return 2
 
     spec = WorkloadSpec(
         num_requests=args.requests,
@@ -133,7 +191,11 @@ def _cmd_simulate(args) -> int:
         slo_classes=slo_classes,
         seed=args.seed,
     )
-    rate = args.rate if args.rate is not None else 0.9 * args.workers / unit_s
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        rho = args.rho if args.rho is not None else 0.9
+        rate = rho * args.workers / unit_s
     if args.arrival == "closed":
         source = ClosedLoopSource(spec, clients=args.clients, think_time_s=args.think_ms / 1e3)
     elif args.arrival == "bursty":
@@ -149,17 +211,38 @@ def _cmd_simulate(args) -> int:
     else:
         source = open_loop(spec, PoissonProcess(rate_rps=rate))
 
-    policy_kwargs = {}
+    policy_kwargs = {"drop_expired": args.drop_expired}
     if args.policy in ("max-wait", "size-latency"):
         policy_kwargs["max_wait_s"] = args.max_wait_ms / 1e3
     if args.policy == "size-latency":
         policy_kwargs["target_size"] = args.target_size
+    if args.policy == "weighted-fair" and class_weights:
+        policy_kwargs["weights"] = class_weights
+
+    admission_kwargs = {}
+    if args.admission == "queue-depth":
+        admission_kwargs["max_depth"] = args.admission_depth
+    elif args.admission == "est-wait":
+        admission_kwargs["slack"] = args.admission_slack
+        if args.admission_wait_ms is not None:
+            admission_kwargs["max_wait_s"] = args.admission_wait_ms / 1e3
+    elif args.admission == "token-bucket":
+        # Default quota: an even split of the pool's cost-model capacity
+        # across the configured SLO classes.
+        rate_per_class = (
+            args.admission_rate
+            if args.admission_rate is not None
+            else args.workers / unit_s / max(len(slo_classes), 1)
+        )
+        admission_kwargs["default_rate"] = rate_per_class
+
     config = SimConfig(
         workers=args.workers,
         max_batch_size=args.batch_size,
         pad_to_bucket=args.pad,
         steal=not args.no_steal,
         policy=make_policy(args.policy, **policy_kwargs),
+        admission=make_admission(args.admission, **admission_kwargs),
         service=MeasuredClock() if args.measured else clock,
     )
 
@@ -168,7 +251,10 @@ def _cmd_simulate(args) -> int:
     print(
         f"workload: {args.requests} requests, {args.arrival} arrivals"
         + (f" @ {rate:.0f} req/s" if args.arrival != "closed" else f", {args.clients} clients")
-        + f", policy {args.policy}, {args.workers} workers"
+        + f", policy {args.policy}"
+        + (" (drop-expired)" if args.drop_expired else "")
+        + (f", admission {args.admission}" if args.admission != "admit-all" else "")
+        + f", {args.workers} workers"
     )
     print(report.render())
     print(f"\n[simulate finished in {time.perf_counter() - t0:.1f}s]")
@@ -241,6 +327,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="offered load in req/s (default: 0.9x the pool's cost-model capacity)",
     )
     sim_p.add_argument(
+        "--rho",
+        type=float,
+        default=None,
+        help="offered load relative to the pool's cost-model capacity "
+        "(alternative to --rate; rho > 1 simulates sustained overload)",
+    )
+    sim_p.add_argument(
         "--arrival",
         choices=("poisson", "bursty", "closed"),
         default="poisson",
@@ -248,9 +341,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sim_p.add_argument(
         "--policy",
-        choices=("greedy-fifo", "max-wait", "edf", "size-latency"),
+        choices=("greedy-fifo", "max-wait", "edf", "size-latency", "weighted-fair"),
         default="greedy-fifo",
         help="batch-close policy",
+    )
+    sim_p.add_argument(
+        "--drop-expired",
+        action="store_true",
+        help="shed queued requests whose deadline already passed "
+        "(load shedding: trades completions for goodput under overload)",
+    )
+    sim_p.add_argument(
+        "--class-weights",
+        metavar="NAME:W[,NAME:W...]",
+        default=None,
+        help="per-SLO-class weights for the weighted-fair policy "
+        "(e.g. interactive:3,bulk:1)",
+    )
+    sim_p.add_argument(
+        "--admission",
+        choices=("admit-all", "queue-depth", "est-wait", "token-bucket"),
+        default="admit-all",
+        help="admission policy consulted at each arrival (overload valve)",
+    )
+    sim_p.add_argument(
+        "--admission-depth",
+        type=int,
+        default=64,
+        help="queue-depth admission: max requests held by the routed worker",
+    )
+    sim_p.add_argument(
+        "--admission-slack",
+        type=float,
+        default=0.5,
+        help="est-wait admission: reject once projected wait exceeds this "
+        "fraction of the request's deadline budget",
+    )
+    sim_p.add_argument(
+        "--admission-wait-ms",
+        type=float,
+        default=None,
+        help="est-wait admission: absolute wait cap for deadline-free requests (ms)",
+    )
+    sim_p.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="token-bucket admission: per-class refill rate in req/s "
+        "(default: an even split of pool capacity across classes)",
     )
     sim_p.add_argument(
         "--max-wait-ms",

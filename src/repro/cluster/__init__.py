@@ -9,7 +9,13 @@ SLO at a given traffic level?*  Layered on the serving stack:
   population, all emitting timestamped ``AttentionRequest`` s with SLO
   classes and latency deadlines.
 * :mod:`repro.cluster.policy` — *when* a batch closes: greedy FIFO,
-  max-wait timeout, size-vs-latency target, earliest-deadline-first.
+  max-wait timeout, size-vs-latency target, earliest-deadline-first,
+  weighted-fair (deficit round-robin over SLO classes); every policy can
+  also shed already-doomed requests (``drop_expired``).
+* :mod:`repro.serving.admission` (re-exported here) — whether a request
+  enters at all: admit-all, queue-depth cap, estimated-wait cap
+  (cost-model doomed-at-arrival test), per-SLO-class token buckets —
+  the overload valve that keeps rho > 1 traffic from collapsing goodput.
 * :mod:`repro.cluster.pool` — N worker engines with plan-affinity
   routing (warm plan caches are per-engine state worth routing for),
   work stealing and per-worker accounting; service times come from the
@@ -23,6 +29,19 @@ Entry points: the ``salo-repro simulate`` CLI subcommand and the
 ``serving_capacity`` experiment sweep.
 """
 
+# Admission control lives in the serving layer (both the session door
+# and the cluster arrival gate consume it); re-exported here because it
+# is the cluster simulator's overload valve.
+from ..serving.admission import (
+    ADMISSIONS,
+    AdmissionContext,
+    AdmissionPolicy,
+    AdmitAll,
+    EstimatedWaitCap,
+    QueueDepthCap,
+    TokenBucketAdmission,
+    make_admission,
+)
 from .arrivals import (
     DEFAULT_SLO_CLASSES,
     ClosedLoopSource,
@@ -36,7 +55,15 @@ from .arrivals import (
     open_loop,
     replay_source,
 )
-from .metrics import ClassReport, ClusterReport, MetricsCollector, RequestRecord, WorkerReport
+from .metrics import (
+    ClassReport,
+    ClusterReport,
+    DropRecord,
+    MetricsCollector,
+    RequestRecord,
+    WorkerReport,
+    jain_index,
+)
 from .policy import (
     POLICIES,
     BatchDecision,
@@ -45,6 +72,7 @@ from .policy import (
     GreedyFIFOPolicy,
     MaxWaitPolicy,
     SizeLatencyPolicy,
+    WeightedFairPolicy,
     make_policy,
 )
 from .pool import (
@@ -77,8 +105,17 @@ __all__ = [
     "MaxWaitPolicy",
     "SizeLatencyPolicy",
     "EDFPolicy",
+    "WeightedFairPolicy",
     "POLICIES",
     "make_policy",
+    "AdmissionContext",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "QueueDepthCap",
+    "EstimatedWaitCap",
+    "TokenBucketAdmission",
+    "ADMISSIONS",
+    "make_admission",
     "Worker",
     "EnginePool",
     "ServiceModel",
@@ -92,7 +129,9 @@ __all__ = [
     "simulate",
     "MetricsCollector",
     "RequestRecord",
+    "DropRecord",
     "ClassReport",
     "WorkerReport",
     "ClusterReport",
+    "jain_index",
 ]

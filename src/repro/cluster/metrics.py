@@ -1,13 +1,21 @@
 """Cluster-simulation metrics: per-request records -> ClusterReport.
 
-The simulator appends one :class:`RequestRecord` per completed request
-and samples a small time series (queue depth, busy workers) at every
-event; :meth:`MetricsCollector.report` reduces them to the numbers a
-capacity study reads off: per-SLO-class latency percentiles, *goodput*
-(deadline-met completions per second — the metric a deployment is
-actually provisioned for), and per-worker utilisation.  All percentile
-and rate computations are guarded for the empty and single-request
-edges, mirroring ``ServingStats``.
+The simulator appends one :class:`RequestRecord` per completed request,
+one :class:`DropRecord` per request it rejected at admission or shed
+from a queue, and samples a small time series (queue depth, busy
+workers) at every event; :meth:`MetricsCollector.report` reduces them to
+the numbers a capacity study reads off: per-SLO-class latency
+percentiles, *goodput* (deadline-met completions per second — the metric
+a deployment is actually provisioned for), per-class goodput shares with
+a Jain fairness index, and per-worker utilisation.
+
+Conservation is the collector's core invariant: every submitted request
+ends up in exactly one of {completed, rejected, shed, still queued}, so
+``submitted == completed + rejected + shed`` holds for every drained
+simulation (the property suite in ``tests/cluster`` pins it across all
+policies and admission modes).  All percentile and rate computations are
+guarded for the degenerate edges — zero completions, all-rejected runs,
+single-sample classes — mirroring ``ServingStats``.
 """
 
 from __future__ import annotations
@@ -19,12 +27,31 @@ import numpy as np
 
 __all__ = [
     "RequestRecord",
+    "DropRecord",
     "WorkerReport",
     "ClassReport",
     "SeriesPoint",
     "MetricsCollector",
     "ClusterReport",
+    "jain_index",
 ]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (k * sum x^2)`` over shares.
+
+    1.0 means perfectly even allocation, ``1/k`` means one of ``k``
+    parties holds everything.  Degenerate edges: fewer than two parties
+    is trivially fair (1.0); all-zero allocations (nobody got anything)
+    also report 1.0 — equal misery is still equal.
+    """
+    xs = np.asarray(list(values), dtype=np.float64)
+    if xs.size < 2:
+        return 1.0
+    denom = xs.size * float(np.sum(xs * xs))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(xs)) ** 2 / denom
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -62,6 +89,22 @@ class RequestRecord:
 
 
 @dataclass
+class DropRecord:
+    """One request that was never served: rejected at admission or shed.
+
+    ``kind`` is ``"rejected"`` (turned away at arrival by the admission
+    policy) or ``"shed"`` (admitted, then dropped from a queue by a
+    ``drop_expired`` sweep once its deadline became unreachable).
+    """
+
+    request_id: Hashable
+    slo_class: str
+    t_s: float  # simulated time of the drop
+    kind: str
+    deadline_s: Optional[float] = None
+
+
+@dataclass
 class WorkerReport:
     """Per-worker accounting over the simulated horizon."""
 
@@ -78,7 +121,12 @@ class WorkerReport:
 
 @dataclass
 class ClassReport:
-    """Latency/goodput statistics of one SLO class."""
+    """Latency/goodput statistics of one SLO class.
+
+    A class can appear with zero completions (every member rejected or
+    shed under overload control); its percentiles are then 0.0 and its
+    rates are defined as 0.0 rather than dividing by zero.
+    """
 
     name: str
     completed: int
@@ -88,6 +136,14 @@ class ClassReport:
     queue_p50_ms: float
     deadline_met_rate: float
     goodput_rps: float  # deadline-met completions per simulated second
+    rejected: int = 0  # turned away at admission
+    shed: int = 0  # dropped by a drop_expired sweep
+    goodput_share: float = 0.0  # this class's slice of cluster goodput
+
+    @property
+    def submitted(self) -> int:
+        """Arrivals of this class: completed + rejected + shed."""
+        return self.completed + self.rejected + self.shed
 
 
 @dataclass
@@ -101,7 +157,12 @@ class SeriesPoint:
 
 @dataclass
 class ClusterReport:
-    """Everything a capacity decision needs from one simulation run."""
+    """Everything a capacity decision needs from one simulation run.
+
+    Conservation: ``submitted == completed + rejected + shed`` for every
+    drained run (nothing left queued), and the same identity holds per
+    SLO class.
+    """
 
     completed: int
     makespan_s: float
@@ -114,6 +175,10 @@ class ClusterReport:
     classes: List[ClassReport]
     workers: List[WorkerReport]
     steals: int
+    submitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    fairness_index: float = 1.0  # Jain index over per-class goodput
     series: List[SeriesPoint] = field(repr=False, default_factory=list)
 
     def class_report(self, name: str) -> ClassReport:
@@ -124,6 +189,8 @@ class ClusterReport:
 
     def render(self) -> str:
         lines = [
+            f"requests submitted   {self.submitted} "
+            f"(rejected {self.rejected}, shed {self.shed})",
             f"requests completed   {self.completed}",
             f"makespan             {self.makespan_s * 1e3:.2f} ms (simulated)",
             f"throughput           {self.throughput_rps:.0f} req/s",
@@ -132,13 +199,15 @@ class ClusterReport:
             f"mean batch size      {self.mean_batch_size:.2f}",
             f"latency p50/p99      {self.latency_p50_ms:.3f} / {self.latency_p99_ms:.3f} ms",
             f"work steals          {self.steals}",
+            f"fairness (Jain)      {self.fairness_index:.3f} over per-class goodput",
         ]
         for cls in self.classes:
             budget = "none" if cls.deadline_s is None else f"{cls.deadline_s * 1e3:.0f} ms"
             lines.append(
                 f"  class {cls.name:<12} n={cls.completed:<5} deadline {budget:>7}  "
                 f"p50 {cls.latency_p50_ms:.3f} ms  p99 {cls.latency_p99_ms:.3f} ms  "
-                f"met {cls.deadline_met_rate:.1%}"
+                f"met {cls.deadline_met_rate:.1%}  rej {cls.rejected}  shed {cls.shed}  "
+                f"share {cls.goodput_share:.1%}"
             )
         for w in self.workers:
             lines.append(
@@ -155,12 +224,15 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.records: List[RequestRecord] = []
+        self.drops: List[DropRecord] = []
         self.series: List[SeriesPoint] = []
+        self.submitted: int = 0
         self.first_arrival_s: Optional[float] = None
         self.last_complete_s: float = 0.0
 
     # ------------------------------------------------------------------
     def note_arrival(self, t: float) -> None:
+        self.submitted += 1
         if self.first_arrival_s is None or t < self.first_arrival_s:
             self.first_arrival_s = t
 
@@ -168,10 +240,37 @@ class MetricsCollector:
         self.records.append(record)
         self.last_complete_s = max(self.last_complete_s, record.complete_s)
 
+    def _note_drop(self, request, t: float, kind: str) -> None:
+        self.drops.append(
+            DropRecord(
+                request_id=request.request_id,
+                slo_class=request.slo_class,
+                t_s=t,
+                kind=kind,
+                deadline_s=request.deadline_s,
+            )
+        )
+
+    def note_rejection(self, request, t: float) -> None:
+        """An admission policy turned the request away at arrival."""
+        self._note_drop(request, t, "rejected")
+
+    def note_shed(self, request, t: float) -> None:
+        """A drop_expired sweep dropped the request from a queue."""
+        self._note_drop(request, t, "shed")
+
     def sample(self, t: float, queued: int, busy_workers: int) -> None:
         self.series.append(SeriesPoint(t_s=t, queued=queued, busy_workers=busy_workers))
 
     # ------------------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        return sum(1 for d in self.drops if d.kind == "rejected")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for d in self.drops if d.kind == "shed")
+
     def report(self, workers, steals: int) -> ClusterReport:
         """Reduce to a :class:`ClusterReport` (safe on empty runs)."""
         records = self.records
@@ -186,20 +285,34 @@ class MetricsCollector:
         by_class: Dict[str, List[RequestRecord]] = {}
         for r in records:
             by_class.setdefault(r.slo_class, []).append(r)
+        drops_by_class: Dict[str, List[DropRecord]] = {}
+        for d in self.drops:
+            drops_by_class.setdefault(d.slo_class, []).append(d)
         classes = []
-        for name in sorted(by_class):
-            recs = by_class[name]
+        total_met = len(met)
+        for name in sorted(set(by_class) | set(drops_by_class)):
+            recs = by_class.get(name, [])
+            cls_drops = drops_by_class.get(name, [])
             cls_met = [r for r in recs if r.deadline_met]
+            # Every guard below covers a real overload-control outcome:
+            # a class can end a run with zero completions (all rejected
+            # or shed), and the report must still render finite numbers.
+            deadline_s = (
+                recs[0].deadline_s if recs else cls_drops[0].deadline_s
+            )
             classes.append(
                 ClassReport(
                     name=name,
                     completed=len(recs),
-                    deadline_s=recs[0].deadline_s,
+                    deadline_s=deadline_s,
                     latency_p50_ms=_percentile([r.latency_s for r in recs], 50) * 1e3,
                     latency_p99_ms=_percentile([r.latency_s for r in recs], 99) * 1e3,
                     queue_p50_ms=_percentile([r.queue_s for r in recs], 50) * 1e3,
-                    deadline_met_rate=len(cls_met) / len(recs),
+                    deadline_met_rate=len(cls_met) / len(recs) if recs else 0.0,
                     goodput_rps=len(cls_met) / makespan if makespan > 0 else 0.0,
+                    rejected=sum(1 for d in cls_drops if d.kind == "rejected"),
+                    shed=sum(1 for d in cls_drops if d.kind == "shed"),
+                    goodput_share=len(cls_met) / total_met if total_met else 0.0,
                 )
             )
 
@@ -232,5 +345,9 @@ class MetricsCollector:
             classes=classes,
             workers=worker_reports,
             steals=steals,
+            submitted=self.submitted,
+            rejected=self.rejected,
+            shed=self.shed,
+            fairness_index=jain_index([c.goodput_rps for c in classes]),
             series=self.series,
         )

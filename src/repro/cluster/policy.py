@@ -18,19 +18,35 @@ throughput) against queueing delay (deadline risk):
 * :class:`EDFPolicy` — earliest-deadline-first across queues *and*
   members: the queue holding the most urgent request is served first and
   its most urgent members ride the batch.  Work-conserving; requests
-  without a deadline sort after all deadlined ones (by arrival).
+  without a deadline sort after all deadlined ones (by arrival), and
+  *expired* requests (deadline already missed) sort after everything —
+  doomed work must never displace feasible work.
+* :class:`WeightedFairPolicy` — multi-tenant fairness: deficit
+  round-robin over SLO classes with per-class weights.  Under sustained
+  backlog each class's share of served requests converges to its weight
+  share, so a flood from one tenant class cannot starve another.
 
-Policies return a :class:`BatchDecision`: a batch to launch now, and/or
-the next instant the decision could change without a new arrival (the
-simulator arms a timer for it).  They are pure functions of the queue
-snapshot and the current time, so the discrete-event simulator stays
-deterministic.
+Load shedding: every policy accepts ``drop_expired=True`` to sweep out
+requests whose deadline has already passed before closing a batch —
+they can no longer be served in time, so dropping them converts wasted
+service into goodput.  Shed requests ride back on
+:attr:`BatchDecision.shed` for the caller to account.
+
+Policies return a :class:`BatchDecision`: a batch to launch now, the
+requests shed by the sweep, and/or the next instant the decision could
+change without a new arrival (the simulator arms a timer for it).  All
+policies are deterministic functions of the queue snapshot, the current
+time and (for :class:`WeightedFairPolicy`) their own deficit counters —
+never of a wall clock or RNG — so the discrete-event simulator stays
+replayable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Type
+import math
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Type
 
 from ..serving.batching import Batch, BatchScheduler
 from ..serving.request import AttentionRequest
@@ -42,6 +58,7 @@ __all__ = [
     "MaxWaitPolicy",
     "SizeLatencyPolicy",
     "EDFPolicy",
+    "WeightedFairPolicy",
     "POLICIES",
     "make_policy",
 ]
@@ -54,6 +71,8 @@ class BatchDecision:
     """Outcome of one policy consultation.
 
     ``batch`` — launch now (``None``: nothing ready).
+    ``shed`` — requests dropped by the expiry sweep (``drop_expired``);
+    the caller records them as shed, they will never be served.
     ``next_check_s`` — earliest future time the answer could change with
     no new arrival; the simulator arms a timer (``None``: only a new
     arrival or completion can change the answer).
@@ -61,12 +80,30 @@ class BatchDecision:
 
     batch: Optional[Batch] = None
     next_check_s: Optional[float] = None
+    shed: Tuple[AttentionRequest, ...] = field(default=())
 
 
 class BatchPolicy:
-    """Decides when a worker closes a queue into a batch."""
+    """Decides when a worker closes a queue into a batch.
+
+    ``drop_expired`` enables the load-shedding sweep shared by every
+    policy: before a consultation inspects the queues, requests whose
+    absolute deadline is already in the past are removed and returned on
+    :attr:`BatchDecision.shed`.  Serving them is pure waste — completion
+    happens strictly after dispatch, so a request expired at dispatch
+    time cannot meet its deadline.
+    """
 
     name = "abstract"
+
+    def __init__(self, drop_expired: bool = False) -> None:
+        self.drop_expired = drop_expired
+
+    def shed_expired(self, queue: BatchScheduler, now: float) -> Tuple[AttentionRequest, ...]:
+        """Sweep out already-doomed requests (no-op unless ``drop_expired``)."""
+        if not self.drop_expired:
+            return ()
+        return tuple(queue.prune(lambda r: r.absolute_deadline_s <= now))
 
     def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
         raise NotImplementedError
@@ -81,7 +118,8 @@ class GreedyFIFOPolicy(BatchPolicy):
     name = "greedy-fifo"
 
     def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
-        return BatchDecision(batch=queue.next_batch())
+        shed = self.shed_expired(queue, now)
+        return BatchDecision(batch=queue.next_batch(), shed=shed)
 
 
 class MaxWaitPolicy(BatchPolicy):
@@ -96,7 +134,13 @@ class MaxWaitPolicy(BatchPolicy):
 
     name = "max-wait"
 
-    def __init__(self, max_wait_s: float, target_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_wait_s: float,
+        target_size: Optional[int] = None,
+        drop_expired: bool = False,
+    ) -> None:
+        super().__init__(drop_expired=drop_expired)
         if max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
         if target_size is not None and target_size < 1:
@@ -105,6 +149,7 @@ class MaxWaitPolicy(BatchPolicy):
         self.target_size = target_size
 
     def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        shed = self.shed_expired(queue, now)
         target = self.target_size or queue.max_batch_size
         target = min(target, queue.max_batch_size)
         best_key: Optional[Tuple] = None
@@ -121,8 +166,8 @@ class MaxWaitPolicy(BatchPolicy):
                 if next_expiry is None or expiry < next_expiry:
                     next_expiry = expiry
         if best_key is not None:
-            return BatchDecision(batch=queue.take(best_key))
-        return BatchDecision(next_check_s=next_expiry)
+            return BatchDecision(batch=queue.take(best_key), shed=shed)
+        return BatchDecision(next_check_s=next_expiry, shed=shed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(max_wait_s={self.max_wait_s})"
@@ -137,8 +182,12 @@ class SizeLatencyPolicy(MaxWaitPolicy):
 
     name = "size-latency"
 
-    def __init__(self, target_size: int, max_wait_s: float) -> None:
-        super().__init__(max_wait_s=max_wait_s, target_size=target_size)
+    def __init__(
+        self, target_size: int, max_wait_s: float, drop_expired: bool = False
+    ) -> None:
+        super().__init__(
+            max_wait_s=max_wait_s, target_size=target_size, drop_expired=drop_expired
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -147,13 +196,19 @@ class SizeLatencyPolicy(MaxWaitPolicy):
         )
 
 
-def _urgency(request: AttentionRequest) -> Tuple[float, float]:
-    """EDF sort key: absolute deadline first, arrival as tiebreak.
+def _urgency(request: AttentionRequest, now: float) -> Tuple[bool, float, float]:
+    """EDF sort key at time ``now``: feasible first, then deadline, then arrival.
 
     ``absolute_deadline_s`` is ``inf`` for deadline-free requests, so
-    best-effort traffic naturally yields to any deadlined request.
+    best-effort traffic naturally yields to any *feasible* deadlined
+    request.  A request whose deadline has already passed can no longer
+    meet its SLO no matter when it is served, so the expired flag sorts
+    it after every feasible request — including deadline-free ones, which
+    can still complete "in time" — instead of letting its (small) stale
+    deadline hijack the front of the order.
     """
-    return (request.absolute_deadline_s, request.arrival_s)
+    expired = request.absolute_deadline_s <= now
+    return (expired, request.absolute_deadline_s, request.arrival_s)
 
 
 class EDFPolicy(BatchPolicy):
@@ -162,21 +217,124 @@ class EDFPolicy(BatchPolicy):
     Serves the queue containing the globally most urgent request and
     fills the batch with that queue's most urgent members.  Batches stay
     same-plan (the scheduler's grouping invariant); urgency only decides
-    *which* queue and *which* members.
+    *which* queue and *which* members.  Expired requests sort after all
+    feasible ones (see :func:`_urgency`); with ``drop_expired=True`` they
+    are shed outright instead of served late.
     """
 
     name = "edf"
 
     def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        shed = self.shed_expired(queue, now)
         best_key: Optional[Tuple] = None
-        best_urgency: Optional[Tuple[float, float]] = None
+        best_urgency: Optional[Tuple[bool, float, float]] = None
         for key, members in queue.group_items():
-            urgency = min(_urgency(r) for r in members)
+            urgency = min(_urgency(r, now) for r in members)
             if best_urgency is None or urgency < best_urgency:
                 best_key, best_urgency = key, urgency
         if best_key is None:
-            return BatchDecision()
-        return BatchDecision(batch=queue.take(best_key, order=_urgency))
+            return BatchDecision(shed=shed)
+        return BatchDecision(
+            batch=queue.take(best_key, order=lambda r: _urgency(r, now)), shed=shed
+        )
+
+
+class WeightedFairPolicy(BatchPolicy):
+    """Deficit round-robin over SLO classes: weighted multi-tenant shares.
+
+    Each SLO class holds a credit balance.  When a batch slot opens, all
+    *backlogged* classes (those with queued requests) are topped up in
+    proportion to their weights until the richest class can afford a
+    request, and that class is served: the queue whose earliest member of
+    the class arrived first is closed, most urgent class members first.
+    Every member of the dispatched batch — including same-plan members of
+    other classes riding along to fill it — spends one credit of its own
+    class, so under sustained backlog each class's share of served
+    requests converges to ``weight / sum(weights)``.  Credit of a class
+    with nothing queued lapses (classic DRR), so an idle tenant cannot
+    hoard a burst allowance.
+
+    The policy is stateful (the deficit counters persist across
+    consultations) but strictly deterministic: credits evolve only
+    through the decisions themselves.  Counters are kept *per queue* —
+    one policy instance is shared by every worker of a simulated pool,
+    and each worker's scheduler runs its own DRR round: lapsing or
+    spending credit on one worker must not touch a class that is
+    backlogged on another.
+    """
+
+    name = "weighted-fair"
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        default_weight: float = 1.0,
+        drop_expired: bool = False,
+    ) -> None:
+        super().__init__(drop_expired=drop_expired)
+        weights = dict(weights or {})
+        # `not (w > 0)` instead of `w <= 0`: NaN slips through the
+        # latter and a NaN weight turns the credit top-up into an
+        # infinite loop (every comparison with NaN is False).
+        for cls, w in weights.items():
+            if not (w > 0) or not math.isfinite(w):
+                raise ValueError(
+                    f"weight for class {cls!r} must be positive and finite, got {w}"
+                )
+        if not (default_weight > 0) or not math.isfinite(default_weight):
+            raise ValueError(
+                f"default_weight must be positive and finite, got {default_weight}"
+            )
+        self.weights = weights
+        self.default_weight = default_weight
+        # Weak keys: a dead worker queue must not leak its counters — or
+        # worse, donate them to a fresh queue reusing its memory address.
+        self._credit: "weakref.WeakKeyDictionary[BatchScheduler, Dict[str, float]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def weight(self, slo_class: str) -> float:
+        return self.weights.get(slo_class, self.default_weight)
+
+    def credit(self, queue: BatchScheduler) -> Dict[str, float]:
+        """This queue's deficit counters (one DRR round per worker queue)."""
+        return self._credit.setdefault(queue, {})
+
+    def next_batch(self, queue: BatchScheduler, now: float) -> BatchDecision:
+        shed = self.shed_expired(queue, now)
+        items = queue.group_items()
+        if not items:
+            return BatchDecision(shed=shed)
+        backlogged = sorted({r.slo_class for _, members in items for r in members})
+        # Idle classes lose their balance: DRR's no-hoarding rule.
+        credit = {
+            c: v for c, v in self.credit(queue).items() if c in backlogged
+        }
+        self._credit[queue] = credit
+        total_weight = sum(self.weight(c) for c in backlogged)
+        while True:
+            # max() keeps the first maximal element of the sorted class
+            # list, so credit ties break deterministically by name.
+            chosen = max(backlogged, key=lambda c: credit.get(c, 0.0))
+            if credit.get(chosen, 0.0) >= 1.0:
+                break
+            for c in backlogged:
+                credit[c] = credit.get(c, 0.0) + self.weight(c) / total_weight
+        best_key: Optional[Tuple] = None
+        best_arrival: Optional[float] = None
+        for key, members in items:
+            arrivals = [r.arrival_s for r in members if r.slo_class == chosen]
+            if arrivals and (best_arrival is None or min(arrivals) < best_arrival):
+                best_key, best_arrival = key, min(arrivals)
+        batch = queue.take(
+            best_key, order=lambda r: (r.slo_class != chosen, _urgency(r, now))
+        )
+        for r in batch.requests:
+            credit[r.slo_class] = credit.get(r.slo_class, 0.0) - 1.0
+        return BatchDecision(batch=batch, shed=shed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(weights={self.weights})"
 
 
 POLICIES: Dict[str, Type[BatchPolicy]] = {
@@ -184,6 +342,7 @@ POLICIES: Dict[str, Type[BatchPolicy]] = {
     MaxWaitPolicy.name: MaxWaitPolicy,
     SizeLatencyPolicy.name: SizeLatencyPolicy,
     EDFPolicy.name: EDFPolicy,
+    WeightedFairPolicy.name: WeightedFairPolicy,
 }
 
 

@@ -2,8 +2,14 @@
 
 Three event kinds drive the clock forward:
 
-* **arrival** — a request lands; the pool routes it to a worker and, if
-  that worker is idle, its batch policy is consulted immediately.
+* **arrival** — a request lands; the pool routes it to a worker, the
+  admission policy accepts it (or records a rejection — the overload
+  valve) and, if that worker is idle, its batch policy is consulted
+  immediately.  Policy consultations may also *shed* queued requests
+  whose deadlines became unreachable (``drop_expired``); rejected and
+  shed requests are terminal outcomes fed back to closed-loop sources
+  exactly like completions, preserving the conservation law
+  ``submitted == completed + rejected + shed`` on every drained run.
 * **service-complete** — a worker finishes a batch: completions are
   recorded, closed-loop sources may inject follow-up arrivals, the
   worker steals work if its own queue ran dry, and the policy is
@@ -30,6 +36,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 from ..core.salo import SALO
 from ..serving.batching import Batch
 from ..serving.request import AttentionRequest
+from ..serving.admission import AdmissionContext, AdmissionPolicy, AdmitAll
 from .arrivals import RequestSource
 from .metrics import MetricsCollector, ClusterReport, RequestRecord
 from .policy import BatchPolicy, GreedyFIFOPolicy
@@ -52,6 +59,7 @@ class SimConfig:
     steal: bool = True
     affinity_miss_prob: float = 0.1
     policy: BatchPolicy = field(default_factory=GreedyFIFOPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmitAll)
     service: ServiceModel = field(default_factory=CostModelClock)
     salo_factory: Callable[[], SALO] = SALO
 
@@ -94,6 +102,10 @@ class ClusterSimulator:
         if worker.busy:
             return
         decision = self.config.policy.next_batch(worker.queue, now)
+        for req in decision.shed:
+            self._routed.pop(req.request_id, None)
+            self.metrics.note_shed(req, now)
+            self._drop_feedback(req, now)
         batch = decision.batch
         if batch is not None:
             cold = worker.is_cold_plan(batch)
@@ -103,10 +115,45 @@ class ClusterSimulator:
         elif decision.next_check_s is not None:
             self._arm_timer(worker, decision.next_check_s, now)
 
+    def _drop_feedback(self, request: AttentionRequest, now: float) -> None:
+        """Tell the source a request left the system without being served.
+
+        A rejection or shed is a *terminal* outcome for the request, and
+        closed-loop clients must learn of it the same way they learn of a
+        completion — otherwise their request budget would deadlock
+        waiting on work that will never finish.
+        """
+        for req in self._source.on_complete(request, now):
+            self._push(max(req.arrival_s, now), _ARRIVE, req)
+
+    def _admission_context(self, worker: Worker, request: AttentionRequest, now: float) -> AdmissionContext:
+        """Admission view of the routed worker at ``now``.
+
+        The wait estimate is deliberately coarse — backlog depth times
+        the request's own cost-model unit, plus one batch overhead — but
+        it is deterministic, cheap (the worker's SALO stats cache absorbs
+        repeats), and *lazy*: policies that never read it never pay for
+        it.
+        """
+
+        def estimate() -> Tuple[float, float]:
+            unit = worker.salo.estimate(
+                request.pattern, heads=request.heads, head_dim=request.head_dim
+            ).latency_s
+            overhead = getattr(self.config.service, "batch_overhead_s", 0.0)
+            return (worker.depth() * unit + overhead, unit + overhead)
+
+        return AdmissionContext(now=now, depth=worker.depth(), estimator=estimate)
+
     # ------------------------------------------------------------------
     def _on_arrive(self, request: AttentionRequest, now: float) -> None:
         self.metrics.note_arrival(now)
         worker = self.pool.route(request)
+        ctx = self._admission_context(worker, request, now)
+        if not self.config.admission.admit(request, ctx):
+            self.metrics.note_rejection(request, now)
+            self._drop_feedback(request, now)
+            return
         self._routed[request.request_id] = worker.wid
         worker.queue.enqueue(request)
         self._dispatch(worker, now)

@@ -9,6 +9,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     ablations,
     fig7_energy,
     fig7_speedup,
+    overload,
     sec21_quadratic,
     sec63_sanger,
     seq_scaling,

@@ -6,9 +6,20 @@ length bucket (:class:`BatchScheduler`), stacked into same-plan batches,
 and executed as single batched engine dispatches by a
 :class:`ServingSession` — amortising scheduling, plan compilation and
 per-job dispatch across requests while keeping outputs bit-identical to
-per-request calls.
+per-request calls.  :mod:`repro.serving.admission` guards the door
+under overload (the cluster layer consumes it too).
 """
 
+from .admission import (
+    ADMISSIONS,
+    AdmissionContext,
+    AdmissionPolicy,
+    AdmitAll,
+    EstimatedWaitCap,
+    QueueDepthCap,
+    TokenBucketAdmission,
+    make_admission,
+)
 from .batching import Batch, BatchScheduler, length_bucket
 from .request import AttentionRequest, RequestResult
 from .session import ServingSession, ServingStats, execute_batch
@@ -28,4 +39,12 @@ __all__ = [
     "ReplayReport",
     "replay",
     "synthetic_trace",
+    "AdmissionContext",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "QueueDepthCap",
+    "EstimatedWaitCap",
+    "TokenBucketAdmission",
+    "ADMISSIONS",
+    "make_admission",
 ]

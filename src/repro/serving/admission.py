@@ -1,0 +1,247 @@
+"""Admission control: decide at arrival whether a request enters at all.
+
+Under sustained overload (offered load rho > 1) every queue-only system
+degenerates the same way: backlogs grow without bound, every request
+waits longer than its deadline, and goodput collapses even though the
+engines never idle.  Admission control converts that collapse into an
+explicit, accounted *rejection* at arrival time — the request is turned
+away while the refusal is still cheap, instead of being served late when
+it is worthless.
+
+An :class:`AdmissionPolicy` is consulted once per arrival with an
+:class:`AdmissionContext` describing the admitting entity's state —
+queue depth, and a lazy cost-model estimate of the wait the request
+would face.  The context is *lazy* on purpose: the estimate runs
+``SALO.estimate`` (cheap after the plan cache warms, but not free), and
+policies that never look at it (admit-all, queue-depth, token-bucket)
+must not pay for it.
+
+The module lives in the serving layer because both doors consume it —
+:meth:`ServingSession.submit` at a single engine's queue and the cluster
+simulator's arrival handler across a pool — and serving sits below
+cluster in the layering (``repro.cluster`` re-exports everything here).
+
+Policies
+--------
+* :class:`AdmitAll` — the null policy; the pre-overload-control
+  behaviour, kept explicit so sweeps can name it.
+* :class:`QueueDepthCap` — classic bounded buffer: reject once the
+  admitting entity already holds ``max_depth`` requests (queued plus
+  executing).  Bounds memory and worst-case wait by construction.
+* :class:`EstimatedWaitCap` — deadline-aware: reject a request whose
+  estimated wait plus own service already exceeds its latency budget
+  (it is *doomed at arrival* — admitting it only adds queueing delay to
+  everyone behind it).  An optional absolute ``max_wait_s`` also bounds
+  deadline-free traffic.
+* :class:`TokenBucketAdmission` — per-SLO-class rate limiting (the
+  multi-tenant quota): each class owns a token bucket refilled at its
+  contracted rate; a class bursting above its quota is rejected without
+  touching the others' capacity.
+
+All policies are deterministic: their decisions depend only on the
+request, the context, and (for the token bucket) their own arithmetic
+state — never on a wall clock or an RNG — so simulations that use them
+stay replayable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional, Tuple, Type
+
+from .request import AttentionRequest
+
+__all__ = [
+    "AdmissionContext",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "QueueDepthCap",
+    "EstimatedWaitCap",
+    "TokenBucketAdmission",
+    "ADMISSIONS",
+    "make_admission",
+]
+
+
+class AdmissionContext:
+    """State of the admitting entity at one arrival.
+
+    ``depth`` is the number of requests the entity already holds (queued
+    plus executing).  ``estimated_wait_s`` / ``estimated_service_s`` come
+    from a lazily-invoked estimator — ``(wait, service)`` in seconds from
+    the cost model — evaluated at most once, and only when a policy
+    actually reads them.
+    """
+
+    def __init__(
+        self,
+        now: float,
+        depth: int,
+        estimator: Callable[[], Tuple[float, float]],
+    ) -> None:
+        self.now = now
+        self.depth = depth
+        self._estimator = estimator
+        self._estimate: Optional[Tuple[float, float]] = None
+
+    def _ensure(self) -> Tuple[float, float]:
+        if self._estimate is None:
+            self._estimate = self._estimator()
+        return self._estimate
+
+    @property
+    def estimated_wait_s(self) -> float:
+        """Cost-model wait before the request would start service."""
+        return self._ensure()[0]
+
+    @property
+    def estimated_service_s(self) -> float:
+        """Cost-model service time of the request itself."""
+        return self._ensure()[1]
+
+
+class AdmissionPolicy:
+    """Accepts or rejects one request at arrival time."""
+
+    name = "abstract"
+
+    def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class AdmitAll(AdmissionPolicy):
+    """No admission control (the pre-overload-control behaviour)."""
+
+    name = "admit-all"
+
+    def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
+        return True
+
+
+class QueueDepthCap(AdmissionPolicy):
+    """Reject once the admitting entity holds ``max_depth`` requests."""
+
+    name = "queue-depth"
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+
+    def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
+        return ctx.depth < self.max_depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_depth={self.max_depth})"
+
+
+class EstimatedWaitCap(AdmissionPolicy):
+    """Reject requests the cost model says are already doomed.
+
+    A deadlined request is rejected when its estimated wait plus its own
+    service time exceeds ``slack`` times its latency budget — serving it
+    could only produce a deadline miss, so the batch slots it would burn
+    are better spent on feasible work.  ``max_wait_s`` (optional) bounds
+    the estimated wait of *any* request, deadline or not, which is how
+    deadline-free bulk traffic gets back-pressure too.
+    """
+
+    name = "est-wait"
+
+    def __init__(self, slack: float = 1.0, max_wait_s: Optional[float] = None) -> None:
+        # NaN-safe comparisons: `not (x > 0)` rejects NaN, `x <= 0` doesn't.
+        if not (slack > 0) or not math.isfinite(slack):
+            raise ValueError(f"slack must be positive and finite, got {slack}")
+        if max_wait_s is not None and not (max_wait_s >= 0):
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.slack = slack
+        self.max_wait_s = max_wait_s
+
+    def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
+        if self.max_wait_s is not None and ctx.estimated_wait_s > self.max_wait_s:
+            return False
+        if request.deadline_s is not None:
+            budget = self.slack * request.deadline_s
+            if ctx.estimated_wait_s + ctx.estimated_service_s > budget:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(slack={self.slack}, max_wait_s={self.max_wait_s})"
+
+
+class TokenBucketAdmission(AdmissionPolicy):
+    """Per-SLO-class token buckets: the multi-tenant admission quota.
+
+    Each class refills at its contracted ``rates[class]`` (requests per
+    second; ``default_rate`` for unlisted classes, ``None`` meaning
+    unlimited) up to ``burst`` tokens; an arrival spends one token or is
+    rejected.  A class exceeding its quota is shed at its own gate — it
+    cannot crowd out another class's capacity, which is the isolation
+    property per-tenant SLOs need.
+
+    The bucket state advances on the *caller's* clock (``ctx.now``), so
+    inside the deterministic simulator the policy is as replayable as
+    the event loop driving it.
+    """
+
+    name = "token-bucket"
+
+    def __init__(
+        self,
+        rates: Optional[Mapping[str, float]] = None,
+        default_rate: Optional[float] = None,
+        burst: float = 4.0,
+    ) -> None:
+        rates = dict(rates or {})
+        for cls, rate in rates.items():
+            if not (rate > 0) or not math.isfinite(rate):
+                raise ValueError(
+                    f"rate for class {cls!r} must be positive and finite, got {rate}"
+                )
+        if default_rate is not None and (
+            not (default_rate > 0) or not math.isfinite(default_rate)
+        ):
+            raise ValueError(f"default_rate must be positive and finite, got {default_rate}")
+        if not (burst >= 1) or not math.isfinite(burst):
+            raise ValueError(f"burst must be >= 1 and finite, got {burst}")
+        self.rates = rates
+        self.default_rate = default_rate
+        self.burst = burst
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # class -> (tokens, last_t)
+
+    def _rate(self, slo_class: str) -> Optional[float]:
+        return self.rates.get(slo_class, self.default_rate)
+
+    def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
+        rate = self._rate(request.slo_class)
+        if rate is None:
+            return True  # no quota contracted for this class
+        tokens, last = self._buckets.get(request.slo_class, (self.burst, ctx.now))
+        tokens = min(self.burst, tokens + max(ctx.now - last, 0.0) * rate)
+        if tokens >= 1.0:
+            self._buckets[request.slo_class] = (tokens - 1.0, ctx.now)
+            return True
+        self._buckets[request.slo_class] = (tokens, ctx.now)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rates={self.rates}, burst={self.burst})"
+
+
+ADMISSIONS: Dict[str, Type[AdmissionPolicy]] = {
+    AdmitAll.name: AdmitAll,
+    QueueDepthCap.name: QueueDepthCap,
+    EstimatedWaitCap.name: EstimatedWaitCap,
+    TokenBucketAdmission.name: TokenBucketAdmission,
+}
+
+
+def make_admission(name: str, **kwargs) -> AdmissionPolicy:
+    """Instantiate an admission policy by registry name (CLI / sweeps)."""
+    if name not in ADMISSIONS:
+        raise KeyError(f"unknown admission policy {name!r}; known: {sorted(ADMISSIONS)}")
+    return ADMISSIONS[name](**kwargs)

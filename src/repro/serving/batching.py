@@ -249,6 +249,35 @@ class BatchScheduler:
             del self._queues[key]
         return self._make_batch(key, members)
 
+    def prune(self, predicate: Callable[[AttentionRequest], bool]) -> List[AttentionRequest]:
+        """Remove and return every queued request matching ``predicate``.
+
+        Load-shedding hook: a ``drop_expired`` policy sweeps out requests
+        whose deadline can no longer be met before closing a batch.
+        Survivors keep their queue and their relative order; emptied
+        queues are deleted.  The removed requests are returned in queue
+        insertion order (then arrival order within a queue) so callers
+        can account for them deterministically.
+        """
+        removed: List[AttentionRequest] = []
+        for key in list(self._queues):
+            queue = self._queues[key]
+            kept: List[AttentionRequest] = []
+            hit = False
+            for request in queue:
+                if predicate(request):
+                    removed.append(request)
+                    hit = True
+                else:
+                    kept.append(request)
+            if not hit:
+                continue
+            if kept:
+                self._queues[key] = deque(kept)
+            else:
+                del self._queues[key]
+        return removed
+
     def steal(self, count: int) -> List[AttentionRequest]:
         """Pop up to ``count`` requests from the back of the deepest queue.
 

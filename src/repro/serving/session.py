@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.salo import SALO, AttentionResult, pattern_structure_key
 from ..patterns.base import AttentionPattern
+from .admission import AdmissionContext, AdmissionPolicy
 from .batching import Batch, BatchScheduler
 from .request import AttentionRequest, RequestResult
 
@@ -85,10 +86,11 @@ class ServingStats:
     latency_p90_ms: float
     latency_p99_ms: float
     plan_cache: dict
+    rejected: int = 0  # turned away by the session's admission policy
 
     def render(self) -> str:
         lines = [
-            f"requests completed   {self.completed}",
+            f"requests completed   {self.completed} (rejected {self.rejected})",
             f"batches executed     {self.batches}",
             f"mean batch size      {self.mean_batch_size:.2f}",
             f"wall time            {self.wall_s * 1e3:.1f} ms",
@@ -118,6 +120,11 @@ class ServingSession:
         bucket-length plan with masked tails (higher occupancy, outputs
         equivalent up to partial-softmax regrouping — no longer
         guaranteed bit-identical to per-request calls).
+    admission:
+        Optional :class:`~repro.serving.admission.AdmissionPolicy`
+        consulted at :meth:`submit`; a rejected submission returns
+        ``None`` instead of a request id and is tallied per SLO class in
+        :attr:`rejected` (overload back-pressure at the session door).
     clock:
         Monotonic time source; injectable for deterministic tests.
     """
@@ -128,6 +135,7 @@ class ServingSession:
         max_batch_size: int = 8,
         bucket_floor: int = 16,
         pad_to_bucket: bool = False,
+        admission: Optional[AdmissionPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.salo = salo if salo is not None else SALO()
@@ -136,6 +144,8 @@ class ServingSession:
             bucket_floor=bucket_floor,
             pad_to_bucket=pad_to_bucket,
         )
+        self.admission = admission
+        self.rejected: Dict[str, int] = {}  # slo_class -> rejection count
         self.clock = clock
         self.results: Dict[Hashable, RequestResult] = {}
         self.batches_executed = 0
@@ -158,13 +168,17 @@ class ServingSession:
         arrival_s: Optional[float] = None,
         deadline_s: Optional[float] = None,
         slo_class: str = "default",
-    ) -> Hashable:
+    ) -> Optional[Hashable]:
         """Queue one attention request; returns its id.
 
         ``arrival_s`` overrides the arrival timestamp (trace replay with
         recorded arrivals — queueing delay is then measured from trace
         time, not the submit call).  ``deadline_s``/``slo_class`` ride
         along for deadline-aware schedulers and per-class accounting.
+
+        With an ``admission`` policy configured, an over-capacity
+        submission is turned away: it returns ``None``, counts in
+        :attr:`rejected` under its SLO class, and nothing is queued.
 
         Rejects patterns without band structure up front: SALO cannot
         schedule them, and failing at submit keeps one bad request from
@@ -197,8 +211,38 @@ class ServingSession:
             deadline_s=deadline_s,
             slo_class=slo_class,
         )
+        if self.admission is not None:
+            ctx = self._admission_context(request, now)
+            if not self.admission.admit(request, ctx):
+                self.rejected[slo_class] = self.rejected.get(slo_class, 0) + 1
+                self._known_ids.discard(request_id)  # the id stays usable
+                return None
         self.scheduler.enqueue(request)
         return request_id
+
+    def _admission_context(self, request: AttentionRequest, now: float) -> AdmissionContext:
+        """Session-door admission view: queue depth + cost-model wait.
+
+        ``now`` is the *session clock* reading, not the request's
+        (possibly replayed) ``arrival_s``: stateful admission policies
+        like the token bucket need one monotone clock domain, and a
+        trace replay that mixes recorded arrivals with live submissions
+        would otherwise run the bucket arithmetic backwards.  The wait
+        estimate is the queue depth times the request's own cost-model
+        latency — coarse, but deterministic and cheap (the SALO stats
+        cache absorbs repeat structures), and lazy so depth-only
+        policies never trigger an estimate.
+        """
+
+        def estimate() -> Tuple[float, float]:
+            unit = self.salo.estimate(
+                request.pattern, heads=request.heads, head_dim=request.head_dim
+            ).latency_s
+            return (self.scheduler.pending * unit, unit)
+
+        return AdmissionContext(
+            now=now, depth=self.scheduler.pending, estimator=estimate
+        )
 
     # ------------------------------------------------------------------
     def step(self) -> Optional[Batch]:
@@ -252,6 +296,7 @@ class ServingSession:
         — never a division by zero or an ``inf`` throughput.
         """
         completed = len(self.results)
+        rejected = sum(self.rejected.values())
         if completed == 0:
             return ServingStats(
                 completed=0,
@@ -264,6 +309,7 @@ class ServingSession:
                 latency_p90_ms=0.0,
                 latency_p99_ms=0.0,
                 plan_cache=self.salo.cache_info(),
+                rejected=rejected,
             )
         latencies = np.asarray([r.latency_s for r in self.results.values()])
         queues = np.asarray([r.queue_s for r in self.results.values()])
@@ -290,4 +336,5 @@ class ServingSession:
             latency_p90_ms=float(p90) * 1e3,
             latency_p99_ms=float(p99) * 1e3,
             plan_cache=self.salo.cache_info(),
+            rejected=rejected,
         )

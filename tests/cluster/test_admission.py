@@ -1,0 +1,190 @@
+"""Admission policies: unit behaviour + the simulator's arrival gate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AdmissionContext,
+    AdmitAll,
+    ClusterSimulator,
+    CostModelClock,
+    EstimatedWaitCap,
+    GreedyFIFOPolicy,
+    OpenLoopSource,
+    QueueDepthCap,
+    SimConfig,
+    TokenBucketAdmission,
+    make_admission,
+)
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO
+from repro.patterns.library import longformer_pattern
+from repro.serving import AttentionRequest
+
+
+def _request(rid, arrival=0.0, deadline=None, slo="default", n=32):
+    pattern = longformer_pattern(n, 6, (0,))
+    data = np.zeros((n, 8))
+    return AttentionRequest(
+        request_id=rid, pattern=pattern, q=data, k=data, v=data, heads=2,
+        arrival_s=arrival, deadline_s=deadline, slo_class=slo,
+    )
+
+
+def _ctx(now=0.0, depth=0, wait=0.0, service=1e-5):
+    return AdmissionContext(now=now, depth=depth, estimator=lambda: (wait, service))
+
+
+class TestAdmitAll:
+    def test_always_admits(self):
+        policy = AdmitAll()
+        assert policy.admit(_request(0), _ctx(depth=10**6))
+
+
+class TestQueueDepthCap:
+    def test_admits_below_cap_rejects_at_cap(self):
+        policy = QueueDepthCap(max_depth=2)
+        assert policy.admit(_request(0), _ctx(depth=0))
+        assert policy.admit(_request(1), _ctx(depth=1))
+        assert not policy.admit(_request(2), _ctx(depth=2))
+
+    def test_never_reads_the_estimate(self):
+        def bomb():  # pragma: no cover - must never run
+            raise AssertionError("depth cap evaluated the cost model")
+
+        ctx = AdmissionContext(now=0.0, depth=1, estimator=bomb)
+        assert QueueDepthCap(max_depth=2).admit(_request(0), ctx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDepthCap(max_depth=0)
+
+
+class TestEstimatedWaitCap:
+    def test_rejects_doomed_at_arrival(self):
+        policy = EstimatedWaitCap(slack=1.0)
+        doomed = _request(0, deadline=1e-4)
+        assert not policy.admit(doomed, _ctx(wait=2e-4, service=1e-5))
+        assert policy.admit(doomed, _ctx(wait=1e-5, service=1e-5))
+
+    def test_slack_scales_the_budget(self):
+        request = _request(0, deadline=1e-3)
+        ctx = lambda: _ctx(wait=6e-4, service=1e-5)
+        assert EstimatedWaitCap(slack=1.0).admit(request, ctx())
+        assert not EstimatedWaitCap(slack=0.5).admit(request, ctx())
+
+    def test_deadline_free_bounded_only_by_max_wait(self):
+        free = _request(0)
+        assert EstimatedWaitCap(slack=1.0).admit(free, _ctx(wait=1e9))
+        capped = EstimatedWaitCap(slack=1.0, max_wait_s=1e-3)
+        assert not capped.admit(free, _ctx(wait=2e-3))
+        assert capped.admit(free, _ctx(wait=5e-4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EstimatedWaitCap(slack=0.0)
+        with pytest.raises(ValueError):
+            EstimatedWaitCap(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            EstimatedWaitCap(slack=float("nan"))
+        with pytest.raises(ValueError):
+            EstimatedWaitCap(max_wait_s=float("nan"))
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_then_refill(self):
+        policy = TokenBucketAdmission(rates={"gold": 10.0}, burst=2.0)
+        r = lambda i: _request(i, slo="gold")
+        assert policy.admit(r(0), _ctx(now=0.0))
+        assert policy.admit(r(1), _ctx(now=0.0))
+        assert not policy.admit(r(2), _ctx(now=0.0))  # burst spent
+        # 0.1 s at 10 req/s refills one token.
+        assert policy.admit(r(3), _ctx(now=0.1))
+        assert not policy.admit(r(4), _ctx(now=0.1))
+
+    def test_classes_are_isolated(self):
+        policy = TokenBucketAdmission(rates={"gold": 1.0}, burst=1.0)
+        assert policy.admit(_request(0, slo="gold"), _ctx(now=0.0))
+        assert not policy.admit(_request(1, slo="gold"), _ctx(now=0.0))
+        # A class without a contracted rate is not throttled.
+        for i in range(5):
+            assert policy.admit(_request(10 + i, slo="other"), _ctx(now=0.0))
+
+    def test_default_rate_applies_to_unlisted_classes(self):
+        policy = TokenBucketAdmission(default_rate=1.0, burst=1.0)
+        assert policy.admit(_request(0, slo="anything"), _ctx(now=0.0))
+        assert not policy.admit(_request(1, slo="anything"), _ctx(now=0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(rates={"a": 0.0})
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(default_rate=-1.0)
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(burst=0.5)
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(rates={"a": float("nan")})
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(default_rate=float("inf"))
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(burst=float("nan"))
+
+
+class TestContextLaziness:
+    def test_estimator_evaluated_at_most_once(self):
+        calls = []
+
+        def estimator():
+            calls.append(1)
+            return (1.0, 2.0)
+
+        ctx = AdmissionContext(now=0.0, depth=0, estimator=estimator)
+        assert ctx.estimated_wait_s == 1.0
+        assert ctx.estimated_service_s == 2.0
+        assert len(calls) == 1
+
+
+class TestRegistry:
+    def test_make_admission(self):
+        assert isinstance(make_admission("admit-all"), AdmitAll)
+        assert make_admission("queue-depth", max_depth=3).max_depth == 3
+        assert make_admission("est-wait", slack=0.5).slack == 0.5
+        assert isinstance(make_admission("token-bucket"), TokenBucketAdmission)
+        with pytest.raises(KeyError):
+            make_admission("bogus")
+
+
+class TestSimulatorGate:
+    """The arrival gate end to end on a tiny deterministic simulation."""
+
+    def _simulate(self, admission, requests):
+        config = SimConfig(
+            workers=1,
+            max_batch_size=2,
+            policy=GreedyFIFOPolicy(),
+            admission=admission,
+            service=CostModelClock(),
+            salo_factory=lambda: SALO(HardwareConfig(pe_rows=4, pe_cols=4)),
+        )
+        sim = ClusterSimulator(config)
+        return sim, sim.run(OpenLoopSource(requests))
+
+    def test_rejections_recorded_per_class_and_conserved(self):
+        # A burst at t=0: the first request dispatches immediately (depth
+        # 0), the rest queue; with a depth cap of 2, later ones bounce.
+        requests = [
+            _request(i, arrival=i * 1e-7, slo="gold" if i % 2 == 0 else "slow")
+            for i in range(8)
+        ]
+        sim, report = self._simulate(QueueDepthCap(max_depth=2), requests)
+        assert report.rejected > 0
+        assert report.submitted == 8
+        assert report.submitted == report.completed + report.rejected + report.shed
+        per_class = {c.name: c for c in report.classes}
+        assert sum(c.rejected for c in per_class.values()) == report.rejected
+        assert "rejected" in report.render()
+
+    def test_admit_all_is_the_identity(self):
+        requests = [_request(i, arrival=i * 1e-7) for i in range(6)]
+        _, report = self._simulate(AdmitAll(), requests)
+        assert report.rejected == 0 and report.completed == 6

@@ -1,0 +1,301 @@
+"""Property-based invariants of the cluster layer (hypothesis).
+
+These pin the laws the serving/cluster stack relies on, across randomly
+drawn scenarios — any arrival timing, any batch policy, any admission
+mode, any worker count:
+
+* **Conservation** — every submitted request ends in exactly one of
+  {completed, rejected, shed}; nothing is double-counted, nothing is
+  lost, nothing is left queued after a drained run.
+* **Batch integrity** — every dispatched batch is same-plan (one group
+  key) and never exceeds ``max_batch_size``.
+* **EDF order** — over a static queue, successive EDF batches are
+  non-decreasing in urgency.
+* **Shedding law** — with ``drop_expired``, no completed request had
+  already missed its deadline at dispatch time.
+* **Determinism** — the same drawn scenario, rebuilt from scratch,
+  yields a byte-identical ``ClusterReport.render()``.
+
+Scenarios are deliberately tiny (n <= 48, 4x4 PE array, <= 18 requests)
+— the invariants are about bookkeeping and ordering, not scale, and the
+cost-model clock never executes a batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    AdmitAll,
+    ClusterSimulator,
+    CostModelClock,
+    EDFPolicy,
+    EstimatedWaitCap,
+    GreedyFIFOPolicy,
+    MaxWaitPolicy,
+    OpenLoopSource,
+    QueueDepthCap,
+    SimConfig,
+    TokenBucketAdmission,
+    WeightedFairPolicy,
+)
+from repro.cluster.policy import _urgency
+from repro.core.config import HardwareConfig
+from repro.core.salo import SALO, pattern_structure_key
+from repro.patterns.library import longformer_pattern
+from repro.serving import AttentionRequest, BatchScheduler
+
+# Shared structures: three band geometries over two lengths.  Operand
+# data is shared zeros — the cost-model clock never executes a batch, so
+# only shapes matter, and sharing keeps scenario construction cheap.
+_PATTERNS = (
+    longformer_pattern(32, 4, (0,)),
+    longformer_pattern(32, 8, (0,)),
+    longformer_pattern(48, 8, (0,)),
+)
+_HIDDEN = 8  # heads=2 x head_dim=4
+_DATA = {p.n: np.zeros((p.n, _HIDDEN)) for p in _PATTERNS}
+
+# (class name, deadline in seconds).  The scale matters: service times
+# under the 4x4 cost model are ~10us-1ms (cold compiles 0.5ms), so these
+# deadlines make expiry genuinely reachable without being universal.
+_CLASSES = (
+    ("tight", 2e-4),
+    ("loose", 5e-3),
+    ("besteffort", None),
+)
+
+
+def _small_salo() -> SALO:
+    return SALO(HardwareConfig(pe_rows=4, pe_cols=4))
+
+
+@st.composite
+def scenario(draw):
+    """One cluster scenario: requests + sim knobs + policy/admission picks."""
+    num = draw(st.integers(4, 18))
+    workers = draw(st.integers(1, 3))
+    max_batch = draw(st.integers(2, 4))
+    pad = draw(st.booleans())
+    # Arrival gaps in 10us ticks: 0 (burst) .. 500us (trickle) spans the
+    # congested and idle regimes relative to the service times above.
+    gaps = draw(st.lists(st.integers(0, 50), min_size=num, max_size=num))
+    pattern_picks = draw(
+        st.lists(st.integers(0, len(_PATTERNS) - 1), min_size=num, max_size=num)
+    )
+    class_picks = draw(
+        st.lists(st.integers(0, len(_CLASSES) - 1), min_size=num, max_size=num)
+    )
+    policy_pick = draw(
+        st.sampled_from(
+            [
+                ("greedy-fifo", False),
+                ("greedy-fifo", True),
+                ("max-wait", False),
+                ("edf", False),
+                ("edf", True),
+                ("weighted-fair", True),
+            ]
+        )
+    )
+    admission_pick = draw(
+        st.sampled_from(["admit-all", "queue-depth", "est-wait", "token-bucket"])
+    )
+    requests = []
+    t = 0.0
+    for i in range(num):
+        t += gaps[i] * 1e-5
+        pattern = _PATTERNS[pattern_picks[i]]
+        name, deadline = _CLASSES[class_picks[i]]
+        requests.append(
+            AttentionRequest(
+                request_id=i,
+                pattern=pattern,
+                q=_DATA[pattern.n],
+                k=_DATA[pattern.n],
+                v=_DATA[pattern.n],
+                heads=2,
+                arrival_s=t,
+                deadline_s=deadline,
+                slo_class=name,
+            )
+        )
+    return {
+        "requests": requests,
+        "workers": workers,
+        "max_batch": max_batch,
+        "pad": pad,
+        "policy": policy_pick,
+        "admission": admission_pick,
+    }
+
+
+def _build_policy(name: str, drop: bool):
+    """Fresh policy per run — WeightedFair/token-bucket are stateful."""
+    if name == "greedy-fifo":
+        return GreedyFIFOPolicy(drop_expired=drop)
+    if name == "max-wait":
+        return MaxWaitPolicy(max_wait_s=1e-4, drop_expired=drop)
+    if name == "edf":
+        return EDFPolicy(drop_expired=drop)
+    return WeightedFairPolicy(weights={"tight": 3.0, "loose": 1.0}, drop_expired=drop)
+
+
+def _build_admission(name: str):
+    if name == "admit-all":
+        return AdmitAll()
+    if name == "queue-depth":
+        return QueueDepthCap(max_depth=4)
+    if name == "est-wait":
+        return EstimatedWaitCap(slack=1.0, max_wait_s=1e-3)
+    return TokenBucketAdmission(default_rate=20000.0, burst=4.0)
+
+
+def _run(sc, service=None):
+    """Build a fresh simulator for the scenario and run it to empty."""
+    config = SimConfig(
+        workers=sc["workers"],
+        max_batch_size=sc["max_batch"],
+        pad_to_bucket=sc["pad"],
+        policy=_build_policy(*sc["policy"]),
+        admission=_build_admission(sc["admission"]),
+        service=service if service is not None else CostModelClock(),
+        salo_factory=_small_salo,
+    )
+    sim = ClusterSimulator(config)
+    report = sim.run(OpenLoopSource(sc["requests"]))
+    return sim, report
+
+
+class _RecordingClock(CostModelClock):
+    """Cost-model clock that also captures every dispatched batch."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def service_s(self, worker, batch, cold):
+        self.batches.append(batch)
+        return super().service_s(worker, batch, cold)
+
+
+class TestConservation:
+    @given(scenario())
+    @settings(max_examples=25)
+    def test_submitted_equals_completed_plus_rejected_plus_shed(self, sc):
+        sim, report = _run(sc)
+        assert report.submitted == len(sc["requests"])
+        assert report.submitted == report.completed + report.rejected + report.shed
+        assert sim.pool.pending == 0  # a drained run leaves nothing queued
+        # Per-class conservation too: arrivals of each class are fully
+        # accounted by that class's own outcomes.
+        by_class = {}
+        for req in sc["requests"]:
+            by_class[req.slo_class] = by_class.get(req.slo_class, 0) + 1
+        for cls in report.classes:
+            assert cls.submitted == by_class[cls.name]
+
+    @given(scenario())
+    @settings(max_examples=25)
+    def test_no_request_double_counted(self, sc):
+        sim, report = _run(sc)
+        completed_ids = [r.request_id for r in sim.metrics.records]
+        dropped_ids = [d.request_id for d in sim.metrics.drops]
+        assert len(completed_ids) == len(set(completed_ids))
+        assert len(dropped_ids) == len(set(dropped_ids))
+        assert not set(completed_ids) & set(dropped_ids)
+        assert set(completed_ids) | set(dropped_ids) == {
+            r.request_id for r in sc["requests"]
+        }
+
+
+class TestBatchIntegrity:
+    @given(scenario())
+    @settings(max_examples=20)
+    def test_batches_same_plan_and_bounded(self, sc):
+        clock = _RecordingClock()
+        _run(sc, service=clock)
+        reference = BatchScheduler(
+            max_batch_size=sc["max_batch"], pad_to_bucket=sc["pad"]
+        )
+        assert clock.batches  # something was dispatched
+        for batch in clock.batches:
+            assert 1 <= batch.size <= sc["max_batch"]
+            # One group key per batch: the grouping invariant every
+            # policy (and work stealing) must preserve.
+            assert len({reference.group_key(r) for r in batch.requests}) == 1
+            # And the executed plan's band structure matches every
+            # member (padded batches run members' bands at bucket n).
+            executed = batch.execution_pattern()
+            _, bands, globals_ = pattern_structure_key(executed)
+            for r in batch.requests:
+                _, r_bands, r_globals = pattern_structure_key(r.pattern)
+                assert r_bands == bands and r_globals == globals_
+                assert r.n <= executed.n
+
+
+class TestEDFOrder:
+    @given(scenario())
+    @settings(max_examples=30)
+    def test_static_queue_dispatch_urgency_non_decreasing(self, sc):
+        """Draining a frozen queue, EDF batch urgency never decreases."""
+        queue = BatchScheduler(max_batch_size=sc["max_batch"], pad_to_bucket=sc["pad"])
+        for req in sc["requests"]:
+            queue.enqueue(req)
+        now = max(r.arrival_s for r in sc["requests"])
+        policy = EDFPolicy()
+        previous = None
+        while True:
+            decision = policy.next_batch(queue, now)
+            if decision.batch is None:
+                break
+            head = min(_urgency(r, now) for r in decision.batch.requests)
+            if previous is not None:
+                assert head >= previous
+            previous = head
+        assert queue.pending == 0
+
+    @given(scenario())
+    @settings(max_examples=30)
+    def test_members_chosen_most_urgent_first_within_queue(self, sc):
+        """The batch EDF pops holds its group's most urgent members."""
+        queue = BatchScheduler(max_batch_size=sc["max_batch"], pad_to_bucket=sc["pad"])
+        for req in sc["requests"]:
+            queue.enqueue(req)
+        now = max(r.arrival_s for r in sc["requests"])
+        snapshot = {key: list(members) for key, members in queue.group_items()}
+        decision = EDFPolicy().next_batch(queue, now)
+        batch = decision.batch
+        taken = {r.request_id for r in batch.requests}
+        group = snapshot[batch.key]
+        ranked = sorted(group, key=lambda r: (_urgency(r, now), r.arrival_s))
+        expected = {r.request_id for r in ranked[: len(taken)]}
+        assert taken == expected
+
+
+class TestSheddingLaw:
+    @given(scenario())
+    @settings(max_examples=25)
+    def test_drop_expired_completions_feasible_at_dispatch(self, sc):
+        """With shedding on, nobody who was already doomed got served."""
+        sc = dict(sc)
+        sc["policy"] = (sc["policy"][0], True)  # force drop_expired
+        sim, report = _run(sc)
+        for rec in sim.metrics.records:
+            if rec.deadline_s is not None:
+                assert rec.dispatch_s < rec.arrival_s + rec.deadline_s
+        for drop in sim.metrics.drops:
+            if drop.kind == "shed":
+                assert drop.deadline_s is not None  # best-effort never sheds
+
+
+class TestDeterminism:
+    @given(scenario())
+    @settings(max_examples=10)
+    def test_same_scenario_byte_identical_report(self, sc):
+        _, first = _run(sc)
+        _, second = _run(sc)
+        assert first.render() == second.render()
+        assert [p.t_s for p in first.series] == [p.t_s for p in second.series]

@@ -8,6 +8,7 @@ from repro.cluster import (
     GreedyFIFOPolicy,
     MaxWaitPolicy,
     SizeLatencyPolicy,
+    WeightedFairPolicy,
     make_policy,
 )
 from repro.patterns.library import longformer_pattern
@@ -104,12 +105,188 @@ class TestEDF:
         batch = EDFPolicy().next_batch(sched, now=5.0).batch
         assert batch.requests[0].request_id == 1
 
+    def test_expired_requests_do_not_displace_feasible_ones(self):
+        """Regression: a stale (already-missed) deadline must not hijack
+        the front of the urgency order — even without drop_expired, the
+        doomed request yields to every request that can still make it."""
+        expired = _request(0, arrival=0.0, deadline=0.5)  # dead since t=0.5
+        feasible = _request(1, arrival=1.0, deadline=9.0)
+        besteffort = _request(2, arrival=0.2)  # no deadline: always "met"
+        sched = _scheduler(expired, feasible, besteffort, max_batch_size=1)
+        policy = EDFPolicy()
+        order = []
+        for _ in range(3):
+            order.append(policy.next_batch(sched, now=2.0).batch.requests[0].request_id)
+        # Feasible deadline first, then best-effort, the doomed one last.
+        assert order == [1, 2, 0]
+
+    def test_expired_requests_still_served_without_drop(self):
+        """Work conservation: without drop_expired nothing is dropped."""
+        sched = _scheduler(_request(0, arrival=0.0, deadline=0.1))
+        decision = EDFPolicy().next_batch(sched, now=5.0)
+        assert decision.batch is not None and decision.shed == ()
+
+
+class TestDropExpired:
+    def test_edf_sheds_doomed_and_serves_the_rest(self):
+        doomed = _request(0, arrival=0.0, deadline=0.5)
+        alive = _request(1, arrival=0.0, deadline=10.0)
+        sched = _scheduler(doomed, alive)
+        decision = EDFPolicy(drop_expired=True).next_batch(sched, now=2.0)
+        assert [r.request_id for r in decision.shed] == [0]
+        assert [r.request_id for r in decision.batch.requests] == [1]
+        assert sched.pending == 0
+
+    def test_deadline_free_requests_never_shed(self):
+        sched = _scheduler(_request(0, arrival=0.0), _request(1, arrival=0.0))
+        decision = GreedyFIFOPolicy(drop_expired=True).next_batch(sched, now=1e9)
+        assert decision.shed == ()
+        assert decision.batch.size == 2
+
+    def test_sweep_applies_to_holding_policies(self):
+        """Max-wait's sweep runs even when it decides to keep holding."""
+        doomed = _request(0, arrival=0.0, deadline=0.5)
+        fresh = _request(1, arrival=1.9, deadline=10.0)
+        sched = _scheduler(doomed, fresh)
+        policy = MaxWaitPolicy(max_wait_s=1.0, drop_expired=True)
+        decision = policy.next_batch(sched, now=2.0)
+        assert [r.request_id for r in decision.shed] == [0]
+        assert decision.batch is None  # fresh head still within max_wait
+        assert decision.next_check_s == pytest.approx(2.9)
+
+    def test_boundary_exactly_at_deadline_is_shed(self):
+        """A request dispatched exactly at its deadline cannot complete
+        by it (service time is strictly positive), so it sheds."""
+        sched = _scheduler(_request(0, arrival=0.0, deadline=1.0))
+        decision = EDFPolicy(drop_expired=True).next_batch(sched, now=1.0)
+        assert len(decision.shed) == 1 and decision.batch is None
+
+
+class TestWeightedFair:
+    def _drain_order(self, policy, requests, now=10.0, rounds=None):
+        sched = _scheduler(*requests, max_batch_size=1)
+        order = []
+        for _ in range(rounds or len(requests)):
+            decision = policy.next_batch(sched, now=now)
+            if decision.batch is None:
+                break
+            order.append(decision.batch.requests[0])
+        return order
+
+    def test_shares_converge_to_weights(self):
+        """3:1 weights -> 3 of every 4 served requests are the heavy class."""
+        reqs = [
+            _request(i, arrival=i * 1e-3, slo="gold" if i % 2 == 0 else "best")
+            for i in range(16)
+        ]
+        policy = WeightedFairPolicy(weights={"gold": 3.0, "best": 1.0})
+        order = self._drain_order(policy, reqs, rounds=8)
+        gold = sum(1 for r in order if r.slo_class == "gold")
+        assert gold == 6  # 3/4 of the first 8 slots
+
+    def test_equal_weights_alternate(self):
+        reqs = [
+            _request(i, arrival=i * 1e-3, slo="a" if i % 2 == 0 else "b")
+            for i in range(8)
+        ]
+        order = self._drain_order(WeightedFairPolicy(), reqs, rounds=4)
+        assert {r.slo_class for r in order[:2]} == {"a", "b"}
+
+    def test_lone_class_is_served_not_starved(self):
+        """With one backlogged class, DRR degenerates to FIFO service."""
+        reqs = [_request(i, arrival=i * 1e-3, slo="only") for i in range(3)]
+        policy = WeightedFairPolicy(weights={"only": 1.0, "idle": 99.0})
+        order = self._drain_order(policy, reqs)
+        assert [r.request_id for r in order] == [0, 1, 2]
+
+    def test_idle_class_credit_lapses(self):
+        """A class that was absent cannot hoard credit for a later burst."""
+        policy = WeightedFairPolicy(weights={"a": 1.0, "b": 1.0})
+        sched = _scheduler(
+            *[_request(i, arrival=i * 1e-3, slo="a") for i in range(4)],
+            max_batch_size=1,
+        )
+        for _ in range(4):
+            policy.next_batch(sched, now=10.0)
+        assert "b" not in policy.credit(sched)  # lapsed, not accumulating
+        # Now both classes are backlogged on the same queue: b starts
+        # from zero credit, so the first slots still alternate instead
+        # of b bursting 4 deep.
+        for i in range(8):
+            sched.enqueue(
+                _request(10 + i, arrival=1.0 + i * 1e-3, slo="a" if i % 2 == 0 else "b")
+            )
+        order = [
+            policy.next_batch(sched, now=10.0).batch.requests[0] for _ in range(2)
+        ]
+        assert {r.slo_class for r in order} == {"a", "b"}
+
+    def test_credit_is_per_queue_not_shared_across_workers(self):
+        """Regression: one policy instance serves every worker of a pool;
+        consulting it on a worker whose queue lacks a class must not
+        erase the credit that class accrued on another worker's queue."""
+        policy = WeightedFairPolicy(weights={"gold": 3.0, "best": 1.0})
+        worker_a = _scheduler(
+            _request(0, arrival=0.0, slo="gold"),
+            _request(1, arrival=0.1, slo="gold"),
+            _request(2, arrival=0.2, slo="best"),
+            max_batch_size=1,
+        )
+        worker_b = _scheduler(_request(10, arrival=0.0, slo="best"), max_batch_size=1)
+        policy.next_batch(worker_a, now=1.0)  # gold/best accrue on A
+        credit_before = dict(policy.credit(worker_a))
+        policy.next_batch(worker_b, now=1.0)  # B's queue has no gold
+        assert policy.credit(worker_a) == credit_before
+
+    def test_dead_queue_credit_is_not_resurrected(self):
+        """Regression: counters die with their queue — a fresh scheduler
+        reusing a freed queue's memory address must start from zero, and
+        a long-lived policy must not accumulate dead-queue entries."""
+        import gc
+
+        policy = WeightedFairPolicy(weights={"a": 2.0})
+        sched = _scheduler(_request(0, arrival=0.0, slo="a"), max_batch_size=1)
+        policy.next_batch(sched, now=1.0)
+        assert len(policy._credit) == 1
+        del sched
+        gc.collect()
+        assert len(policy._credit) == 0
+
+    def test_same_plan_riders_fill_the_batch(self):
+        """Members of another class ride a chosen batch (and are charged)."""
+        reqs = [
+            _request(0, arrival=0.0, slo="gold"),
+            _request(1, arrival=0.1, slo="best"),
+        ]
+        sched = _scheduler(*reqs, max_batch_size=4)
+        policy = WeightedFairPolicy(weights={"gold": 3.0, "best": 1.0})
+        batch = policy.next_batch(sched, now=1.0).batch
+        assert batch.size == 2
+        assert batch.requests[0].slo_class == "gold"  # chosen class first
+        assert policy.credit(sched)["best"] < policy.credit(sched)["gold"]
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            WeightedFairPolicy(weights={"a": 0.0})
+        with pytest.raises(ValueError):
+            WeightedFairPolicy(default_weight=-1.0)
+        # NaN/inf weights would turn the credit top-up loop into an
+        # infinite spin (NaN comparisons are all False) — reject upfront.
+        with pytest.raises(ValueError):
+            WeightedFairPolicy(weights={"a": float("nan")})
+        with pytest.raises(ValueError):
+            WeightedFairPolicy(weights={"a": float("inf")})
+        with pytest.raises(ValueError):
+            WeightedFairPolicy(default_weight=float("nan"))
+
 
 class TestRegistry:
     def test_make_policy(self):
         assert isinstance(make_policy("greedy-fifo"), GreedyFIFOPolicy)
         assert isinstance(make_policy("edf"), EDFPolicy)
         assert make_policy("max-wait", max_wait_s=0.1).max_wait_s == 0.1
+        assert isinstance(make_policy("weighted-fair"), WeightedFairPolicy)
+        assert make_policy("edf", drop_expired=True).drop_expired
         with pytest.raises(KeyError):
             make_policy("bogus")
 

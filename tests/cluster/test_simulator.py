@@ -139,6 +139,37 @@ class TestEventLoop:
         assert report.throughput_rps == 0.0
         assert report.render()  # renders without crashing
 
+    def test_drop_expired_raises_goodput_under_congestion(self):
+        """Fixed-seed regression for the overload repair: shedding doomed
+        requests converts wasted service into goodput, and nothing that
+        was already expired at dispatch time gets served."""
+
+        def run(drop):
+            source = open_loop(_spec(num=80, seed=11), PoissonProcess(rate_rps=120000.0))
+            return simulate(source, SimConfig(workers=2, policy=EDFPolicy(drop_expired=drop)))
+
+        keep, drop = run(False), run(True)
+        assert keep.completed == 80 and keep.shed == 0
+        assert drop.shed > 0
+        assert drop.completed + drop.shed == drop.submitted == 80
+        assert drop.goodput_rps > keep.goodput_rps
+        assert drop.deadline_met_rate > keep.deadline_met_rate
+
+    def test_closed_loop_drop_feedback_keeps_the_budget_flowing(self):
+        """Sheds are terminal outcomes: closed-loop clients must resubmit
+        after one, or the simulation deadlocks short of its budget."""
+        source = ClosedLoopSource(
+            _spec(num=40, slo_classes=(SLOClass("tight", 1e-6, 1.0),)),
+            clients=6,
+        )
+        report = simulate(
+            source, SimConfig(workers=1, policy=EDFPolicy(drop_expired=True))
+        )
+        # Every request in the budget reached a terminal outcome.
+        assert report.submitted == 40
+        assert report.completed + report.shed == 40
+        assert report.shed > 0  # the 1us deadline made shedding certain
+
 
 class TestReportIntegrity:
     def test_goodput_bounded_by_throughput_and_classes_sum(self):

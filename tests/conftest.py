@@ -1,11 +1,34 @@
-"""Shared fixtures for the SALO reproduction test suite."""
+"""Shared fixtures + hypothesis profiles for the SALO reproduction suite.
+
+Hypothesis profiles: CI runs the ``ci`` profile — ``derandomize=True``
+pins the example stream (the property-test equivalent of a fixed
+``--hypothesis-seed``), so `make check` cannot flake on a fresh draw.
+Exporting ``REPRO_HYPOTHESIS_THOROUGH=1`` opts into the ``thorough``
+profile instead: randomized example streams and a larger
+``max_examples`` (override the count with ``REPRO_HYPOTHESIS_EXAMPLES``)
+for local invariant hunting.  Tests that pin their own ``max_examples``
+keep it; the profile fills in the unspecified settings.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.config import HardwareConfig, NumericsConfig
+
+settings.register_profile("ci", deadline=None, derandomize=True)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "300")),
+)
+settings.load_profile(
+    "thorough" if os.environ.get("REPRO_HYPOTHESIS_THOROUGH") else "ci"
+)
 
 
 @pytest.fixture

@@ -111,6 +111,75 @@ class TestCli:
     def test_simulate_bad_slo(self, capsys):
         assert main(["simulate", "--slo", "oops"]) == 2
 
+    def test_simulate_overload_control_flags(self, capsys):
+        """The overload path end to end: --rho, --drop-expired,
+        --admission and --class-weights through the weighted-fair policy."""
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workers", "2",
+                    "--requests", "48",
+                    "--n", "64",
+                    "--window", "8",
+                    "--heads", "2",
+                    "--head-dim", "4",
+                    "--policy", "weighted-fair",
+                    "--class-weights", "interactive:3,bulk:1",
+                    "--drop-expired",
+                    "--admission", "est-wait",
+                    "--rho", "1.5",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "policy weighted-fair (drop-expired)" in out
+        assert "admission est-wait" in out
+        assert "requests submitted   48" in out
+        assert "fairness (Jain)" in out
+
+    def test_simulate_bad_class_weights(self, capsys):
+        assert main(["simulate", "--policy", "weighted-fair", "--class-weights", "oops"]) == 2
+        assert (
+            main(["simulate", "--policy", "weighted-fair", "--class-weights", "a:0"]) == 2
+        )
+        # Weights without the weighted-fair policy would be silently
+        # ignored — refuse instead.
+        assert main(["simulate", "--policy", "edf", "--class-weights", "a:1"]) == 2
+        assert main(["simulate", "--admission-depth", "0"]) == 2
+        assert main(["simulate", "--admission-slack", "0"]) == 2
+        assert main(["simulate", "--admission-wait-ms", "-1"]) == 2
+        # NaN knobs must exit 2, not hang the DRR credit loop or crash.
+        assert (
+            main(["simulate", "--policy", "weighted-fair", "--class-weights", "a:nan"])
+            == 2
+        )
+        assert main(["simulate", "--admission-slack", "nan"]) == 2
+        assert main(["simulate", "--rho", "nan"]) == 2
+
+    def test_simulate_unknown_class_weight_name_refused(self, capsys):
+        """A typo'd class name must not silently fall back to the
+        default weight while the user believes 3:1 is in force."""
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--requests", "8", "--n", "64", "--window", "8", "--head-dim", "4",
+                    "--policy", "weighted-fair",
+                    "--class-weights", "interctive:3,bulk:1",
+                ]
+            )
+            == 2
+        )
+        assert "match no SLO class" in capsys.readouterr().err
+
+    def test_simulate_rate_and_rho_conflict(self, capsys):
+        assert main(["simulate", "--rate", "100", "--rho", "1.5"]) == 2
+        assert main(["simulate", "--rho", "0"]) == 2
+        assert main(["simulate", "--rate", "-5"]) == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

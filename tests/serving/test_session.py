@@ -193,6 +193,67 @@ class TestSession:
         assert len(results) == 2  # neither request's result was overwritten
 
 
+class TestSessionAdmission:
+    def _admitting_session(self, admission, max_batch_size=8):
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4).exact())
+        return ServingSession(
+            salo=salo,
+            max_batch_size=max_batch_size,
+            admission=admission,
+            clock=FakeClock(),
+        )
+
+    def test_depth_cap_rejects_and_counts_per_class(self):
+        from repro.serving import QueueDepthCap
+
+        session = self._admitting_session(QueueDepthCap(max_depth=2))
+        pattern = longformer_pattern(24, 6, (0,))
+        ids = [
+            session.submit(pattern, *_data(24, 8, seed=i), heads=2, slo_class="gold")
+            for i in range(4)
+        ]
+        assert ids[0] is not None and ids[1] is not None
+        assert ids[2] is None and ids[3] is None  # bounced at the door
+        assert session.rejected == {"gold": 2}
+        assert session.pending == 2
+        results = session.drain()
+        assert len(results) == 2
+        assert session.stats().rejected == 2
+        assert "rejected 2" in session.stats().render()
+
+    def test_rejected_id_stays_usable(self):
+        from repro.serving import QueueDepthCap
+
+        session = self._admitting_session(QueueDepthCap(max_depth=1))
+        pattern = longformer_pattern(24, 6, (0,))
+        assert session.submit(pattern, *_data(24, 8, 0), heads=2, request_id="a")
+        assert session.submit(pattern, *_data(24, 8, 1), heads=2, request_id="b") is None
+        session.drain()
+        # The rejected id was never consumed: resubmitting it works.
+        assert session.submit(pattern, *_data(24, 8, 1), heads=2, request_id="b") == "b"
+
+    def test_estimated_wait_cap_rejects_doomed_deadline(self):
+        from repro.serving import EstimatedWaitCap
+
+        session = self._admitting_session(EstimatedWaitCap(slack=1.0))
+        pattern = longformer_pattern(24, 6, (0,))
+        # An impossible budget: tighter than the request's own service
+        # estimate, so the wait cap refuses it even on an empty queue.
+        assert (
+            session.submit(pattern, *_data(24, 8, 0), heads=2, deadline_s=1e-12)
+            is None
+        )
+        # A generous budget sails through.
+        assert session.submit(pattern, *_data(24, 8, 1), heads=2, deadline_s=10.0)
+
+    def test_no_admission_policy_admits_everything(self):
+        session = _session()
+        pattern = longformer_pattern(24, 6, (0,))
+        for i in range(20):
+            assert session.submit(pattern, *_data(24, 8, i), heads=2) is not None
+        assert session.rejected == {}
+
+
 class TestTraceReplay:
     def test_replay_verifies_outputs_and_reports(self):
         spec = TraceSpec(num_requests=12, n=64, window=8, heads=2, head_dim=4, seed=3)

@@ -1,8 +1,10 @@
 """Cross-cutting property-based tests (hypothesis) on system invariants.
 
 These complement the per-module property tests with invariants that span
-subsystems: scheduling conservation laws, monotonicity of the cost models,
-and consistency between pattern statistics and plan accounting.
+subsystems: scheduling conservation laws, monotonicity of the cost
+models, consistency between pattern statistics and plan accounting, and
+the serving layer's batching fairness/grouping laws (the cluster-level
+counterparts live in ``tests/cluster/test_cluster_properties.py``).
 """
 
 import numpy as np
@@ -14,9 +16,11 @@ from repro.accelerator.buffers import plan_traffic
 from repro.accelerator.energy import plan_energy
 from repro.accelerator.timing import plan_timing
 from repro.core.config import HardwareConfig
+from repro.core.salo import pattern_structure_key
 from repro.patterns.base import Band
 from repro.patterns.hybrid import HybridSparsePattern
 from repro.scheduler.scheduler import DataScheduler
+from repro.serving import AttentionRequest, BatchScheduler
 
 
 def _pattern(n, window, dilation, use_global):
@@ -110,3 +114,101 @@ class TestCostModelMonotonicity:
         pattern, config = pc
         plan = DataScheduler(config, strict_global_bound=False).schedule(pattern)
         assert plan_timing(plan, pipelined=True).cycles <= plan_timing(plan).cycles
+
+
+# ----------------------------------------------------------------------
+# Serving layer: batching fairness and grouping laws
+# ----------------------------------------------------------------------
+
+# A small palette of band structures over two lengths; streams drawn
+# from it mix families, lengths and arrival times the way the serve CLI
+# traces do.  Operand data is shared zeros: these properties never
+# execute a batch, only group and order it.
+_FAMILIES = (
+    (32, [Band(-2, 2, 1)], (0,)),
+    (32, [Band(-4, 4, 1)], (0,)),
+    (32, [Band(-2, 2, 2)], ()),
+    (48, [Band(-2, 2, 1)], (0,)),
+    (48, [Band(-8, 8, 1)], (0,)),
+)
+_SERVE_HIDDEN = 8
+_SERVE_DATA = {n: np.zeros((n, _SERVE_HIDDEN)) for n in (32, 48)}
+
+
+@st.composite
+def request_stream(draw):
+    """A mixed-pattern request stream with non-decreasing arrivals."""
+    num = draw(st.integers(2, 24))
+    picks = draw(st.lists(st.integers(0, len(_FAMILIES) - 1), min_size=num, max_size=num))
+    gaps = draw(st.lists(st.integers(0, 10), min_size=num, max_size=num))
+    requests = []
+    t = 0.0
+    for i in range(num):
+        t += gaps[i] * 1e-4
+        n, bands, globals_ = _FAMILIES[picks[i]]
+        requests.append(
+            AttentionRequest(
+                request_id=i,
+                pattern=HybridSparsePattern(n, bands, globals_),
+                q=_SERVE_DATA[n],
+                k=_SERVE_DATA[n],
+                v=_SERVE_DATA[n],
+                heads=2,
+                arrival_s=t,
+            )
+        )
+    return requests
+
+
+class TestBatchSchedulerFairness:
+    @given(request_stream(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_queue_heads_served_longest_wait_first(self, requests, max_batch):
+        """Draining a frozen scheduler, batch head arrivals never go back
+        in time: next_batch always serves the longest-waiting queue head,
+        so no pattern family can starve another."""
+        scheduler = BatchScheduler(max_batch_size=max_batch)
+        for req in requests:
+            scheduler.enqueue(req)
+        previous_head = None
+        served = 0
+        while True:
+            pending_heads = [m[0].arrival_s for _, m in scheduler.group_items()]
+            batch = scheduler.next_batch()
+            if batch is None:
+                break
+            head = batch.requests[0].arrival_s
+            # The served head was the longest-waiting among all queue
+            # heads, and heads are non-decreasing across batches.
+            assert head == min(pending_heads)
+            if previous_head is not None:
+                assert head >= previous_head
+            previous_head = head
+            # Within a batch, members stay in arrival (FIFO) order.
+            arrivals = [r.arrival_s for r in batch.requests]
+            assert arrivals == sorted(arrivals)
+            served += batch.size
+        assert served == len(requests)
+
+    @given(request_stream(), st.integers(1, 4), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_grouping_never_mixes_band_structures(self, requests, max_batch, pad):
+        """No batch mixes band structures — in pad_to_bucket mode lengths
+        may differ inside a bucket, but bands/globals/heads never do."""
+        scheduler = BatchScheduler(max_batch_size=max_batch, pad_to_bucket=pad)
+        for req in requests:
+            scheduler.enqueue(req)
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                break
+            structures = {
+                pattern_structure_key(r.pattern)[1:] for r in batch.requests
+            }
+            assert len(structures) == 1
+            buckets = {scheduler.group_key(r)[-1] for r in batch.requests}
+            assert len(buckets) == 1  # one length bucket per batch
+            if not pad:
+                assert len({r.n for r in batch.requests}) == 1
+            else:
+                assert all(r.n <= batch.bucket for r in batch.requests)
