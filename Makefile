@@ -15,13 +15,17 @@
 #                  vs no-control on the same seed (the overload-control
 #                  path end to end: --drop-expired, --admission,
 #                  --class-weights)
+#   make engines-smoke - registry surface end to end: `engines list`
+#                  tabulates every registered backend, and one serve
+#                  replay runs on a non-default backend
+#                  (--backend functional-legacy)
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test bench bench-update simulate-smoke simulate-overload
+.PHONY: check test bench bench-update simulate-smoke simulate-overload engines-smoke
 
-check: test bench simulate-smoke simulate-overload
+check: test bench engines-smoke simulate-smoke simulate-overload
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -36,6 +40,12 @@ bench:
 
 bench-update:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py
+
+engines-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli engines list
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve \
+		--requests 16 --n 64 --window 8 --heads 2 --head-dim 4 \
+		--backend functional-legacy --seed 0
 
 simulate-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \

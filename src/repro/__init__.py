@@ -67,3 +67,9 @@ __all__ = [
 from .core.salo import SALO, AttentionResult  # noqa: E402
 
 __all__ += ["SALO", "AttentionResult"]
+
+# The unified runtime surface (backend registry + Runtime facade) builds
+# on SALO and the baselines, so it comes last too.
+from .api import Runtime, RuntimeConfig  # noqa: E402
+
+__all__ += ["Runtime", "RuntimeConfig"]

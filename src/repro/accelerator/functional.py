@@ -75,6 +75,7 @@ characterises the bound.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -109,7 +110,9 @@ class FunctionalResult:
 
     output: np.ndarray  # (n, heads * head_dim) or (b, n, heads * head_dim)
     merges: int  # weighted-sum merge operations performed (all sequences)
-    parts: np.ndarray  # (heads, n) or (b, heads, n) partial outputs per query
+    # (heads, n) or (b, heads, n) partial outputs per query; None for
+    # engines that do not track part counts (the systolic adapter).
+    parts: Optional[np.ndarray]
 
     @property
     def n(self) -> int:
@@ -212,22 +215,51 @@ class _BatchAccumulator:
 class FunctionalEngine:
     """Executes :class:`ExecutionPlan` instances on (Q, K, V) data.
 
-    ``use_compiled=True`` (default) runs the batched multi-head path over
+    ``mode="compiled"`` (default) runs the batched multi-head path over
     the plan's :class:`~repro.scheduler.compiled.CompiledPlan`;
-    ``use_compiled=False`` runs the legacy per-head, per-pass path.  Both
-    produce bit-identical outputs.
+    ``mode="legacy"`` runs the per-head, per-pass reference path.  Both
+    produce bit-identical outputs.  At the system level the two modes
+    are the ``"functional"`` and ``"functional-legacy"`` engine backends
+    (:data:`repro.core.salo.ENGINE_BACKENDS` / the :mod:`repro.api`
+    registry); select them by name there rather than constructing
+    engines directly.
+
+    ``use_compiled`` is the deprecated boolean spelling of ``mode``
+    (``True`` -> ``"compiled"``, ``False`` -> ``"legacy"``); it is kept
+    as a shim for existing call sites and overrides ``mode`` when given.
     """
 
-    def __init__(self, plan: ExecutionPlan, use_compiled: bool = True) -> None:
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        mode: str = "compiled",
+        use_compiled: Optional[bool] = None,
+    ) -> None:
+        if isinstance(mode, bool):
+            # Positional spelling of the old signature:
+            # FunctionalEngine(plan, False) meant use_compiled=False.
+            use_compiled, mode = mode, "compiled"
+        if use_compiled is not None:
+            warnings.warn(
+                "FunctionalEngine(use_compiled=...) is deprecated; use "
+                "mode='compiled'/'legacy' (or the 'functional' / "
+                "'functional-legacy' backends of repro.api)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            mode = "compiled" if use_compiled else "legacy"
+        if mode not in ("compiled", "legacy"):
+            raise ValueError(f"unknown engine mode {mode!r}; known: compiled, legacy")
         self.plan = plan
-        self.use_compiled = use_compiled
+        self.mode = mode
+        self.use_compiled = mode == "compiled"  # read by existing call sites
         self.datapath = Datapath(plan.config.numerics)
         self.module = WeightedSumModule(self.datapath)
         # (id(job), b0, b1) -> key-id tensor for padded-tail masking;
         # pure plan structure, so cached for the engine's lifetime (the
         # engine keeps the compiled plan — and its jobs — alive).
         self._segment_ids_cache: dict = {}
-        if use_compiled:
+        if self.use_compiled:
             # Compile once at construction (memoized on the plan), and
             # force the lazy execution schedule now: engines always run.
             plan.compiled().window_jobs

@@ -36,12 +36,12 @@ import numpy as np
 
 from ..scheduler.plan import ExecutionPlan, TilePass
 from .datapath import Datapath
-from .functional import EngineError
+from .functional import EngineError, FunctionalResult
 from .pe import PE
 from .timing import PassTiming, pass_cycles
 from .weighted_sum import WeightedSumModule
 
-__all__ = ["SystolicSimulator", "SimulationResult"]
+__all__ = ["SystolicSimulator", "SimulationResult", "SystolicEngine"]
 
 
 @dataclass
@@ -76,6 +76,48 @@ class _MergeState:
         self.out[qi] = merged[0]
         self.w[qi] = total[0]
         self.merges += 1
+
+
+class SystolicEngine:
+    """Plan-level engine interface over the cycle-accurate simulator.
+
+    Adapts :class:`SystolicSimulator` to the execution-engine contract
+    :class:`~repro.core.salo.SALO` drives (``run(q, k, v, scale,
+    valid_lens)`` returning a
+    :class:`~repro.accelerator.functional.FunctionalResult`), so the
+    micro-simulator is selectable as the ``"systolic"`` engine backend.
+    The simulator advances explicit per-cycle PE state, so the contract
+    is narrower than the functional engine's: one sequence at a time (no
+    batch axis) and no padded-tail masking — both rejected up front with
+    an :class:`EngineError` rather than computed wrongly.  ``parts`` is
+    ``None`` in the result: the micro-simulator does not track per-query
+    part counts.
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+        self.simulator = SystolicSimulator(plan)
+
+    def run(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: Optional[float] = None,
+        valid_lens: Optional[np.ndarray] = None,
+    ) -> FunctionalResult:
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim == 3:
+            raise EngineError(
+                "the systolic engine executes one sequence at a time; "
+                "it does not support a batch axis"
+            )
+        if valid_lens is not None:
+            raise EngineError(
+                "the systolic engine does not support valid_lens (padded tails)"
+            )
+        result = self.simulator.run(q, k, v, scale=scale)
+        return FunctionalResult(output=result.output, merges=result.merges, parts=None)
 
 
 class SystolicSimulator:

@@ -1,0 +1,231 @@
+"""The attention-backend protocol: one typed contract for every engine.
+
+Everything that can answer an attention request in this repo — the
+compiled functional engine, its per-pass legacy reference, the
+cycle-accurate systolic micro-simulator, the exact float oracles and the
+analytic baseline models — implements :class:`AttentionBackend`:
+
+* :meth:`AttentionBackend.attend` executes real data and returns a typed
+  :class:`AttendResult`;
+* :meth:`AttentionBackend.estimate` runs the backend's cost model (no
+  data) and returns a typed :class:`EstimateResult`.
+
+Backends differ in what they can do, and the protocol makes that
+explicit instead of implicit: every backend carries a frozen
+:class:`BackendCapabilities` record, and calls outside the declared
+envelope fail with a :class:`CapabilityError` *before* any compute —
+a batched tensor handed to a single-sequence engine is an API error,
+not a garbage answer.  The parity suite
+(``tests/api/test_parity.py``) holds backends to their flags: outputs
+must agree across backends (bit-exact within the ``bit_exact`` group,
+float-tight otherwise) and every advertised limitation must actually be
+enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..patterns.base import AttentionPattern
+
+__all__ = [
+    "AttendResult",
+    "AttentionBackend",
+    "BackendCapabilities",
+    "CapabilityError",
+    "EstimateResult",
+]
+
+
+class CapabilityError(RuntimeError):
+    """A call asked a backend for something its capabilities exclude."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can (and cannot) be asked to do.
+
+    ``supports_batch``
+        Accepts a leading batch axis ``(b, n, hidden)`` in one call.
+        The serving layer falls back to a per-request loop for backends
+        without it.
+    ``supports_valid_lens``
+        Masks zero-padded tails out of the softmax (the serving layer's
+        ``pad_to_bucket`` cross-length batching).
+    ``bit_exact``
+        Reproduces the SALO fixed-point datapath bit for bit: all
+        ``bit_exact`` backends must return *identical* arrays on the
+        same inputs.  Float oracles (dense, sparse-reference) are exact
+        mathematics instead and agree only to quantisation tolerance.
+    ``has_cost_model``
+        :meth:`AttentionBackend.estimate` works (latency/cycle model).
+    ``can_execute``
+        :meth:`AttentionBackend.attend` works.  Analytic models (the
+        Sanger comparison model) estimate but never execute.
+    ``needs_structure``
+        Requires patterns with a band/global decomposition (everything
+        that schedules through SALO).  Mask-only (opaque) patterns are
+        servable by oracle backends, which set this ``False``.
+    """
+
+    supports_batch: bool = False
+    supports_valid_lens: bool = False
+    bit_exact: bool = False
+    has_cost_model: bool = False
+    can_execute: bool = True
+    needs_structure: bool = True
+
+
+@dataclass
+class AttendResult:
+    """Typed outcome of one :meth:`AttentionBackend.attend` call.
+
+    ``output`` follows the input rank: ``(n, hidden)`` for a single
+    sequence, ``(b, n, hidden)`` for a batch.  ``stats`` carries the
+    backend's cost-model accounting for the executed plan when it has
+    one (:class:`~repro.core.stats.RunStats` for SALO engines, ``None``
+    for oracles).  ``raw`` keeps the backend-native result object
+    (e.g. :class:`~repro.core.salo.AttentionResult`) for callers that
+    need engine internals; portable code should not touch it.
+    """
+
+    output: np.ndarray
+    backend: str
+    stats: Optional[object] = None
+    raw: object = field(default=None, repr=False)
+
+
+@dataclass
+class EstimateResult:
+    """Typed outcome of one :meth:`AttentionBackend.estimate` call.
+
+    ``latency_s`` is always present (it is what serving clocks and
+    admission policies consume); ``cycles`` / ``energy_j`` /
+    ``utilization`` are filled when the backend's model provides them.
+    ``raw`` keeps the model-native record (``RunStats``,
+    ``SangerEstimate``, ...).
+    """
+
+    latency_s: float
+    backend: str
+    cycles: Optional[int] = None
+    energy_j: Optional[float] = None
+    utilization: Optional[float] = None
+    raw: object = field(default=None, repr=False)
+
+
+class AttentionBackend:
+    """Base class for attention backends (the runtime execution surface).
+
+    Subclasses set :attr:`name` and :attr:`capabilities` and implement
+    :meth:`_attend` / :meth:`_estimate`; the public entry points enforce
+    the capability envelope first, so every backend rejects unsupported
+    calls the same way (:class:`CapabilityError` with the backend name
+    and the missing capability spelled out).
+    """
+
+    name: str = "abstract"
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    # ------------------------------------------------------------------
+    def attend(
+        self,
+        pattern: AttentionPattern,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        heads: int = 1,
+        scale: Optional[float] = None,
+        valid_lens: Optional[np.ndarray] = None,
+    ) -> AttendResult:
+        """Execute sparse attention; see :class:`AttendResult`."""
+        caps = self.capabilities
+        if not caps.can_execute:
+            raise CapabilityError(
+                f"backend {self.name!r} is an analytic model (can_execute=False); "
+                "it estimates cost but cannot execute data"
+            )
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim not in (2, 3):
+            raise ValueError(
+                f"q must be (n, hidden) or (b, n, hidden), got shape {q.shape}"
+            )
+        if q.ndim == 3 and not caps.supports_batch:
+            raise CapabilityError(
+                f"backend {self.name!r} does not support a batch axis "
+                "(supports_batch=False); call it once per sequence"
+            )
+        if valid_lens is not None and not caps.supports_valid_lens:
+            raise CapabilityError(
+                f"backend {self.name!r} does not support valid_lens "
+                "(supports_valid_lens=False)"
+            )
+        if caps.needs_structure and pattern.bands() is None:
+            raise CapabilityError(
+                f"backend {self.name!r} requires band/global pattern structure "
+                "(needs_structure=True); this pattern is mask-only"
+            )
+        return self._attend(pattern, q, k, v, heads=heads, scale=scale, valid_lens=valid_lens)
+
+    def estimate(
+        self,
+        pattern: AttentionPattern,
+        heads: int = 1,
+        head_dim: int = 64,
+    ) -> EstimateResult:
+        """Run the backend's cost model; see :class:`EstimateResult`."""
+        caps = self.capabilities
+        if not caps.has_cost_model:
+            raise CapabilityError(
+                f"backend {self.name!r} has no cost model (has_cost_model=False)"
+            )
+        if caps.needs_structure and pattern.bands() is None:
+            raise CapabilityError(
+                f"backend {self.name!r} requires band/global pattern structure "
+                "(needs_structure=True); this pattern is mask-only"
+            )
+        return self._estimate(pattern, heads=heads, head_dim=head_dim)
+
+    # ------------------------------------------------------------------
+    def _attend(
+        self,
+        pattern: AttentionPattern,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        heads: int,
+        scale: Optional[float],
+        valid_lens: Optional[np.ndarray],
+    ) -> AttendResult:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _estimate(
+        self, pattern: AttentionPattern, heads: int, head_dim: int
+    ) -> EstimateResult:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------
+    # Capability shorthands: the serving layer probes engines through
+    # these names (duck-typed with SALO, which exposes the same ones).
+    @property
+    def supports_batch(self) -> bool:
+        return self.capabilities.supports_batch
+
+    @property
+    def supports_valid_lens(self) -> bool:
+        return self.capabilities.supports_valid_lens
+
+    @property
+    def needs_structure(self) -> bool:
+        return self.capabilities.needs_structure
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Plan-cache counters; zeros for backends without a plan cache."""
+        return {"size": 0, "capacity": 0, "hits": 0, "misses": 0, "hit_rate": 0.0}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

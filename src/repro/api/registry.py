@@ -1,0 +1,104 @@
+"""String-keyed backend registry: one extensible axis for engine choice.
+
+Every execution engine and baseline model in the repo registers here
+under a stable name; everything above this layer — the
+:class:`~repro.api.runtime.Runtime` facade, the serving session, the
+cluster simulator, the CLI's ``--backend`` flags and ``engines list``
+subcommand, the cross-backend parity suite — selects backends by that
+name instead of hand-wiring classes.  Adding a backend is one
+:func:`register_backend` call; it then shows up everywhere at once.
+
+A registration is a :class:`BackendSpec`: the factory (taking the
+:class:`~repro.api.runtime.RuntimeConfig` it should build against), the
+backend's static :class:`~repro.api.protocol.BackendCapabilities` (so
+tooling can tabulate capabilities without instantiating engines) and a
+one-line summary for the CLI table.  The built-in backends are
+registered on import of :mod:`repro.api` (see
+:mod:`repro.api.backends`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .protocol import AttentionBackend, BackendCapabilities
+
+__all__ = [
+    "BackendSpec",
+    "register_backend",
+    "get_backend",
+    "backend_spec",
+    "list_backends",
+]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registry entry: how to build a backend, and what it can do."""
+
+    name: str
+    factory: Callable[..., AttentionBackend]  # factory(config: RuntimeConfig)
+    capabilities: BackendCapabilities
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., AttentionBackend],
+    capabilities: BackendCapabilities,
+    summary: str = "",
+    replace: bool = False,
+) -> BackendSpec:
+    """Register a backend factory under a stable string name.
+
+    ``factory`` receives the :class:`~repro.api.runtime.RuntimeConfig`
+    the caller is building against and returns a fresh
+    :class:`~repro.api.protocol.AttentionBackend`.  Registering an
+    existing name raises unless ``replace=True`` — accidental shadowing
+    of a built-in backend should be loud.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    spec = BackendSpec(
+        name=name, factory=factory, capabilities=capabilities, summary=summary
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """The registered spec for ``name`` (raises ``KeyError`` if unknown)."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def get_backend(name: str, config: Optional[object] = None) -> AttentionBackend:
+    """Instantiate a registered backend.
+
+    ``config`` is a :class:`~repro.api.runtime.RuntimeConfig` (defaults
+    are used when ``None``).  Each call builds a *fresh* backend —
+    engines carry warm state (plan caches), so sharing is the caller's
+    decision, typically via one :class:`~repro.api.runtime.Runtime`.
+    """
+    spec = backend_spec(name)
+    if config is None:
+        from .runtime import RuntimeConfig
+
+        config = RuntimeConfig(backend=name)
+    return spec.factory(config)
+
+
+def list_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)

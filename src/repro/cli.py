@@ -3,16 +3,22 @@
 Usage::
 
     salo-repro list                      # enumerate experiments
+    salo-repro engines list              # enumerate registered backends
     salo-repro run fig7a_speedup         # one experiment
     salo-repro run table3_quantization --fast
     salo-repro all [--fast]              # everything, in DESIGN.md order
     salo-repro serve --requests 64       # replay a synthetic serving trace
     salo-repro simulate --workers 4      # discrete-event cluster simulation
+
+``run``, ``serve`` and ``simulate`` accept ``--backend NAME`` to select
+any registered execution backend (see ``engines list``); serving paths
+require an executing backend (``sanger`` is estimate-only).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import math
 import sys
 import time
@@ -49,6 +55,68 @@ def _ordered_names() -> List[str]:
     return ordered
 
 
+def _validate_backend(
+    name: str, require_executing: bool = False, require_cost_model: bool = False
+) -> int:
+    """Exit-code-style backend validation: 0 ok, 2 with message otherwise.
+
+    ``require_executing`` gates serving paths (the backend must attend);
+    ``require_cost_model`` gates cost-model-clocked paths (the default
+    simulate/experiment clocks call ``estimate`` on every dispatch, so a
+    backend without one must be refused up front, not crash mid-run).
+    """
+    from .api import CapabilityError, backend_spec, engine_factory, list_backends
+
+    if name not in list_backends():
+        print(
+            f"unknown backend {name!r}; registered: {', '.join(list_backends())} "
+            "(see 'salo-repro engines list')",
+            file=sys.stderr,
+        )
+        return 2
+    if require_executing:
+        try:
+            engine_factory(name)
+        except CapabilityError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    if require_cost_model and not backend_spec(name).capabilities.has_cost_model:
+        print(
+            f"backend {name!r} has no cost model (has_cost_model=False); the "
+            "deterministic cost-model clock cannot serve it — use --measured "
+            "or a backend with a cost model",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    """``engines list``: tabulate the registered backend specs."""
+    from .api import backend_spec, list_backends
+
+    flags = (
+        ("batch", "supports_batch"),
+        ("lens", "supports_valid_lens"),
+        ("exact", "bit_exact"),
+        ("cost", "has_cost_model"),
+        ("exec", "can_execute"),
+        ("struct", "needs_structure"),
+    )
+    names = list_backends()
+    width = max(len(n) for n in names)
+    header = f"{'backend':{width}s}  " + "  ".join(f"{label:6s}" for label, _ in flags) + "  summary"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        spec = backend_spec(name)
+        cells = "  ".join(
+            f"{'yes' if getattr(spec.capabilities, attr) else '-':6s}" for _, attr in flags
+        )
+        print(f"{name:{width}s}  {cells}  {spec.summary}")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     """Build a workload + policy from CLI args and run the simulator."""
     import numpy as np
@@ -76,6 +144,15 @@ def _cmd_simulate(args) -> int:
     if args.batch_size < 1:
         print(f"--batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
         return 2
+    rc = _validate_backend(
+        args.backend,
+        require_executing=True,
+        # The default clock charges SALO.estimate per dispatch; only a
+        # measured run can serve a backend without a cost model.
+        require_cost_model=not args.measured,
+    )
+    if rc:
+        return rc
     if args.rate is not None and args.rho is not None:
         print("--rate and --rho are mutually exclusive", file=sys.stderr)
         return 2
@@ -89,6 +166,9 @@ def _cmd_simulate(args) -> int:
         return 2
     # Cheap flag validation first: a typo'd --slo or --class-weights
     # must not wait for the service-time probe below.
+    if args.length_weighted and args.policy != "weighted-fair":
+        print("--length-weighted only applies to --policy weighted-fair", file=sys.stderr)
+        return 2
     class_weights = {}
     if args.class_weights:
         if args.policy != "weighted-fair":
@@ -218,6 +298,8 @@ def _cmd_simulate(args) -> int:
         policy_kwargs["target_size"] = args.target_size
     if args.policy == "weighted-fair" and class_weights:
         policy_kwargs["weights"] = class_weights
+    if args.policy == "weighted-fair" and args.length_weighted:
+        policy_kwargs["length_weighted"] = True
 
     admission_kwargs = {}
     if args.admission == "queue-depth":
@@ -244,6 +326,7 @@ def _cmd_simulate(args) -> int:
         policy=make_policy(args.policy, **policy_kwargs),
         admission=make_admission(args.admission, **admission_kwargs),
         service=MeasuredClock() if args.measured else clock,
+        backend=args.backend,
     )
 
     t0 = time.perf_counter()
@@ -270,9 +353,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sub.add_parser("list", help="list available experiments")
 
+    engines_p = sub.add_parser(
+        "engines",
+        help="inspect the registered attention backends",
+        description=(
+            "Tabulates every backend registered with repro.api: capability "
+            "flags (batch axis, valid_lens masking, bit-exactness, cost "
+            "model, executability, structure requirement) and a summary. "
+            "These are the names run/serve/simulate --backend accept."
+        ),
+    )
+    engines_p.add_argument(
+        "action", choices=("list",), help="engines subcommand (list: tabulate backends)"
+    )
+
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment name (see 'list')")
     run_p.add_argument("--fast", action="store_true", help="reduced problem sizes")
+    run_p.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for experiments with a backend axis "
+        "(see 'engines list'); experiments without one reject the flag",
+    )
 
     all_p = sub.add_parser("all", help="run every experiment in paper order")
     all_p.add_argument("--fast", action="store_true", help="reduced problem sizes")
@@ -303,6 +406,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-baseline",
         action="store_true",
         help="skip the sequential one-call-per-request comparison",
+    )
+    serve_p.add_argument(
+        "--backend",
+        default="functional",
+        help="execution backend serving the trace (see 'engines list')",
     )
 
     sim_p = sub.add_parser(
@@ -357,6 +465,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="per-SLO-class weights for the weighted-fair policy "
         "(e.g. interactive:3,bulk:1)",
+    )
+    sim_p.add_argument(
+        "--length-weighted",
+        action="store_true",
+        help="weighted-fair policy: charge credit proportional to request "
+        "length (token-share fairness) instead of 1 per request",
     )
     sim_p.add_argument(
         "--admission",
@@ -437,6 +551,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="single pattern family (default: mixed families and lengths)",
     )
+    sim_p.add_argument(
+        "--backend",
+        default="functional",
+        help="execution backend of every worker engine (see 'engines list')",
+    )
 
     args = parser.parse_args(argv)
 
@@ -445,14 +564,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    if args.command == "engines":
+        return _cmd_engines(args)
+
     if args.command == "run":
         try:
             fn = get_experiment(args.experiment)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
+        kwargs = {}
+        if args.backend is not None:
+            # The serving experiments run the deterministic cost-model
+            # clock, so the backend must both execute and estimate.
+            rc = _validate_backend(
+                args.backend, require_executing=True, require_cost_model=True
+            )
+            if rc:
+                return rc
+            if "backend" not in inspect.signature(fn).parameters:
+                print(
+                    f"experiment {args.experiment!r} has no execution-backend axis "
+                    "(cost-model only); drop --backend",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["backend"] = args.backend
         t0 = time.perf_counter()
-        result = fn(fast=args.fast)
+        result = fn(fast=args.fast, **kwargs)
         print(result.render())
         print(f"\n[{args.experiment} finished in {time.perf_counter() - t0:.1f}s]")
         return 0
@@ -460,6 +599,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         from .serving import TraceSpec, replay, synthetic_trace
 
+        rc = _validate_backend(args.backend, require_executing=True)
+        if rc:
+            return rc
         spec = TraceSpec(
             num_requests=args.requests,
             n=args.n,
@@ -474,6 +616,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             synthetic_trace(spec),
             max_batch_size=args.batch_size,
             compare_sequential=not args.no_baseline,
+            backend=args.backend,
         )
         print(report.render())
         print(f"\n[serve finished in {time.perf_counter() - t0:.1f}s]")

@@ -248,11 +248,22 @@ class WeightedFairPolicy(BatchPolicy):
     request, and that class is served: the queue whose earliest member of
     the class arrived first is closed, most urgent class members first.
     Every member of the dispatched batch — including same-plan members of
-    other classes riding along to fill it — spends one credit of its own
-    class, so under sustained backlog each class's share of served
-    requests converges to ``weight / sum(weights)``.  Credit of a class
-    with nothing queued lapses (classic DRR), so an idle tenant cannot
-    hoard a burst allowance.
+    other classes riding along to fill it — is charged to its own class,
+    so under sustained backlog each class's share of served work
+    converges to ``weight / sum(weights)``.  Credit of a class with
+    nothing queued lapses (classic DRR), so an idle tenant cannot hoard
+    a burst allowance.
+
+    Charging is flat by default: every request costs one credit, so the
+    converged share is a share of served *requests*.  With
+    ``length_weighted=True`` a request instead costs
+    ``n / length_unit`` credits — DRR's classic variable-quantum form,
+    with sequence length standing in for service cost (the accelerator
+    runs the plan once per sequence, so per-request service time scales
+    with n at fixed structure).  The converged share is then a share of
+    served *tokens*: a class sending 4x-longer requests completes ~4x
+    fewer of them, instead of crowding out a short-request class of
+    equal weight.
 
     The policy is stateful (the deficit counters persist across
     consultations) but strictly deterministic: credits evolve only
@@ -270,8 +281,16 @@ class WeightedFairPolicy(BatchPolicy):
         weights: Optional[Mapping[str, float]] = None,
         default_weight: float = 1.0,
         drop_expired: bool = False,
+        length_weighted: bool = False,
+        length_unit: float = 64.0,
     ) -> None:
         super().__init__(drop_expired=drop_expired)
+        if not (length_unit > 0) or not math.isfinite(length_unit):
+            raise ValueError(
+                f"length_unit must be positive and finite, got {length_unit}"
+            )
+        self.length_weighted = length_weighted
+        self.length_unit = length_unit
         weights = dict(weights or {})
         # `not (w > 0)` instead of `w <= 0`: NaN slips through the
         # latter and a NaN weight turns the credit top-up into an
@@ -296,6 +315,12 @@ class WeightedFairPolicy(BatchPolicy):
     def weight(self, slo_class: str) -> float:
         return self.weights.get(slo_class, self.default_weight)
 
+    def charge(self, request: AttentionRequest) -> float:
+        """Credits one served request costs its class (DRR quantum units)."""
+        if not self.length_weighted:
+            return 1.0
+        return request.n / self.length_unit
+
     def credit(self, queue: BatchScheduler) -> Dict[str, float]:
         """This queue's deficit counters (one DRR round per worker queue)."""
         return self._credit.setdefault(queue, {})
@@ -312,11 +337,25 @@ class WeightedFairPolicy(BatchPolicy):
         }
         self._credit[queue] = credit
         total_weight = sum(self.weight(c) for c in backlogged)
+        # A class is affordable when its credit covers the charge of its
+        # earliest queued request (its DRR head).  Flat charging makes
+        # every cost 1.0 — the classic one-credit rule — without paying
+        # for the head scan over every queued request.
+        if self.length_weighted:
+            head: Dict[str, AttentionRequest] = {}
+            for _, members in items:
+                for r in members:
+                    h = head.get(r.slo_class)
+                    if h is None or r.arrival_s < h.arrival_s:
+                        head[r.slo_class] = r
+            cost = {c: self.charge(head[c]) for c in backlogged}
+        else:
+            cost = dict.fromkeys(backlogged, 1.0)
         while True:
             # max() keeps the first maximal element of the sorted class
-            # list, so credit ties break deterministically by name.
-            chosen = max(backlogged, key=lambda c: credit.get(c, 0.0))
-            if credit.get(chosen, 0.0) >= 1.0:
+            # list, so surplus ties break deterministically by name.
+            chosen = max(backlogged, key=lambda c: credit.get(c, 0.0) - cost[c])
+            if credit.get(chosen, 0.0) >= cost[chosen]:
                 break
             for c in backlogged:
                 credit[c] = credit.get(c, 0.0) + self.weight(c) / total_weight
@@ -330,11 +369,14 @@ class WeightedFairPolicy(BatchPolicy):
             best_key, order=lambda r: (r.slo_class != chosen, _urgency(r, now))
         )
         for r in batch.requests:
-            credit[r.slo_class] = credit.get(r.slo_class, 0.0) - 1.0
+            credit[r.slo_class] = credit.get(r.slo_class, 0.0) - self.charge(r)
         return BatchDecision(batch=batch, shed=shed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(weights={self.weights})"
+        return (
+            f"{type(self).__name__}(weights={self.weights}, "
+            f"length_weighted={self.length_weighted})"
+        )
 
 
 POLICIES: Dict[str, Type[BatchPolicy]] = {

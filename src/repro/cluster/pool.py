@@ -202,7 +202,16 @@ class MeasuredClock(ServiceModel):
 
 
 class EnginePool:
-    """Routes requests across workers; steals work for idle ones."""
+    """Routes requests across workers; steals work for idle ones.
+
+    Each worker's engine comes from ``salo_factory`` — by default a
+    fresh :class:`~repro.core.salo.SALO` per worker.  ``backend``
+    instead names a registered backend
+    (:func:`repro.api.engine_factory` builds the per-worker factory),
+    so a pool of legacy-path or oracle engines is one string away;
+    passing both a custom factory and a backend name is ambiguous and
+    rejected.
+    """
 
     def __init__(
         self,
@@ -212,9 +221,18 @@ class EnginePool:
         bucket_floor: int = 16,
         pad_to_bucket: bool = False,
         affinity_miss_prob: float = 0.1,
+        backend: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend is not None:
+            if salo_factory is not SALO:
+                raise ValueError(
+                    "pass either salo_factory or backend, not both"
+                )
+            from ..api import engine_factory
+
+            salo_factory = engine_factory(backend)
         if not 0.0 < affinity_miss_prob <= 1.0:
             raise ValueError(
                 f"affinity_miss_prob must be in (0, 1], got {affinity_miss_prob}"

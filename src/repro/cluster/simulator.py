@@ -50,7 +50,14 @@ _MIN_TIMER_STEP = 1e-9  # forward progress guard for degenerate timers
 
 @dataclass
 class SimConfig:
-    """Knobs of one cluster simulation."""
+    """Knobs of one cluster simulation.
+
+    ``backend`` names the registered execution backend every worker
+    engine is built from (``"functional"``, ``"functional-legacy"``,
+    ``"systolic"``, ...; see :func:`repro.api.list_backends`).  A custom
+    ``salo_factory`` overrides it and may not be combined with a
+    non-default backend.
+    """
 
     workers: int = 2
     max_batch_size: int = 8
@@ -62,6 +69,7 @@ class SimConfig:
     admission: AdmissionPolicy = field(default_factory=AdmitAll)
     service: ServiceModel = field(default_factory=CostModelClock)
     salo_factory: Callable[[], SALO] = SALO
+    backend: str = "functional"
 
 
 class ClusterSimulator:
@@ -70,13 +78,19 @@ class ClusterSimulator:
     def __init__(self, config: Optional[SimConfig] = None) -> None:
         self.config = config if config is not None else SimConfig()
         cfg = self.config
+        if cfg.salo_factory is SALO:
+            factory_kwargs = {"backend": cfg.backend}
+        elif cfg.backend != "functional":
+            raise ValueError("pass either salo_factory or backend in SimConfig, not both")
+        else:
+            factory_kwargs = {"salo_factory": cfg.salo_factory}
         self.pool = EnginePool(
             workers=cfg.workers,
-            salo_factory=cfg.salo_factory,
             max_batch_size=cfg.max_batch_size,
             bucket_floor=cfg.bucket_floor,
             pad_to_bucket=cfg.pad_to_bucket,
             affinity_miss_prob=cfg.affinity_miss_prob,
+            **factory_kwargs,
         )
         self.metrics = MetricsCollector()
         self._heap: List[Tuple[float, int, int, object]] = []

@@ -31,6 +31,19 @@ batch of independent same-pattern sequences executed by a single engine
 dispatch (bit-identical to ``b`` separate calls).  The
 :mod:`repro.serving` layer builds such batches from queued requests —
 request → length bucket → batch → engine — and this is its entry point.
+
+Engine backends
+---------------
+The execution engine behind :meth:`attend` is selected by name: the
+default ``"functional"`` backend runs the compiled batched path,
+``"functional-legacy"`` runs the per-pass reference path (what
+``FunctionalEngine(use_compiled=False)`` used to spell), and
+``"systolic"`` runs the cycle-accurate micro-simulator (small
+configurations only; no batch axis, no ``valid_lens``).  All three share
+the scheduler, the plan cache and the cost models — only the executor
+differs — and all three are bit-identical on their common domain.  The
+:mod:`repro.api` registry builds on this axis and adds the non-SALO
+baselines (dense, sparse-reference, Sanger) behind the same protocol.
 """
 
 from __future__ import annotations
@@ -52,7 +65,32 @@ from ..scheduler.scheduler import DataScheduler
 from .config import HardwareConfig
 from .stats import RunStats
 
-__all__ = ["SALO", "AttentionResult", "pattern_structure_key"]
+__all__ = ["SALO", "AttentionResult", "pattern_structure_key", "ENGINE_BACKENDS"]
+
+
+def _make_functional(plan: ExecutionPlan) -> FunctionalEngine:
+    return FunctionalEngine(plan)
+
+
+def _make_legacy(plan: ExecutionPlan) -> FunctionalEngine:
+    return FunctionalEngine(plan, mode="legacy")
+
+
+def _make_systolic(plan: ExecutionPlan):
+    from ..accelerator.systolic import SystolicEngine
+
+    return SystolicEngine(plan)
+
+
+#: Plan-executing engine backends a :class:`SALO` instance can run.
+#: name -> (engine factory, supports_batch, supports_valid_lens).  The
+#: :mod:`repro.api` registry derives its SALO-backed adapters (and their
+#: capability flags) from this table, so the two cannot drift.
+ENGINE_BACKENDS = {
+    "functional": (_make_functional, True, True),
+    "functional-legacy": (_make_legacy, True, True),
+    "systolic": (_make_systolic, False, False),
+}
 
 
 def pattern_structure_key(pattern: AttentionPattern) -> Optional[Tuple]:
@@ -95,7 +133,7 @@ class _CacheEntry:
     """
 
     plan: ExecutionPlan
-    engine: Optional[FunctionalEngine] = None
+    engine: Optional[object] = None  # FunctionalEngine or SystolicEngine
     stats: Optional[RunStats] = None
     fit: Optional[BufferFit] = None
 
@@ -115,6 +153,11 @@ class SALO:
     plan_cache_size:
         Maximum number of compiled plans retained by the LRU serving
         cache; ``0`` disables caching.
+    backend:
+        Name of the plan-executing engine (see :data:`ENGINE_BACKENDS`):
+        ``"functional"`` (compiled, batched — the default),
+        ``"functional-legacy"`` (per-pass reference) or ``"systolic"``
+        (cycle-accurate micro-simulator; single sequence only).
     """
 
     def __init__(
@@ -123,15 +166,35 @@ class SALO:
         energy_table: EnergyTable = EnergyTable(),
         strict_global_bound: bool = True,
         plan_cache_size: int = 32,
+        backend: str = "functional",
     ) -> None:
+        if backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {backend!r}; known: {sorted(ENGINE_BACKENDS)}"
+            )
         self.config = config if config is not None else HardwareConfig()
         self.energy_table = energy_table
+        self.backend = backend
         self.scheduler = DataScheduler(self.config, strict_global_bound=strict_global_bound)
         self._area_mm2 = synthesize(self.config).area_mm2
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+
+    #: SALO schedules band/global structure; mask-only patterns are
+    #: unservable (the oracle backends of :mod:`repro.api` set False).
+    needs_structure = True
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this instance's engine accepts a leading batch axis."""
+        return ENGINE_BACKENDS[self.backend][1]
+
+    @property
+    def supports_valid_lens(self) -> bool:
+        """Whether this instance's engine masks padded tails."""
+        return ENGINE_BACKENDS[self.backend][2]
 
     # ------------------------------------------------------------------
     def _plan_key(
@@ -272,7 +335,7 @@ class SALO:
                     + "; ".join(entry.fit.violations)
                 )
         if entry.engine is None:
-            entry.engine = FunctionalEngine(plan)
+            entry.engine = ENGINE_BACKENDS[self.backend][0](plan)
         functional = entry.engine.run(q, k, v, scale=scale, valid_lens=valid_lens)
         if entry.stats is None:
             entry.stats = self.stats_for(plan)

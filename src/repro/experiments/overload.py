@@ -88,7 +88,9 @@ FAIR_SHARE_BAND: Tuple[float, float] = (0.30, 0.55)
 MODES: Tuple[str, ...] = ("no-control", "fifo-shed", "shed", "admit+shed", "weighted-fair")
 
 
-def mode_config(mode: str, workers: int, clock: CostModelClock) -> SimConfig:
+def mode_config(
+    mode: str, workers: int, clock: CostModelClock, backend: str = "functional"
+) -> SimConfig:
     """The (policy, admission) pair each overload-control mode names."""
     if mode == "no-control":
         policy, admission = EDFPolicy(), AdmitAll()
@@ -104,7 +106,9 @@ def mode_config(mode: str, workers: int, clock: CostModelClock) -> SimConfig:
         admission = AdmitAll()
     else:  # pragma: no cover - registry guard
         raise KeyError(f"unknown overload mode {mode!r}; known: {MODES}")
-    return SimConfig(workers=workers, policy=policy, admission=admission, service=clock)
+    return SimConfig(
+        workers=workers, policy=policy, admission=admission, service=clock, backend=backend
+    )
 
 
 def overload_spec(num_requests: int, dispatch_s: float, seed: int = 11) -> WorkloadSpec:
@@ -128,7 +132,7 @@ def overload_spec(num_requests: int, dispatch_s: float, seed: int = 11) -> Workl
 
 
 @register("overload")
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     workers = 2
     num_requests = 600  # long enough that steady-state overload, not the
     # cold-compile transient, dominates the numbers
@@ -143,7 +147,7 @@ def run(fast: bool = False) -> ExperimentResult:
         for mode in MODES:
             spec = overload_spec(num_requests, dispatch_s)
             source = open_loop(spec, PoissonProcess(rate_rps=rho * capacity))
-            report = simulate(source, mode_config(mode, workers, clock))
+            report = simulate(source, mode_config(mode, workers, clock, backend=backend))
             interactive = report.class_report("interactive")
             rows.append(
                 {

@@ -76,7 +76,10 @@ def sweep_spec(num_requests: int, dispatch_s: float, seed: int = 7) -> WorkloadS
 
 
 @register("serving_capacity")
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
+    """``backend`` selects the worker engine backend (CLI ``--backend``);
+    the cost-model clock is engine-independent, so only measured-mode
+    details and cold-compile accounting can differ between backends."""
     clock = CostModelClock()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
     unit_s, dispatch_s = service_scales(probe, clock)
@@ -94,7 +97,12 @@ def run(fast: bool = False) -> ExperimentResult:
                 source = open_loop(spec, PoissonProcess(rate_rps=rate))
                 report = simulate(
                     source,
-                    SimConfig(workers=workers, policy=make_policy(name, **kwargs), service=clock),
+                    SimConfig(
+                        workers=workers,
+                        policy=make_policy(name, **kwargs),
+                        service=clock,
+                        backend=backend,
+                    ),
                 )
                 interactive = report.class_report("interactive")
                 rows.append(

@@ -174,33 +174,52 @@ class EstimatedWaitCap(AdmissionPolicy):
 
 
 class TokenBucketAdmission(AdmissionPolicy):
-    """Per-SLO-class token buckets: the multi-tenant admission quota.
+    """Per-SLO-class (and per-client) token buckets: multi-tenant quotas.
 
-    Each class refills at its contracted ``rates[class]`` (requests per
-    second; ``default_rate`` for unlisted classes, ``None`` meaning
-    unlimited) up to ``burst`` tokens; an arrival spends one token or is
-    rejected.  A class exceeding its quota is shed at its own gate — it
-    cannot crowd out another class's capacity, which is the isolation
-    property per-tenant SLOs need.
+    ``rates`` keys are either a class name ``"bulk"`` — one bucket
+    *shared* by every client of the class — or a composite
+    ``("bulk", "tenant-a")`` key giving that client of that class its
+    own dedicated bucket.  Each bucket refills at its contracted rate
+    (requests per second) up to ``burst`` tokens; an arrival spends one
+    token from its bucket or is rejected.  Quota lookup is most-specific
+    first: the exact ``(slo_class, client_id)`` key, then the class-wide
+    key, then ``default_rate`` (``None`` meaning unlimited).  With
+    ``per_client=True`` a class-wide or default rate is applied *per
+    client* — every ``(class, client)`` pair gets its own bucket at that
+    rate — which is how one flooding client is shed without touching its
+    well-behaved neighbours in the same class.
 
-    The bucket state advances on the *caller's* clock (``ctx.now``), so
-    inside the deterministic simulator the policy is as replayable as
-    the event loop driving it.
+    A tenant exceeding its quota is shed at its own gate — it cannot
+    crowd out another bucket's capacity, which is the isolation property
+    per-tenant SLOs need.  The bucket state advances on the *caller's*
+    clock (``ctx.now``), so inside the deterministic simulator the
+    policy is as replayable as the event loop driving it.
     """
 
     name = "token-bucket"
 
     def __init__(
         self,
-        rates: Optional[Mapping[str, float]] = None,
+        rates: Optional[Mapping[object, float]] = None,
         default_rate: Optional[float] = None,
         burst: float = 4.0,
+        per_client: bool = False,
     ) -> None:
         rates = dict(rates or {})
-        for cls, rate in rates.items():
+        for key, rate in rates.items():
+            if isinstance(key, tuple):
+                if len(key) != 2 or not isinstance(key[0], str):
+                    raise ValueError(
+                        "composite rate keys must be (slo_class, client_id) "
+                        f"2-tuples, got {key!r}"
+                    )
+            elif not isinstance(key, str):
+                raise ValueError(
+                    f"rate keys must be a class name or (class, client) tuple, got {key!r}"
+                )
             if not (rate > 0) or not math.isfinite(rate):
                 raise ValueError(
-                    f"rate for class {cls!r} must be positive and finite, got {rate}"
+                    f"rate for {key!r} must be positive and finite, got {rate}"
                 )
         if default_rate is not None and (
             not (default_rate > 0) or not math.isfinite(default_rate)
@@ -211,21 +230,32 @@ class TokenBucketAdmission(AdmissionPolicy):
         self.rates = rates
         self.default_rate = default_rate
         self.burst = burst
-        self._buckets: Dict[str, Tuple[float, float]] = {}  # class -> (tokens, last_t)
+        self.per_client = per_client
+        # bucket key -> (tokens, last_t); keys mirror _resolve()'s choice
+        self._buckets: Dict[object, Tuple[float, float]] = {}
 
-    def _rate(self, slo_class: str) -> Optional[float]:
-        return self.rates.get(slo_class, self.default_rate)
+    def _resolve(
+        self, request: AttentionRequest
+    ) -> Tuple[object, Optional[float]]:
+        """(bucket key, rate) for a request — most-specific quota first."""
+        composite = (request.slo_class, request.client_id)
+        if request.client_id is not None and composite in self.rates:
+            return composite, self.rates[composite]
+        rate = self.rates.get(request.slo_class, self.default_rate)
+        if self.per_client:
+            return composite, rate
+        return request.slo_class, rate
 
     def admit(self, request: AttentionRequest, ctx: AdmissionContext) -> bool:
-        rate = self._rate(request.slo_class)
+        key, rate = self._resolve(request)
         if rate is None:
-            return True  # no quota contracted for this class
-        tokens, last = self._buckets.get(request.slo_class, (self.burst, ctx.now))
+            return True  # no quota contracted for this class/client
+        tokens, last = self._buckets.get(key, (self.burst, ctx.now))
         tokens = min(self.burst, tokens + max(ctx.now - last, 0.0) * rate)
         if tokens >= 1.0:
-            self._buckets[request.slo_class] = (tokens - 1.0, ctx.now)
+            self._buckets[key] = (tokens - 1.0, ctx.now)
             return True
-        self._buckets[request.slo_class] = (tokens, ctx.now)
+        self._buckets[key] = (tokens, ctx.now)
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

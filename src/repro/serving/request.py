@@ -31,6 +31,9 @@ class AttentionRequest:
     to arrival (the request meets its SLO when it completes by
     ``arrival_s + deadline_s``); ``slo_class`` labels the request for
     per-class latency accounting and deadline-aware batch policies.
+    ``client_id`` optionally identifies the submitting tenant within its
+    SLO class — per-client admission quotas (composite token-bucket
+    keys) are keyed on ``(slo_class, client_id)``.
     """
 
     request_id: Hashable
@@ -42,6 +45,7 @@ class AttentionRequest:
     arrival_s: float = 0.0
     deadline_s: Optional[float] = None
     slo_class: str = "default"
+    client_id: Optional[Hashable] = None
 
     def __post_init__(self) -> None:
         self.q = np.asarray(self.q, dtype=np.float64)

@@ -17,6 +17,19 @@ and service time (its batch's engine wall time) are recorded, and
 :meth:`ServingSession.stats` reduces them to throughput plus latency
 percentiles — the numbers a capacity study of the "heavy traffic"
 scenario needs.
+
+Backend threading
+-----------------
+The engine behind a session is selected by registered backend name
+(``ServingSession(backend="functional-legacy")``): SALO engine backends
+get a warm :class:`~repro.core.salo.SALO` instance, oracle backends get
+their :class:`~repro.api.protocol.AttentionBackend` adapter.  The
+execution path adapts to the engine's capabilities — backends without a
+batch axis are served by a per-request loop inside
+:func:`execute_batch` (batching still amortises queueing and policy
+work, just not the dispatch), and backends that serve mask-only
+patterns (``needs_structure=False``) accept opaque submissions the
+SALO-backed sessions must reject.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.salo import SALO, AttentionResult, pattern_structure_key
+from ..core.salo import SALO, pattern_structure_key
 from ..patterns.base import AttentionPattern
 from .admission import AdmissionContext, AdmissionPolicy
 from .batching import Batch, BatchScheduler
@@ -36,28 +49,50 @@ from .request import AttentionRequest, RequestResult
 __all__ = ["ServingSession", "ServingStats", "execute_batch"]
 
 
-def execute_batch(salo: SALO, batch: Batch) -> Tuple[List[np.ndarray], AttentionResult]:
+def execute_batch(engine, batch: Batch) -> Tuple[List[np.ndarray], List[object]]:
     """One engine dispatch for a batch; returns per-request outputs.
 
-    Uniform-length batches stack members on a leading batch axis
-    (bit-identical to per-request calls); mixed-length padded batches
-    zero-pad members to the bucket length, mask the tails via
-    ``valid_lens`` and slice outputs back.  This is the single execution
-    path shared by :class:`ServingSession` and the cluster simulator's
-    measured-clock workers.
+    ``engine`` is anything with the attend contract — a
+    :class:`~repro.core.salo.SALO` instance or a
+    :class:`~repro.api.protocol.AttentionBackend` adapter.  Uniform-length
+    batches stack members on a leading batch axis (bit-identical to
+    per-request calls); mixed-length padded batches zero-pad members to
+    the bucket length, mask the tails via ``valid_lens`` and slice
+    outputs back.  Engines without a batch axis (``supports_batch``
+    False, e.g. the systolic micro-simulator) fall back to a per-request
+    loop — arithmetic identical to the stacked dispatch, minus the
+    amortisation.  This is the single execution path shared by
+    :class:`ServingSession` and the cluster simulator's measured-clock
+    workers.
+
+    Returns ``(outputs, results)``, one entry per request.  A single
+    batched dispatch repeats its one result object for every member
+    (they genuinely share plan and stats); the serial fallback keeps
+    each request's own result, whose stats describe that request's
+    exact-length plan.
     """
     requests = batch.requests
-    if batch.size == 1:
-        req = requests[0]
-        result = salo.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
-        return [result.output], result
+    supports_batch = getattr(engine, "supports_batch", True)
+    supports_lens = getattr(engine, "supports_valid_lens", True)
+    serial = (
+        batch.size == 1
+        or not supports_batch
+        or (batch.mixed_lengths and not supports_lens)
+    )
+    if serial:
+        # Per-request loop: each member runs its own exact-length
+        # pattern, so no padding (and no valid_lens support) is needed.
+        results = [
+            engine.attend(r.pattern, r.q, r.k, r.v, heads=r.heads) for r in requests
+        ]
+        return [res.output for res in results], results
     pattern = batch.execution_pattern()
     if not batch.mixed_lengths:
         q = np.stack([r.q for r in requests])
         k = np.stack([r.k for r in requests])
         v = np.stack([r.v for r in requests])
-        result = salo.attend(pattern, q, k, v, heads=batch.heads)
-        return [result.output[i] for i in range(batch.size)], result
+        result = engine.attend(pattern, q, k, v, heads=batch.heads)
+        return [result.output[i] for i in range(batch.size)], [result] * batch.size
     # Padded cross-length batch: one bucket-length plan, masked tails.
     n_pad, hidden = pattern.n, requests[0].hidden
     q = np.zeros((batch.size, n_pad, hidden))
@@ -68,8 +103,9 @@ def execute_batch(salo: SALO, batch: Batch) -> Tuple[List[np.ndarray], Attention
         q[i, : req.n] = req.q
         k[i, : req.n] = req.k
         v[i, : req.n] = req.v
-    result = salo.attend(pattern, q, k, v, heads=batch.heads, valid_lens=lens)
-    return [result.output[i, : requests[i].n] for i in range(batch.size)], result
+    result = engine.attend(pattern, q, k, v, heads=batch.heads, valid_lens=lens)
+    outputs = [result.output[i, : requests[i].n] for i in range(batch.size)]
+    return outputs, [result] * batch.size
 
 
 @dataclass
@@ -111,8 +147,15 @@ class ServingSession:
     Parameters
     ----------
     salo:
-        The accelerator instance (shared plan cache); defaults to a
-        fresh Table 1 configuration.
+        The serving engine (shared plan cache): a
+        :class:`~repro.core.salo.SALO` instance or any
+        :class:`~repro.api.protocol.AttentionBackend`; defaults to a
+        fresh Table 1 SALO.  Mutually exclusive with ``backend``.
+    backend:
+        Registered backend name (see :func:`repro.api.list_backends`);
+        the session builds a fresh engine for it via
+        :func:`repro.api.engine_factory`.  Non-executing backends
+        (``sanger``) are rejected at construction.
     max_batch_size:
         Upper bound on requests per engine dispatch.
     pad_to_bucket:
@@ -131,13 +174,20 @@ class ServingSession:
 
     def __init__(
         self,
-        salo: Optional[SALO] = None,
+        salo=None,
         max_batch_size: int = 8,
         bucket_floor: int = 16,
         pad_to_bucket: bool = False,
         admission: Optional[AdmissionPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
+        backend: Optional[str] = None,
     ) -> None:
+        if salo is not None and backend is not None:
+            raise ValueError("pass either a salo/engine instance or a backend name, not both")
+        if backend is not None:
+            from ..api import engine_factory
+
+            salo = engine_factory(backend)()
         self.salo = salo if salo is not None else SALO()
         self.scheduler = BatchScheduler(
             max_batch_size=max_batch_size,
@@ -168,26 +218,35 @@ class ServingSession:
         arrival_s: Optional[float] = None,
         deadline_s: Optional[float] = None,
         slo_class: str = "default",
+        client_id: Optional[Hashable] = None,
     ) -> Optional[Hashable]:
         """Queue one attention request; returns its id.
 
         ``arrival_s`` overrides the arrival timestamp (trace replay with
         recorded arrivals — queueing delay is then measured from trace
         time, not the submit call).  ``deadline_s``/``slo_class`` ride
-        along for deadline-aware schedulers and per-class accounting.
+        along for deadline-aware schedulers and per-class accounting;
+        ``client_id`` identifies the submitting tenant for per-client
+        admission quotas (composite token-bucket keys).
 
         With an ``admission`` policy configured, an over-capacity
         submission is turned away: it returns ``None``, counts in
         :attr:`rejected` under its SLO class, and nothing is queued.
 
-        Rejects patterns without band structure up front: SALO cannot
-        schedule them, and failing at submit keeps one bad request from
-        crashing a drain with other requests queued.
+        For engines that schedule band structure (every SALO backend),
+        patterns without it are rejected up front — failing at submit
+        keeps one bad request from crashing a drain with other requests
+        queued.  Oracle backends (``needs_structure`` False) accept
+        mask-only patterns; they queue as singleton batches.
         """
-        if pattern_structure_key(pattern) is None:
+        if pattern_structure_key(pattern) is None and getattr(
+            self.salo, "needs_structure", True
+        ):
             raise ValueError(
                 "pattern does not expose band structure; SALO serves hybrid "
-                "sparse patterns (bands + global tokens) only"
+                "sparse patterns (bands + global tokens) only (oracle "
+                "backends with needs_structure=False accept mask-only "
+                "patterns)"
             )
         if request_id is None:
             self._serial += 1
@@ -210,6 +269,7 @@ class ServingSession:
             arrival_s=now if arrival_s is None else arrival_s,
             deadline_s=deadline_s,
             slo_class=slo_class,
+            client_id=client_id,
         )
         if self.admission is not None:
             ctx = self._admission_context(request, now)
@@ -258,7 +318,7 @@ class ServingSession:
         if batch is None:
             return None
         start = self.clock()
-        outputs, result = execute_batch(self.salo, batch)
+        outputs, results = execute_batch(self.salo, batch)
         end = self.clock()
         service_s = end - start
         for i, req in enumerate(batch.requests):
@@ -268,7 +328,7 @@ class ServingSession:
                 batch_size=batch.size,
                 queue_s=max(0.0, start - req.arrival_s),
                 service_s=service_s,
-                stats=result.stats,
+                stats=results[i].stats,
             )
         self.batches_executed += 1
         self._batch_sizes.append(batch.size)

@@ -147,25 +147,62 @@ def replay(
     salo: Optional[SALO] = None,
     max_batch_size: int = 8,
     compare_sequential: bool = True,
+    backend: Optional[str] = None,
 ) -> ReplayReport:
     """Serve a trace; optionally time the sequential baseline on a
-    fresh :class:`SALO` with the same configuration.  Both sides warm
-    their plan caches at the scheduling level and then pay one plan
-    compile + engine build per pattern family inside their timed
-    region — symmetric costs, so the comparison isolates batching.
+    fresh engine with the same configuration.  Both sides warm their
+    plan caches at the scheduling level and then pay one plan compile +
+    engine build per pattern family inside their timed region —
+    symmetric costs, so the comparison isolates batching.
+
+    ``backend`` selects a registered execution backend by name (the
+    ``serve --backend`` CLI path); mutually exclusive with ``salo``.
+    Backends without a plan-level ``schedule`` (the float oracles) skip
+    the warm step on both sides — still symmetric.
     """
-    salo = salo if salo is not None else SALO()
+    if salo is not None and backend is not None:
+        raise ValueError("pass either a salo/engine instance or a backend name, not both")
+    if backend is not None:
+        from ..api import engine_factory
+
+        make_engine = engine_factory(backend)
+        salo = make_engine()
+    elif salo is None:
+        salo = SALO()
+        make_engine = SALO
+    else:
+        engine = salo
+
+        def make_engine():
+            inner = engine.salo if hasattr(engine, "salo") else engine
+            if isinstance(inner, SALO):
+                fresh = SALO(
+                    config=inner.config,
+                    energy_table=inner.energy_table,
+                    strict_global_bound=inner.scheduler.strict_global_bound,
+                    plan_cache_size=inner.plan_cache_size,
+                    backend=inner.backend,
+                )
+                if inner is engine:
+                    return fresh
+                clone = type(engine)(engine.name, engine.capabilities, fresh)
+                clone._check_buffers = engine._check_buffers
+                return clone
+            return type(engine)()  # fresh oracle adapters are stateless
+
     sequential_s: Optional[float] = None
     outputs_seq: Dict[object, np.ndarray] = {}
+
+    def warm(target) -> None:
+        schedule = getattr(target, "schedule", None)
+        if schedule is None:
+            return
+        for req in requests:
+            schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+
     if compare_sequential:
-        baseline = SALO(
-            config=salo.config,
-            energy_table=salo.energy_table,
-            strict_global_bound=salo.scheduler.strict_global_bound,
-            plan_cache_size=salo.plan_cache_size,
-        )
-        for req in requests:  # schedule-level warm (compile stays timed, as for the session)
-            baseline.schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+        baseline = make_engine()
+        warm(baseline)  # schedule-level warm (compile stays timed, as for the session)
         t0 = time.perf_counter()
         for req in requests:
             res = baseline.attend(req.pattern, req.q, req.k, req.v, heads=req.heads)
@@ -173,8 +210,7 @@ def replay(
         sequential_s = time.perf_counter() - t0
 
     session = ServingSession(salo=salo, max_batch_size=max_batch_size)
-    for req in requests:  # schedule-level warm, symmetric with the baseline
-        salo.schedule(req.pattern, heads=req.heads, head_dim=req.head_dim)
+    warm(salo)  # schedule-level warm, symmetric with the baseline
     # A trace recorded with synthetic arrival timestamps replays them:
     # queueing delay is then measured from trace time (rebased onto the
     # session clock), not from the submit call.

@@ -92,8 +92,8 @@ class TestBatchedMatchesLooped:
         plan, q, k, v = _plan_and_batch(
             HybridSparsePattern(30, [Band(-6, 6, 3)], (0,)), batch=3
         )
-        compiled = FunctionalEngine(plan, use_compiled=True).run(q, k, v)
-        legacy = FunctionalEngine(plan, use_compiled=False).run(q, k, v)
+        compiled = FunctionalEngine(plan, mode="compiled").run(q, k, v)
+        legacy = FunctionalEngine(plan, mode="legacy").run(q, k, v)
         assert np.array_equal(compiled.output, legacy.output)
         assert compiled.merges == legacy.merges
         assert np.array_equal(compiled.parts, legacy.parts)

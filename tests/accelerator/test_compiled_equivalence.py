@@ -4,7 +4,7 @@ The compiled execution path (``FunctionalEngine(plan)``, the default)
 precomputes index tensors once per plan and evaluates stages 1–5 as
 batched einsums over all heads and passes.  Its contract is *bit
 identity*: the batched path must produce exactly the outputs of the
-legacy per-pass reference path (``use_compiled=False``) and — on the
+legacy per-pass reference path (``mode="legacy"``) and — on the
 micro-simulator's parameter space — of the cycle-accurate simulator,
 under both the quantised and the exact datapaths.  These tests pin that
 contract across every pattern family, plus the SALO plan-cache semantics
@@ -49,8 +49,8 @@ def _plan_and_data(pattern, heads=1, head_dim=8, rows=4, cols=4, quantize=True, 
 
 def _assert_bit_identical(pattern, **kwargs):
     plan, q, k, v = _plan_and_data(pattern, **kwargs)
-    compiled = FunctionalEngine(plan, use_compiled=True).run(q, k, v)
-    legacy = FunctionalEngine(plan, use_compiled=False).run(q, k, v)
+    compiled = FunctionalEngine(plan, mode="compiled").run(q, k, v)
+    legacy = FunctionalEngine(plan, mode="legacy").run(q, k, v)
     assert np.array_equal(compiled.output, legacy.output)
     assert compiled.merges == legacy.merges
     assert np.array_equal(compiled.parts, legacy.parts)
@@ -120,14 +120,14 @@ class TestCompiledMatchesMicroSim:
     )
     def test_quantized(self, name, pattern):
         plan, q, k, v = _plan_and_data(pattern)
-        compiled = FunctionalEngine(plan, use_compiled=True).run(q, k, v)
+        compiled = FunctionalEngine(plan, mode="compiled").run(q, k, v)
         sim = SystolicSimulator(plan).run(q, k, v)
         assert np.array_equal(compiled.output, sim.output)
         assert compiled.merges == sim.merges
 
     def test_exact_close(self):
         plan, q, k, v = _plan_and_data(longformer_pattern(20, 6, (0,)), quantize=False)
-        compiled = FunctionalEngine(plan, use_compiled=True).run(q, k, v)
+        compiled = FunctionalEngine(plan, mode="compiled").run(q, k, v)
         sim = SystolicSimulator(plan).run(q, k, v)
         assert np.allclose(compiled.output, sim.output, atol=1e-11)
 
@@ -291,8 +291,8 @@ class TestCompiledEngineFaster:
         plan, q, k, v = _plan_and_data(
             longformer_pattern(512, 64, (0,)), head_dim=64, rows=32, cols=32
         )
-        legacy_engine = FunctionalEngine(plan, use_compiled=False)
-        compiled_engine = FunctionalEngine(plan, use_compiled=True)
+        legacy_engine = FunctionalEngine(plan, mode="legacy")
+        compiled_engine = FunctionalEngine(plan, mode="compiled")
         compiled_engine.run(q, k, v)  # warm the compile
         t0 = time.perf_counter()
         ref = legacy_engine.run(q, k, v)

@@ -130,6 +130,63 @@ class TestTokenBucket:
             TokenBucketAdmission(burst=float("nan"))
 
 
+class TestTokenBucketClients:
+    """Composite (slo_class, client_id) keys: per-client quotas."""
+
+    def _creq(self, rid, client, slo="bulk", arrival=0.0):
+        req = _request(rid, arrival=arrival, slo=slo)
+        req.client_id = client
+        return req
+
+    def test_composite_key_gives_client_a_dedicated_bucket(self):
+        policy = TokenBucketAdmission(rates={("bulk", "t1"): 1.0}, burst=2.0)
+        # t1 burns its own 2-token burst...
+        assert policy.admit(self._creq(0, "t1"), _ctx(now=0.0))
+        assert policy.admit(self._creq(1, "t1"), _ctx(now=0.0))
+        assert not policy.admit(self._creq(2, "t1"), _ctx(now=0.0))
+        # ...while t2 (no contracted quota) is untouched.
+        assert policy.admit(self._creq(3, "t2"), _ctx(now=0.0))
+
+    def test_class_rate_without_per_client_shares_one_bucket(self):
+        """Plain class keys keep the pre-composite semantics: one bucket."""
+        policy = TokenBucketAdmission(rates={"bulk": 1.0}, burst=2.0)
+        assert policy.admit(self._creq(0, "t1"), _ctx(now=0.0))
+        assert policy.admit(self._creq(1, "t2"), _ctx(now=0.0))
+        # Both clients drained the same shared bucket.
+        assert not policy.admit(self._creq(2, "t3"), _ctx(now=0.0))
+
+    def test_per_client_mode_isolates_a_flooding_client(self):
+        policy = TokenBucketAdmission(rates={"bulk": 1.0}, burst=1.0, per_client=True)
+        assert policy.admit(self._creq(0, "flood"), _ctx(now=0.0))
+        for i in range(3):  # the flooder is shed at its own gate
+            assert not policy.admit(self._creq(1 + i, "flood"), _ctx(now=0.0))
+        # Its neighbour in the same class is admitted at the same instant.
+        assert policy.admit(self._creq(9, "polite"), _ctx(now=0.0))
+
+    def test_composite_bucket_refills_on_the_callers_clock(self):
+        policy = TokenBucketAdmission(rates={("bulk", "t1"): 10.0}, burst=1.0)
+        assert policy.admit(self._creq(0, "t1"), _ctx(now=0.0))
+        assert not policy.admit(self._creq(1, "t1"), _ctx(now=0.01))
+        assert policy.admit(self._creq(2, "t1"), _ctx(now=0.2))  # 0.2s * 10/s >= 1
+
+    def test_composite_rate_overrides_class_rate(self):
+        policy = TokenBucketAdmission(
+            rates={"bulk": 100.0, ("bulk", "capped"): 1.0}, burst=1.0
+        )
+        assert policy.admit(self._creq(0, "capped"), _ctx(now=0.0))
+        assert not policy.admit(self._creq(1, "capped"), _ctx(now=0.0))
+        # The class-wide bucket is unaffected by the capped client's key.
+        assert policy.admit(self._creq(2, "other"), _ctx(now=0.0))
+
+    def test_composite_key_validation(self):
+        with pytest.raises(ValueError, match="2-tuples"):
+            TokenBucketAdmission(rates={("bulk", "t1", "extra"): 1.0})
+        with pytest.raises(ValueError, match="positive"):
+            TokenBucketAdmission(rates={("bulk", "t1"): 0.0})
+        with pytest.raises(ValueError, match="class name"):
+            TokenBucketAdmission(rates={42: 1.0})
+
+
 class TestContextLaziness:
     def test_estimator_evaluated_at_most_once(self):
         calls = []

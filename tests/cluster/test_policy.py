@@ -280,6 +280,97 @@ class TestWeightedFair:
             WeightedFairPolicy(default_weight=float("nan"))
 
 
+class TestLengthWeightedFair:
+    """Length-weighted rider charging: token-share (not request-share) DRR."""
+
+    def _mixed_length_requests(self, count=24, long_n=256, short_n=64):
+        return [
+            _request(
+                i,
+                n=long_n if i % 2 == 0 else short_n,
+                arrival=i * 1e-3,
+                slo="long" if i % 2 == 0 else "short",
+            )
+            for i in range(count)
+        ]
+
+    def _served(self, policy, requests, rounds):
+        sched = _scheduler(*requests, max_batch_size=1)
+        served = []
+        for _ in range(rounds):
+            decision = policy.next_batch(sched, now=10.0)
+            if decision.batch is None:
+                break
+            served.extend(decision.batch.requests)
+        return served
+
+    def _token_share(self, served, slo):
+        tokens = {"long": 0, "short": 0}
+        for r in served:
+            tokens[r.slo_class] += r.n
+        return tokens[slo] / sum(tokens.values())
+
+    def test_flat_charging_lets_long_requests_dominate_tokens(self):
+        """The baseline failure mode: equal request shares, 4x token skew."""
+        served = self._served(WeightedFairPolicy(), self._mixed_length_requests(), 10)
+        counts = {c: sum(1 for r in served if r.slo_class == c) for c in ("long", "short")}
+        assert counts["long"] == counts["short"]  # request-fair...
+        assert self._token_share(served, "long") >= 0.75  # ...but token-skewed 4:1
+
+    def test_length_weighted_charging_equalises_token_share(self):
+        """Charging n/length_unit makes equal weights mean equal tokens."""
+        policy = WeightedFairPolicy(length_weighted=True)
+        served = self._served(policy, self._mixed_length_requests(), 10)
+        share = self._token_share(served, "long")
+        assert 0.4 <= share <= 0.6
+        counts = {c: sum(1 for r in served if r.slo_class == c) for c in ("long", "short")}
+        # The short class now completes ~4x the requests of the long one.
+        assert counts["short"] >= 3 * counts["long"]
+
+    def test_length_weighted_respects_weights(self):
+        """3:1 weights on the long class restore its token majority."""
+        policy = WeightedFairPolicy(
+            weights={"long": 3.0, "short": 1.0}, length_weighted=True
+        )
+        served = self._served(policy, self._mixed_length_requests(), 12)
+        assert self._token_share(served, "long") >= 0.6
+
+    def test_charge_units(self):
+        flat = WeightedFairPolicy()
+        weighted = WeightedFairPolicy(length_weighted=True, length_unit=64.0)
+        long_req, short_req = _request(0, n=256), _request(1, n=64)
+        assert flat.charge(long_req) == flat.charge(short_req) == 1.0
+        assert weighted.charge(long_req) == 4.0
+        assert weighted.charge(short_req) == 1.0
+
+    def test_length_unit_validation(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                WeightedFairPolicy(length_weighted=True, length_unit=bad)
+
+    def test_uniform_lengths_match_flat_charging_order(self):
+        """With one length in play, the two charging modes serve identically."""
+        reqs = [
+            _request(i, arrival=i * 1e-3, slo="gold" if i % 2 == 0 else "best")
+            for i in range(12)
+        ]
+        flat_order = [
+            r.request_id
+            for r in self._served(
+                WeightedFairPolicy(weights={"gold": 2.0}), list(reqs), 8
+            )
+        ]
+        weighted_order = [
+            r.request_id
+            for r in self._served(
+                WeightedFairPolicy(weights={"gold": 2.0}, length_weighted=True, length_unit=32.0),
+                list(reqs),
+                8,
+            )
+        ]
+        assert flat_order == weighted_order
+
+
 class TestRegistry:
     def test_make_policy(self):
         assert isinstance(make_policy("greedy-fifo"), GreedyFIFOPolicy)

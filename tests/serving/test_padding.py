@@ -80,7 +80,7 @@ class TestValidLensEngine:
             for i, n in enumerate(lens):
                 arr[i, n:] = 0.0
         compiled = FunctionalEngine(plan).run(q, k, v, valid_lens=lens)
-        legacy = FunctionalEngine(plan, use_compiled=False).run(q, k, v, valid_lens=lens)
+        legacy = FunctionalEngine(plan, mode="legacy").run(q, k, v, valid_lens=lens)
         for i, n in enumerate(lens):
             assert np.array_equal(compiled.output[i, :n], legacy.output[i, :n])
 

@@ -221,6 +221,28 @@ class TestSessionAdmission:
         assert session.stats().rejected == 2
         assert "rejected 2" in session.stats().render()
 
+    def test_per_client_token_bucket_at_the_session_door(self):
+        """submit(client_id=...) feeds composite token-bucket quotas."""
+        from repro.serving import TokenBucketAdmission
+
+        session = self._admitting_session(
+            TokenBucketAdmission(rates={("gold", "flood"): 1.0}, burst=1.0)
+        )
+        pattern = longformer_pattern(24, 6, (0,))
+        ids = [
+            session.submit(
+                pattern, *_data(24, 8, seed=i), heads=2,
+                slo_class="gold", client_id="flood",
+            )
+            for i in range(3)
+        ]
+        assert ids[0] is not None and ids[1] is None and ids[2] is None
+        # A different client of the same class has no contracted quota.
+        assert session.submit(
+            pattern, *_data(24, 8, seed=9), heads=2, slo_class="gold", client_id="ok"
+        ) is not None
+        assert session.rejected == {"gold": 2}
+
     def test_rejected_id_stays_usable(self):
         from repro.serving import QueueDepthCap
 
