@@ -15,6 +15,10 @@
 #                  vs no-control on the same seed (the overload-control
 #                  path end to end: --drop-expired, --admission,
 #                  --class-weights)
+#   make simulate-faults - fault tolerance end to end: a mid-run worker
+#                  crash detected by heartbeats and recovered by
+#                  requeue + stealing, plus transient-error retries
+#                  (fixed seed, deterministic)
 #   make engines-smoke - registry surface end to end: `engines list`
 #                  tabulates every registered backend, and one serve
 #                  replay runs on a non-default backend
@@ -23,9 +27,10 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test bench bench-update simulate-smoke simulate-overload engines-smoke
+.PHONY: check test bench bench-update simulate-smoke simulate-overload \
+	simulate-faults engines-smoke
 
-check: test bench engines-smoke simulate-smoke simulate-overload
+check: test bench engines-smoke simulate-smoke simulate-overload simulate-faults
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -51,6 +56,14 @@ simulate-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
 		--workers 2 --requests 48 --n 64 --window 8 --heads 2 --head-dim 4 \
 		--policy edf --seed 0
+
+simulate-faults:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \
+		--workers 2 --requests 64 --n 64 --window 8 --heads 2 --head-dim 4 \
+		--policy edf --drop-expired --seed 0 \
+		--fault-crash 1:0.5:1.0 --fault-transient 0.05 \
+		--heartbeat-interval-ms 0.05 --heartbeat-timeout-ms 0.1 \
+		--max-retries 3
 
 simulate-overload:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \

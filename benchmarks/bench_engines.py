@@ -369,6 +369,42 @@ def test_cluster_simulate_overload_shed(benchmark):
     )
 
 
+def test_cluster_simulate_crash_recovery(benchmark):
+    """Fault-tolerance path end to end: a mid-run worker crash with
+    heartbeat detection, requeue + stealing recovery, and a rejoin with
+    a cold plan cache — the full event-loop overhead of the fault
+    machinery (probes, epoch checks, recovery sweeps) on top of the
+    plain simulation the ``cluster_simulate`` pair tracks."""
+    from repro.cluster import CostModelClock, service_scales
+    from repro.experiments.faults import faults_spec
+    from repro.experiments.faults import mode_config as faults_mode_config
+
+    clock = CostModelClock()
+    spec_probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
+    unit_s, dispatch_s = service_scales(spec_probe, clock)
+    num_requests = 400
+    rate = 0.8 * 2 / unit_s
+    spec = faults_spec(num_requests, dispatch_s)
+    crash_at_s = 0.4 * num_requests / rate
+    down_for_s = 30.0 * unit_s
+
+    def run():
+        source = open_loop(spec, PoissonProcess(rate_rps=rate))
+        return simulate(
+            source,
+            faults_mode_config(
+                "retry+steal", 2, CostModelClock(), crash_at_s, down_for_s, unit_s
+            ),
+        )
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.submitted == (
+        report.completed + report.rejected + report.shed + report.failed
+    )
+    assert report.failed == 0  # recovery re-routed every orphan
+    assert report.requeues > 0 and report.availability < 1.0
+
+
 def test_micro_simulator_small(benchmark):
     """Cycle-accurate simulation of a small pass sequence."""
     config = HardwareConfig(pe_rows=8, pe_cols=8)

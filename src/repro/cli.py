@@ -126,11 +126,16 @@ def _cmd_simulate(args) -> int:
         INTERACTIVE_BUDGET,
         ClosedLoopSource,
         CostModelClock,
+        CrashSpec,
+        FaultInjector,
         MeasuredClock,
         OnOffProcess,
         PoissonProcess,
+        RecoveryConfig,
         SimConfig,
         SLOClass,
+        StragglerSpec,
+        TransientSpec,
         WorkloadSpec,
         make_admission,
         make_policy,
@@ -203,6 +208,73 @@ def _cmd_simulate(args) -> int:
     if args.admission_wait_ms is not None and not (args.admission_wait_ms >= 0):
         print(f"--admission-wait-ms must be >= 0, got {args.admission_wait_ms}", file=sys.stderr)
         return 2
+    fault_specs = []
+    for spec_str in args.fault_crash or ():
+        parts = spec_str.split(":")
+        try:
+            if len(parts) == 2:
+                wid, at_ms = int(parts[0]), float(parts[1])
+                down_s = None
+            elif len(parts) == 3:
+                wid, at_ms = int(parts[0]), float(parts[1])
+                down_s = float(parts[2]) / 1e3
+            else:
+                raise ValueError(spec_str)
+            fault_specs.append(CrashSpec(worker=wid, at_s=at_ms / 1e3, down_for_s=down_s))
+        except ValueError:
+            print(
+                f"bad --fault-crash {spec_str!r}; expected WID:AT_MS[:DOWN_MS] "
+                "with AT_MS >= 0 and DOWN_MS > 0",
+                file=sys.stderr,
+            )
+            return 2
+    for spec_str in args.fault_straggler or ():
+        try:
+            wid, start_ms, dur_ms, factor = spec_str.split(":")
+            fault_specs.append(
+                StragglerSpec(
+                    worker=int(wid),
+                    start_s=float(start_ms) / 1e3,
+                    duration_s=float(dur_ms) / 1e3,
+                    factor=float(factor),
+                )
+            )
+        except ValueError:
+            print(
+                f"bad --fault-straggler {spec_str!r}; expected "
+                "WID:START_MS:DUR_MS:FACTOR with DUR_MS > 0 and FACTOR >= 1",
+                file=sys.stderr,
+            )
+            return 2
+    if args.fault_transient is not None:
+        try:
+            fault_specs.append(TransientSpec(prob=args.fault_transient))
+        except ValueError:
+            print(
+                f"--fault-transient must be in [0, 1), got {args.fault_transient}",
+                file=sys.stderr,
+            )
+            return 2
+    if not (args.heartbeat_interval_ms > 0) or not (args.heartbeat_timeout_ms > 0):
+        print("--heartbeat-interval-ms and --heartbeat-timeout-ms must be positive", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print(f"--max-retries must be >= 0, got {args.max_retries}", file=sys.stderr)
+        return 2
+    injector = FaultInjector(fault_specs, seed=args.fault_seed) if fault_specs else None
+    if injector is not None:
+        try:
+            injector.validate_workers(args.workers)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    recovery = RecoveryConfig(
+        heartbeat_interval_s=args.heartbeat_interval_ms / 1e3,
+        heartbeat_timeout_s=args.heartbeat_timeout_ms / 1e3,
+        max_retries=args.max_retries,
+        requeue=not args.no_requeue,
+    )
+
     explicit_slo = None
     if args.slo:
         classes = []
@@ -327,6 +399,8 @@ def _cmd_simulate(args) -> int:
         admission=make_admission(args.admission, **admission_kwargs),
         service=MeasuredClock() if args.measured else clock,
         backend=args.backend,
+        faults=injector,
+        recovery=recovery,
     )
 
     t0 = time.perf_counter()
@@ -338,6 +412,7 @@ def _cmd_simulate(args) -> int:
         + (" (drop-expired)" if args.drop_expired else "")
         + (f", admission {args.admission}" if args.admission != "admit-all" else "")
         + f", {args.workers} workers"
+        + (f", faults {injector!r}" if injector is not None else "")
     )
     print(report.render())
     print(f"\n[simulate finished in {time.perf_counter() - t0:.1f}s]")
@@ -555,6 +630,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--backend",
         default="functional",
         help="execution backend of every worker engine (see 'engines list')",
+    )
+    sim_p.add_argument(
+        "--fault-crash",
+        action="append",
+        metavar="WID:AT_MS[:DOWN_MS]",
+        help=(
+            "crash worker WID at AT_MS simulated ms, rejoining DOWN_MS later "
+            "with a cold plan cache (omit DOWN_MS: never rejoins; repeatable)"
+        ),
+    )
+    sim_p.add_argument(
+        "--fault-straggler",
+        action="append",
+        metavar="WID:START_MS:DUR_MS:FACTOR",
+        help=(
+            "slow worker WID by FACTOR x for batches dispatched in "
+            "[START_MS, START_MS+DUR_MS) (repeatable)"
+        ),
+    )
+    sim_p.add_argument(
+        "--fault-transient",
+        type=float,
+        default=None,
+        metavar="PROB",
+        help="per-dispatch transient-error probability on every worker",
+    )
+    sim_p.add_argument(
+        "--fault-seed", type=int, default=0, help="fault injector RNG seed"
+    )
+    sim_p.add_argument(
+        "--heartbeat-interval-ms",
+        type=float,
+        default=1.0,
+        help="health probe period (simulated ms; default 1.0)",
+    )
+    sim_p.add_argument(
+        "--heartbeat-timeout-ms",
+        type=float,
+        default=2.0,
+        help="silence after which a worker is marked down (simulated ms; default 2.0)",
+    )
+    sim_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="transient-error retry budget per request (default 3)",
+    )
+    sim_p.add_argument(
+        "--no-requeue",
+        action="store_true",
+        help="fail a down worker's orphaned requests instead of requeuing them",
     )
 
     args = parser.parse_args(argv)

@@ -21,9 +21,15 @@ SLO at a given traffic level?*  Layered on the serving stack:
   work stealing and per-worker accounting; service times come from the
   paper's cycle model (``SALO.estimate``) in the deterministic default,
   or measured engine wall time.
+* :mod:`repro.cluster.faults` — deterministic fault injection (worker
+  crash / straggler / transient dispatch errors) plus the heartbeat and
+  retry/requeue recovery knobs; workers carry an ``up -> suspect ->
+  down -> rejoined`` lifecycle and the conservation law gains a terminal
+  ``failed`` bucket.
 * :mod:`repro.cluster.simulator` / :mod:`repro.cluster.metrics` — the
   heap-driven event loop and the :class:`ClusterReport` (per-class
-  percentiles, goodput, utilisation, queue-depth time series).
+  percentiles, goodput, utilisation, queue-depth time series,
+  availability and recovery counters under faults).
 
 Entry points: the ``salo-repro simulate`` CLI subcommand and the
 ``serving_capacity`` experiment sweep.
@@ -54,6 +60,17 @@ from .arrivals import (
     WorkloadSpec,
     open_loop,
     replay_source,
+)
+from .faults import (
+    CrashSpec,
+    FaultInjector,
+    FaultSpec,
+    RecoveryConfig,
+    StragglerSpec,
+    TransientSpec,
+    WORKER_DOWN,
+    WORKER_SUSPECT,
+    WORKER_UP,
 )
 from .metrics import (
     ClassReport,
@@ -127,6 +144,15 @@ __all__ = [
     "SimConfig",
     "ClusterSimulator",
     "simulate",
+    "CrashSpec",
+    "StragglerSpec",
+    "TransientSpec",
+    "FaultSpec",
+    "FaultInjector",
+    "RecoveryConfig",
+    "WORKER_UP",
+    "WORKER_SUSPECT",
+    "WORKER_DOWN",
     "MetricsCollector",
     "RequestRecord",
     "DropRecord",

@@ -10,12 +10,19 @@ a deployment is actually provisioned for), per-class goodput shares with
 a Jain fairness index, and per-worker utilisation.
 
 Conservation is the collector's core invariant: every submitted request
-ends up in exactly one of {completed, rejected, shed, still queued}, so
-``submitted == completed + rejected + shed`` holds for every drained
-simulation (the property suite in ``tests/cluster`` pins it across all
-policies and admission modes).  All percentile and rate computations are
-guarded for the degenerate edges — zero completions, all-rejected runs,
-single-sample classes — mirroring ``ServingStats``.
+ends up in exactly one of {completed, rejected, shed, failed, still
+queued}, so ``submitted == completed + rejected + shed + failed`` holds
+for every drained simulation (the property suite in ``tests/cluster``
+pins it across all policies, admission modes and fault specs; the
+``failed`` bucket is zero on every fault-free run).  All percentile and
+rate computations are guarded for the degenerate edges — zero
+completions, all-rejected runs, single-sample classes — mirroring
+``ServingStats``.
+
+Fault-tolerance accounting (availability, retries, requeues, per-worker
+downtime and detection latency) is carried on the same report but only
+*rendered* when a run actually saw fault activity, keeping fault-free
+reports byte-identical to the pre-fault simulator's output.
 """
 
 from __future__ import annotations
@@ -90,11 +97,14 @@ class RequestRecord:
 
 @dataclass
 class DropRecord:
-    """One request that was never served: rejected at admission or shed.
+    """One request that was never served: rejected, shed, or failed.
 
     ``kind`` is ``"rejected"`` (turned away at arrival by the admission
-    policy) or ``"shed"`` (admitted, then dropped from a queue by a
-    ``drop_expired`` sweep once its deadline became unreachable).
+    policy), ``"shed"`` (admitted, then dropped from a queue by a
+    ``drop_expired`` sweep once its deadline became unreachable), or
+    ``"failed"`` (lost to faults: transient-error retry budget
+    exhausted, or orphaned by a down worker with requeueing disabled or
+    no healthy worker left to take it).
     """
 
     request_id: Hashable
@@ -117,6 +127,11 @@ class WorkerReport:
     stolen_in: int
     cold_compiles: int
     plan_cache: dict  # SALO.cache_info() of the worker's engine
+    # Fault-tolerance accounting (all zero on fault-free runs):
+    crashes: int = 0
+    rejoins: int = 0
+    downtime_s: float = 0.0  # marked-down time, incl. still down at end
+    detect_s: float = 0.0  # mean crash -> marked-down latency
 
 
 @dataclass
@@ -139,11 +154,12 @@ class ClassReport:
     rejected: int = 0  # turned away at admission
     shed: int = 0  # dropped by a drop_expired sweep
     goodput_share: float = 0.0  # this class's slice of cluster goodput
+    failed: int = 0  # lost to faults (terminal)
 
     @property
     def submitted(self) -> int:
-        """Arrivals of this class: completed + rejected + shed."""
-        return self.completed + self.rejected + self.shed
+        """Arrivals of this class: completed + rejected + shed + failed."""
+        return self.completed + self.rejected + self.shed + self.failed
 
 
 @dataclass
@@ -159,9 +175,12 @@ class SeriesPoint:
 class ClusterReport:
     """Everything a capacity decision needs from one simulation run.
 
-    Conservation: ``submitted == completed + rejected + shed`` for every
-    drained run (nothing left queued), and the same identity holds per
-    SLO class.
+    Conservation: ``submitted == completed + rejected + shed + failed``
+    for every drained run (nothing left queued, nothing lost in flight),
+    and the same identity holds per SLO class.  ``failed``, ``retries``,
+    ``requeues`` and ``availability`` are the fault-tolerance view; on a
+    fault-free run they are 0 / 0 / 0 / 1.0 and stay out of
+    :meth:`render` entirely.
     """
 
     completed: int
@@ -179,6 +198,10 @@ class ClusterReport:
     rejected: int = 0
     shed: int = 0
     fairness_index: float = 1.0  # Jain index over per-class goodput
+    failed: int = 0  # terminal fault losses
+    retries: int = 0  # transient-error redispatches scheduled
+    requeues: int = 0  # orphans re-routed off down workers
+    availability: float = 1.0  # 1 - downtime / (workers x makespan)
     series: List[SeriesPoint] = field(repr=False, default_factory=list)
 
     def class_report(self, name: str) -> ClassReport:
@@ -216,7 +239,34 @@ class ClusterReport:
                 f"stolen-in {w.stolen_in}  cold compiles {w.cold_compiles}  "
                 f"plan cache {w.plan_cache['hits']}h/{w.plan_cache['misses']}m"
             )
+        # Fault-tolerance block: appended only when the run actually saw
+        # fault activity, so fault-free renders stay byte-identical to
+        # the pre-fault simulator's output.
+        if self.fault_activity:
+            lines.append(
+                f"fault tolerance      failed {self.failed}  "
+                f"retries {self.retries}  requeues {self.requeues}"
+            )
+            lines.append(f"availability         {self.availability:.1%}")
+            for w in self.workers:
+                if not (w.crashes or w.rejoins or w.downtime_s > 0):
+                    continue
+                lines.append(
+                    f"  worker {w.wid}: crashes {w.crashes}  rejoins {w.rejoins}  "
+                    f"down {w.downtime_s * 1e3:.2f} ms  "
+                    f"detect {w.detect_s * 1e3:.2f} ms"
+                )
         return "\n".join(lines)
+
+    @property
+    def fault_activity(self) -> bool:
+        """Did anything fault-related happen this run?"""
+        return bool(
+            self.failed
+            or self.retries
+            or self.requeues
+            or any(w.crashes or w.rejoins or w.downtime_s > 0 for w in self.workers)
+        )
 
 
 class MetricsCollector:
@@ -259,6 +309,10 @@ class MetricsCollector:
         """A drop_expired sweep dropped the request from a queue."""
         self._note_drop(request, t, "shed")
 
+    def note_failed(self, request, t: float) -> None:
+        """Faults claimed the request: retry budget gone or unrecoverable."""
+        self._note_drop(request, t, "failed")
+
     def sample(self, t: float, queued: int, busy_workers: int) -> None:
         self.series.append(SeriesPoint(t_s=t, queued=queued, busy_workers=busy_workers))
 
@@ -271,7 +325,11 @@ class MetricsCollector:
     def shed(self) -> int:
         return sum(1 for d in self.drops if d.kind == "shed")
 
-    def report(self, workers, steals: int) -> ClusterReport:
+    @property
+    def failed(self) -> int:
+        return sum(1 for d in self.drops if d.kind == "failed")
+
+    def report(self, workers, steals: int, retries: int = 0, requeues: int = 0) -> ClusterReport:
         """Reduce to a :class:`ClusterReport` (safe on empty runs)."""
         records = self.records
         completed = len(records)
@@ -313,11 +371,21 @@ class MetricsCollector:
                     rejected=sum(1 for d in cls_drops if d.kind == "rejected"),
                     shed=sum(1 for d in cls_drops if d.kind == "shed"),
                     goodput_share=len(cls_met) / total_met if total_met else 0.0,
+                    failed=sum(1 for d in cls_drops if d.kind == "failed"),
                 )
             )
 
         worker_reports = []
+        total_downtime = 0.0
         for w in workers:
+            # A worker still marked down when the run drains has an open
+            # downtime window: close it at the measurement horizon.
+            downtime = getattr(w, "downtime_s", 0.0)
+            down_since = getattr(w, "down_since_s", None)
+            if down_since is not None:
+                downtime += max(self.last_complete_s - down_since, 0.0)
+            total_downtime += downtime
+            delays = getattr(w, "detect_delays", [])
             worker_reports.append(
                 WorkerReport(
                     wid=w.wid,
@@ -329,8 +397,14 @@ class MetricsCollector:
                     stolen_in=w.stolen_in,
                     cold_compiles=w.cold_compiles,
                     plan_cache=w.salo.cache_info(),
+                    crashes=getattr(w, "crashes", 0),
+                    rejoins=getattr(w, "rejoins", 0),
+                    downtime_s=downtime,
+                    detect_s=float(np.mean(delays)) if delays else 0.0,
                 )
             )
+        horizon = makespan * max(len(worker_reports), 1)
+        availability = 1.0 - total_downtime / horizon if horizon > 0 else 1.0
 
         batch_sizes = [r.batch_size for r in records]
         return ClusterReport(
@@ -349,5 +423,9 @@ class MetricsCollector:
             rejected=self.rejected,
             shed=self.shed,
             fairness_index=jain_index([c.goodput_rps for c in classes]),
+            failed=self.failed,
+            retries=retries,
+            requeues=requeues,
+            availability=max(availability, 0.0),
             series=self.series,
         )

@@ -61,6 +61,7 @@ __all__ = [
     "WeightedFairPolicy",
     "POLICIES",
     "make_policy",
+    "recovery_order",
 ]
 
 _EPS = 1e-12  # float slack when comparing "has waited long enough"
@@ -209,6 +210,19 @@ def _urgency(request: AttentionRequest, now: float) -> Tuple[bool, float, float]
     """
     expired = request.absolute_deadline_s <= now
     return (expired, request.absolute_deadline_s, request.arrival_s)
+
+
+def recovery_order(requests) -> list:
+    """Oldest-deadline-first order for requeuing a down worker's orphans.
+
+    The requests a crashed worker strands (its lost in-flight batch plus
+    everything still queued) have already burned queueing time; the ones
+    closest to their deadline have the least slack left, so recovery
+    re-routes them first — the same urgency rule EDF dispatch uses, with
+    arrival order breaking ties (and fully ordering best-effort traffic,
+    whose deadline is ``inf``).
+    """
+    return sorted(requests, key=lambda r: (r.absolute_deadline_s, r.arrival_s))
 
 
 class EDFPolicy(BatchPolicy):

@@ -38,6 +38,7 @@ from ..core.salo import SALO
 from ..serving.batching import Batch, BatchScheduler
 from ..serving.request import AttentionRequest
 from ..serving.session import execute_batch
+from .faults import WORKER_DOWN, WORKER_UP
 
 __all__ = [
     "Worker",
@@ -85,7 +86,18 @@ def service_scales(spec, clock: "CostModelClock", full_batch: int = 8) -> Tuple[
 
 
 class Worker:
-    """One engine: a SALO instance, its queue, and accounting."""
+    """One engine: a SALO instance, its queue, and accounting.
+
+    Lifecycle (``up -> suspect -> down -> rejoined up``): ``alive`` is
+    ground truth — whether the process exists — while ``state`` is what
+    the *cluster believes* from heartbeats.  The gap between the two is
+    detection latency: a freshly crashed worker is dead but still routed
+    to, exactly like a real node whose failure nobody has noticed yet.
+    A worker that rejoins comes back with a **cold plan cache**: its
+    ``warm``/``warm_plans`` sets are cleared, so its next batch of any
+    structure pays the cold-compile penalty again — a replacement
+    process, not a resurrection.
+    """
 
     def __init__(
         self,
@@ -111,6 +123,59 @@ class Worker:
         self.cold_compiles = 0
         self.warm: set = set()  # group keys this worker has served (routing)
         self.warm_plans: set = set()  # plan keys actually compiled (cold accounting)
+        # --- lifecycle / health (see repro.cluster.faults) ---
+        self.alive = True  # ground truth: does the process exist
+        self.state = WORKER_UP  # what heartbeats have established
+        self.crash_epoch = 0  # invalidates in-flight completions on crash
+        self.last_heartbeat_s = 0.0
+        self.crashed_at_s: Optional[float] = None
+        self.down_since_s: Optional[float] = None
+        self.downtime_s = 0.0  # accumulated across finished down windows
+        self.crashes = 0
+        self.rejoins = 0
+        self.detect_delays: List[float] = []  # crash -> marked-down latency
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """Routable as far as the cluster knows (not marked down)."""
+        return self.state != WORKER_DOWN
+
+    def crash(self, now: float) -> None:
+        """The process dies.  Nothing else learns of it until heartbeats
+        time out: ``state`` stays as-is, arrivals keep routing here, and
+        the epoch bump silently invalidates the in-flight completion."""
+        self.alive = False
+        self.crashes += 1
+        self.crash_epoch += 1
+        self.crashed_at_s = now
+
+    def mark_down(self, now: float) -> None:
+        """Heartbeat timeout fired: the cluster now *knows* the worker is
+        gone.  Records detection latency and frees the busy slot (the
+        batch it held is lost; the simulator recovers its members)."""
+        self.state = WORKER_DOWN
+        self.down_since_s = now
+        if self.crashed_at_s is not None:
+            self.detect_delays.append(now - self.crashed_at_s)
+            self.crashed_at_s = None
+        self.busy = False
+        self.inflight = 0
+
+    def rejoin(self, now: float) -> None:
+        """A replacement process comes up: healthy again, cold caches."""
+        self.alive = True
+        self.state = WORKER_UP
+        if self.down_since_s is not None:
+            self.downtime_s += now - self.down_since_s
+            self.down_since_s = None
+        self.crashed_at_s = None
+        self.last_heartbeat_s = now
+        self.rejoins += 1
+        self.busy = False
+        self.inflight = 0
+        self.warm.clear()
+        self.warm_plans.clear()
 
     # ------------------------------------------------------------------
     def depth(self) -> int:
@@ -165,6 +230,19 @@ class CostModelClock(ServiceModel):
     first time a worker serves a structure (scheduling + plan
     compilation + engine build on its SALO), which is what plan-affinity
     routing exists to avoid.
+
+    .. warning:: **Units depend on the backend.**  The latency oracle is
+       whatever ``SALO.estimate`` returns for the worker's engine.  For
+       the accelerator backends that is the paper's cycle model
+       (accelerator-seconds); for the ``dense`` oracle it is a GPU
+       roofline (1080Ti-seconds), and the oracle backends additionally
+       report zero plan-cache stats to pool accounting (they compile no
+       plans, so ``cold_compile_s`` models work they never do).
+       Simulated times are therefore comparable *within* one backend
+       but **not across backends** — a ``--backend dense`` simulation
+       answers "what would a GPU cluster do", not "how much faster is
+       the GPU than the accelerator".  Cross-backend latency comparisons
+       belong to the measured benches, which share one wall clock.
     """
 
     deterministic = True
@@ -259,11 +337,18 @@ class EnginePool:
         probability 0.1, a warm worker is preferred up to ~10x the queue
         depth).  Ties break toward the shallower queue, then the lower
         id — fully deterministic.
+
+        Workers *marked down* are skipped — but workers that crashed and
+        have not yet missed enough heartbeats still receive traffic (the
+        router only knows what detection has told it).  If every worker
+        is down the request still routes (to the best of the down set)
+        and is recovered by the next heartbeat sweep.
         """
         key = self.workers[0].queue.group_key(request)
+        candidates = [w for w in self.workers if w.healthy] or self.workers
         best: Optional[Worker] = None
         best_score: Optional[Tuple[float, int, int]] = None
-        for worker in self.workers:
+        for worker in candidates:
             hit_p = 1.0 if worker.is_warm(key) else self.affinity_miss_prob
             score = (-hit_p / (1 + worker.depth()), worker.depth(), worker.wid)
             if best_score is None or score < best_score:

@@ -1,6 +1,6 @@
 """Heap-driven discrete-event loop over the engine pool.
 
-Three event kinds drive the clock forward:
+Three event kinds drive the clock forward on every run:
 
 * **arrival** — a request lands; the pool routes it to a worker, the
   admission policy accepts it (or records a rejection — the overload
@@ -9,7 +9,8 @@ Three event kinds drive the clock forward:
   whose deadlines became unreachable (``drop_expired``); rejected and
   shed requests are terminal outcomes fed back to closed-loop sources
   exactly like completions, preserving the conservation law
-  ``submitted == completed + rejected + shed`` on every drained run.
+  ``submitted == completed + rejected + shed + failed`` on every
+  drained run.
 * **service-complete** — a worker finishes a batch: completions are
   recorded, closed-loop sources may inject follow-up arrivals, the
   worker steals work if its own queue ran dry, and the policy is
@@ -18,18 +19,36 @@ Three event kinds drive the clock forward:
   named a future instant at which an open queue must be re-examined;
   nothing else changes at that time, so the consultation is cheap.
 
+Two more fire only for shedding policies and fault runs respectively:
+
+* **expiry timer** — with ``drop_expired``, every admitted request with
+  a finite deadline arms a timer at its absolute deadline; at that
+  instant all already-doomed queued requests are shed, so expiry takes
+  effect *between* policy consultations too (an idle-queue request no
+  longer waits for the next arrival to be recognised as dead).
+* **fault events** — with a :class:`~repro.cluster.faults.FaultInjector`
+  configured, worker **crash**/**rejoin** instants come straight from
+  the specs, a periodic **heartbeat probe** detects silent crashes
+  (missed probes: ``up -> suspect -> down``, then the down worker's
+  orphans are requeued oldest-deadline-first or failed), and
+  **retry** timers re-enqueue transiently failed batch members after
+  capped exponential backoff.  Without an (active) injector none of
+  these events exist and the run is byte-identical to the fault-free
+  simulator.
+
 Simulated time is whatever the configured
 :class:`~repro.cluster.pool.ServiceModel` says a batch costs — with the
 default :class:`~repro.cluster.pool.CostModelClock`, every duration
 derives from the paper's cycle model (``SALO.estimate``) and the run is
-fully deterministic: same seed, same report, no wall-clock reads.  Ties
-in the event heap break by insertion order, which is itself
-deterministic.
+fully deterministic: same seed, same report, no wall-clock reads (fault
+randomness comes from the injector's own seeded stream).  Ties in the
+event heap break by insertion order, which is itself deterministic.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -38,13 +57,15 @@ from ..serving.batching import Batch
 from ..serving.request import AttentionRequest
 from ..serving.admission import AdmissionContext, AdmissionPolicy, AdmitAll
 from .arrivals import RequestSource
+from .faults import FaultInjector, RecoveryConfig, WORKER_SUSPECT, WORKER_UP
 from .metrics import MetricsCollector, ClusterReport, RequestRecord
-from .policy import BatchPolicy, GreedyFIFOPolicy
+from .policy import BatchPolicy, GreedyFIFOPolicy, recovery_order
 from .pool import CostModelClock, EnginePool, ServiceModel, Worker
 
 __all__ = ["SimConfig", "ClusterSimulator", "simulate"]
 
 _ARRIVE, _COMPLETE, _TIMER = 0, 1, 2
+_EXPIRE, _CRASH, _REJOIN, _PROBE, _RETRY = 3, 4, 5, 6, 7
 _MIN_TIMER_STEP = 1e-9  # forward progress guard for degenerate timers
 
 
@@ -57,6 +78,12 @@ class SimConfig:
     ``"systolic"``, ...; see :func:`repro.api.list_backends`).  A custom
     ``salo_factory`` overrides it and may not be combined with a
     non-default backend.
+
+    ``faults`` is an optional :class:`~repro.cluster.faults.FaultInjector`;
+    ``recovery`` holds the heartbeat / retry / requeue knobs that decide
+    how the cluster responds to what the injector breaks.  With no
+    injector (or an empty one) the run is byte-identical to the
+    fault-free simulator — no probes, no RNG draws, no extra events.
     """
 
     workers: int = 2
@@ -70,6 +97,8 @@ class SimConfig:
     service: ServiceModel = field(default_factory=CostModelClock)
     salo_factory: Callable[[], SALO] = SALO
     backend: str = "functional"
+    faults: Optional[FaultInjector] = None
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
 
 class ClusterSimulator:
@@ -97,6 +126,16 @@ class ClusterSimulator:
         self._seq = 0
         self._routed: Dict[Hashable, int] = {}  # request id -> routed worker id
         self._timer_armed: Dict[int, float] = {}  # worker id -> armed time
+        # --- fault tolerance state (empty and inert on fault-free runs) ---
+        self._injector = cfg.faults if cfg.faults is not None and cfg.faults.active else None
+        if cfg.faults is not None:
+            cfg.faults.validate_workers(cfg.workers)
+        self._recovery = cfg.recovery
+        self._inflight: Dict[int, Tuple[Batch, float, float]] = {}  # wid -> (batch, t0, t1)
+        self._lost: Dict[int, List[AttentionRequest]] = {}  # wid -> orphaned in-flight
+        self._attempts: Dict[Hashable, int] = {}  # request id -> transient failures so far
+        self._retries = 0
+        self._requeues = 0
 
     # ------------------------------------------------------------------
     def _push(self, t: float, kind: int, payload: object) -> None:
@@ -112,8 +151,13 @@ class ClusterSimulator:
         self._push(t, _TIMER, worker)
 
     def _dispatch(self, worker: Worker, now: float) -> None:
-        """Consult the policy; launch a batch or arm its re-check timer."""
-        if worker.busy:
+        """Consult the policy; launch a batch or arm its re-check timer.
+
+        A dead worker never dispatches: a crashed-but-undetected one
+        silently sits on its queue (that is what detection latency
+        means), a marked-down one has no queue left to consult.
+        """
+        if worker.busy or not worker.alive or not worker.healthy:
             return
         decision = self.config.policy.next_batch(worker.queue, now)
         for req in decision.shed:
@@ -124,8 +168,17 @@ class ClusterSimulator:
         if batch is not None:
             cold = worker.is_cold_plan(batch)
             service = self.config.service.service_s(worker, batch, cold)
+            failed = False
+            if self._injector is not None:
+                service *= self._injector.service_factor(worker.wid, now)
+                failed = self._injector.dispatch_fails(worker.wid, now)
             worker.note_dispatch(batch, service, cold)
-            self._push(now + service, _COMPLETE, (worker, batch, now))
+            self._inflight[worker.wid] = (batch, now, now + service)
+            self._push(
+                now + service,
+                _COMPLETE,
+                (worker, batch, now, worker.crash_epoch, failed),
+            )
         elif decision.next_check_s is not None:
             self._arm_timer(worker, decision.next_check_s, now)
 
@@ -170,12 +223,38 @@ class ClusterSimulator:
             return
         self._routed[request.request_id] = worker.wid
         worker.queue.enqueue(request)
+        if self.config.policy.drop_expired and math.isfinite(request.absolute_deadline_s):
+            # Expiry timer: shed the moment the deadline passes, not at
+            # the next policy consultation.  The handler sweeps globally,
+            # so one event per admitted request suffices even after the
+            # request is stolen, requeued or retried onto another worker.
+            self._push(request.absolute_deadline_s, _EXPIRE, None)
         self._dispatch(worker, now)
 
-    def _on_complete(self, worker: Worker, batch: Batch, dispatched: float, now: float) -> None:
+    def _on_complete(
+        self,
+        worker: Worker,
+        batch: Batch,
+        dispatched: float,
+        epoch: int,
+        failed: bool,
+        now: float,
+    ) -> None:
+        if epoch != worker.crash_epoch:
+            # The worker crashed (and possibly rejoined) after launching
+            # this batch: the completion never happened.  Its members
+            # were captured as orphans at crash time and are recovered
+            # when the failure is detected — not here.
+            return
+        self._inflight.pop(worker.wid, None)
         worker.note_complete()
+        if failed:
+            self._retry_or_fail(batch, now)
+            self._dispatch(worker, now)
+            return
         source_arrivals: List[AttentionRequest] = []
         for req in batch.requests:
+            self._attempts.pop(req.request_id, None)
             self.metrics.note_completion(
                 RequestRecord(
                     request_id=req.request_id,
@@ -200,14 +279,144 @@ class ClusterSimulator:
         Runs after every event, so an engine never sits idle while a
         *busy* peer has backlog (idle peers holding requests open under a
         max-wait policy are off limits — see ``EnginePool.steal_into``).
+        Dead or down workers cannot steal; a crashed-but-undetected peer
+        can still be stolen *from* (its queue is real work, and stealing
+        it is recovery the thief does not even know it is performing).
         """
         if not self.config.steal:
             return
         for worker in self.pool.workers:
             if worker.busy or worker.queue.pending:
                 continue
+            if not worker.alive or not worker.healthy:
+                continue
             if self.pool.steal_into(worker, now):
                 self._dispatch(worker, now)
+
+    # ------------------------------------------------------------------
+    # Fault handling (none of these run without an active injector,
+    # except _on_expire which belongs to drop_expired policies).
+    def _fail(self, request: AttentionRequest, now: float) -> None:
+        """Terminal failure: budget exhausted or nowhere left to requeue."""
+        self._routed.pop(request.request_id, None)
+        self._attempts.pop(request.request_id, None)
+        self.metrics.note_failed(request, now)
+        self._drop_feedback(request, now)
+
+    def _shed_now(self, request: AttentionRequest, now: float) -> None:
+        self._routed.pop(request.request_id, None)
+        self.metrics.note_shed(request, now)
+        self._drop_feedback(request, now)
+
+    def _reenqueue(self, request: AttentionRequest, now: float) -> bool:
+        """Route a recovered request onto a worker believed healthy.
+
+        False when every worker is marked down — there is nowhere to
+        put the request and the caller must fail it.
+        """
+        target = self.pool.route(request)
+        if not target.healthy:
+            return False
+        self._routed[request.request_id] = target.wid
+        target.queue.enqueue(request)
+        self._dispatch(target, now)
+        return True
+
+    def _recover_requests(self, requests: List[AttentionRequest], now: float) -> None:
+        """Give a down worker's orphans their terminal-or-requeued fate."""
+        for req in recovery_order(requests):
+            if self.config.policy.drop_expired and req.absolute_deadline_s <= now:
+                self._shed_now(req, now)
+            elif self._recovery.requeue and self._reenqueue(req, now):
+                self._requeues += 1
+            else:
+                self._fail(req, now)
+
+    def _retry_or_fail(self, batch: Batch, now: float) -> None:
+        """A dispatch came back with a transient error: back off and retry
+        each member against its budget; the attempt past the budget is
+        terminal."""
+        rec = self._recovery
+        for req in batch.requests:
+            attempt = self._attempts.get(req.request_id, 0) + 1
+            self._attempts[req.request_id] = attempt
+            if attempt > rec.max_retries:
+                self._fail(req, now)
+                continue
+            self._retries += 1
+            delay = rec.backoff_s(attempt)
+            if self._injector is not None:
+                delay += self._injector.jitter(delay, rec.backoff_jitter)
+            self._push(now + delay, _RETRY, req)
+
+    def _on_retry(self, request: AttentionRequest, now: float) -> None:
+        if self.config.policy.drop_expired and request.absolute_deadline_s <= now:
+            self._shed_now(request, now)  # the backoff outlived the deadline
+        elif not self._reenqueue(request, now):
+            self._fail(request, now)
+
+    def _on_expire(self, now: float) -> None:
+        """An admitted request's deadline just passed: sweep all queues."""
+        for worker in self.pool.workers:
+            for req in worker.queue.prune(lambda r: r.absolute_deadline_s <= now):
+                self._shed_now(req, now)
+
+    def _on_crash(self, wid: int, now: float) -> None:
+        worker = self.pool.workers[wid]
+        if not worker.alive:
+            return  # overlapping crash specs: already dead
+        meta = self._inflight.pop(wid, None)
+        if meta is not None:
+            batch, _, end_s = meta
+            # The unfinished remainder of the batch never ran.
+            worker.busy_s -= max(0.0, end_s - now)
+            self._lost.setdefault(wid, []).extend(batch.requests)
+        worker.crash(now)
+
+    def _on_rejoin(self, wid: int, now: float) -> None:
+        worker = self.pool.workers[wid]
+        if worker.alive:
+            return  # spurious (e.g. the crash spec itself was a no-op)
+        worker.rejoin(now)
+        # A crash short enough to dodge detection still lost its
+        # in-flight batch; the replacement process recovers it now.
+        orphans = self._lost.pop(wid, [])
+        if orphans:
+            self._recover_requests(orphans, now)
+        self._dispatch(worker, now)
+
+    def _mark_down(self, worker: Worker, now: float) -> None:
+        worker.mark_down(now)
+        self._inflight.pop(worker.wid, None)
+        orphans = self._lost.pop(worker.wid, [])
+        orphans.extend(worker.queue.prune(lambda r: True))
+        if orphans:
+            self._recover_requests(orphans, now)
+
+    def _on_probe(self, now: float) -> None:
+        """Heartbeat sweep: refresh live workers, time out silent ones."""
+        rec = self._recovery
+        for worker in self.pool.workers:
+            if worker.alive:
+                worker.last_heartbeat_s = now
+                if worker.state == WORKER_SUSPECT:
+                    worker.state = WORKER_UP
+            elif worker.healthy:
+                if worker.state == WORKER_UP:
+                    worker.state = WORKER_SUSPECT
+                if now - worker.last_heartbeat_s >= rec.heartbeat_timeout_s:
+                    self._mark_down(worker, now)
+            elif worker.queue.pending:
+                # Arrivals routed while every worker was down: drain them
+                # so the run cannot wedge on an unreachable queue.
+                self._recover_requests(worker.queue.prune(lambda r: True), now)
+        if (
+            self._heap
+            or self.pool.pending
+            or any(w.busy for w in self.pool.workers)
+            or any(self._lost.values())
+        ):
+            self._push(now + rec.heartbeat_interval_s, _PROBE, None)
 
     # ------------------------------------------------------------------
     def run(self, source: RequestSource) -> ClusterReport:
@@ -215,26 +424,49 @@ class ClusterSimulator:
         self._source = source
         for req in source.initial():
             self._push(req.arrival_s, _ARRIVE, req)
+        if self._injector is not None:
+            for t, wid in self._injector.crash_events():
+                self._push(t, _CRASH, wid)
+            for t, wid in self._injector.rejoin_events():
+                self._push(t, _REJOIN, wid)
+            self._push(self._recovery.heartbeat_interval_s, _PROBE, None)
         while self._heap:
             t, _, kind, payload = heapq.heappop(self._heap)
             if kind == _ARRIVE:
                 self._on_arrive(payload, t)
             elif kind == _COMPLETE:
-                worker, batch, dispatched = payload
-                self._on_complete(worker, batch, dispatched, t)
-            else:  # _TIMER
+                worker, batch, dispatched, epoch, failed = payload
+                self._on_complete(worker, batch, dispatched, epoch, failed, t)
+            elif kind == _TIMER:
                 worker = payload
                 if self._timer_armed.get(worker.wid) is not None and t >= self._timer_armed[worker.wid]:
                     del self._timer_armed[worker.wid]
                 self._dispatch(worker, t)
+            elif kind == _EXPIRE:
+                self._on_expire(t)
+            elif kind == _CRASH:
+                self._on_crash(payload, t)
+            elif kind == _REJOIN:
+                self._on_rejoin(payload, t)
+            elif kind == _PROBE:
+                self._on_probe(t)
+            else:  # _RETRY
+                self._on_retry(payload, t)
             self._balance(t)
             self.metrics.sample(t, self.pool.pending, self.pool.busy_workers)
-        if self.pool.pending:  # pragma: no cover - policy bug guard
+        lost = sum(len(v) for v in self._lost.values())
+        if self.pool.pending or lost:  # pragma: no cover - policy bug guard
             raise RuntimeError(
                 f"simulation drained its event heap with {self.pool.pending} "
-                "requests still queued (policy never closed a batch)"
+                f"requests still queued and {lost} lost in-flight (policy "
+                "never closed a batch, or recovery never ran)"
             )
-        return self.metrics.report(self.pool.workers, self.pool.steals)
+        return self.metrics.report(
+            self.pool.workers,
+            self.pool.steals,
+            retries=self._retries,
+            requeues=self._requeues,
+        )
 
 
 def simulate(source: RequestSource, config: Optional[SimConfig] = None) -> ClusterReport:

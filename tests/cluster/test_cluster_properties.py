@@ -15,6 +15,13 @@ mode, any worker count:
   already missed its deadline at dispatch time.
 * **Determinism** — the same drawn scenario, rebuilt from scratch,
   yields a byte-identical ``ClusterReport.render()``.
+* **Fault conservation** — under any drawn mix of crash / straggler /
+  transient fault specs the law widens to four terminal buckets
+  (``submitted == completed + rejected + shed + failed``), per run and
+  per SLO class, and a drained run still leaves nothing queued or lost.
+* **Empty-injector identity** — carrying a ``FaultInjector([])`` (armed
+  but with no specs) is byte-identical to carrying no injector at all:
+  zero extra events, zero RNG draws.
 
 Scenarios are deliberately tiny (n <= 48, 4x4 PE array, <= 18 requests)
 — the invariants are about bookkeeping and ordering, not scale, and the
@@ -31,14 +38,19 @@ from repro.cluster import (
     AdmitAll,
     ClusterSimulator,
     CostModelClock,
+    CrashSpec,
     EDFPolicy,
     EstimatedWaitCap,
+    FaultInjector,
     GreedyFIFOPolicy,
     MaxWaitPolicy,
     OpenLoopSource,
     QueueDepthCap,
+    RecoveryConfig,
     SimConfig,
+    StragglerSpec,
     TokenBucketAdmission,
+    TransientSpec,
     WeightedFairPolicy,
 )
 from repro.cluster.policy import _urgency
@@ -132,6 +144,52 @@ def scenario(draw):
     }
 
 
+@st.composite
+def faulty_scenario(draw):
+    """A scenario plus a drawn mix of fault specs naming its workers.
+
+    Times are in 10us ticks over [0, 5ms] — the same order as the
+    scenario's arrival span, so crashes land before, during and after
+    the traffic with roughly equal probability.
+    """
+    sc = draw(scenario())
+    workers = sc["workers"]
+    specs = []
+    for _ in range(draw(st.integers(0, 2))):
+        kind = draw(st.sampled_from(["crash", "straggler", "transient"]))
+        wid = draw(st.integers(0, workers - 1))
+        start = draw(st.integers(0, 500)) * 1e-5
+        if kind == "crash":
+            down = draw(st.one_of(st.none(), st.integers(1, 200)))
+            specs.append(
+                CrashSpec(
+                    worker=wid,
+                    at_s=start,
+                    down_for_s=None if down is None else down * 1e-5,
+                )
+            )
+        elif kind == "straggler":
+            specs.append(
+                StragglerSpec(
+                    worker=wid,
+                    start_s=start,
+                    duration_s=draw(st.integers(1, 300)) * 1e-5,
+                    factor=float(draw(st.integers(2, 8))),
+                )
+            )
+        else:
+            specs.append(
+                TransientSpec(
+                    prob=draw(st.integers(5, 40)) / 100.0,
+                    worker=draw(st.one_of(st.none(), st.just(wid))),
+                )
+            )
+    sc["faults"] = specs
+    sc["requeue"] = draw(st.booleans())
+    sc["max_retries"] = draw(st.integers(0, 3))
+    return sc
+
+
 def _build_policy(name: str, drop: bool):
     """Fresh policy per run — WeightedFair/token-bucket are stateful."""
     if name == "greedy-fifo":
@@ -153,7 +211,7 @@ def _build_admission(name: str):
     return TokenBucketAdmission(default_rate=20000.0, burst=4.0)
 
 
-def _run(sc, service=None):
+def _run(sc, service=None, faults=None):
     """Build a fresh simulator for the scenario and run it to empty."""
     config = SimConfig(
         workers=sc["workers"],
@@ -163,6 +221,15 @@ def _run(sc, service=None):
         admission=_build_admission(sc["admission"]),
         service=service if service is not None else CostModelClock(),
         salo_factory=_small_salo,
+        faults=faults,
+        # Probes at 50us against ~10us-1ms service times: detection is
+        # fast enough to matter inside the tiny scenario horizons.
+        recovery=RecoveryConfig(
+            heartbeat_interval_s=5e-5,
+            heartbeat_timeout_s=1e-4,
+            requeue=sc.get("requeue", True),
+            max_retries=sc.get("max_retries", 3),
+        ),
     )
     sim = ClusterSimulator(config)
     report = sim.run(OpenLoopSource(sc["requests"]))
@@ -299,3 +366,60 @@ class TestDeterminism:
         _, second = _run(sc)
         assert first.render() == second.render()
         assert [p.t_s for p in first.series] == [p.t_s for p in second.series]
+
+
+class TestFaultConservation:
+    @given(faulty_scenario())
+    @settings(max_examples=25, deadline=None)
+    def test_four_way_conservation_under_any_fault_mix(self, sc):
+        """Crashes, stragglers and transient errors may *fail* requests,
+        but every submitted request still lands in exactly one terminal
+        bucket — per run and per SLO class — and a drained run leaves
+        nothing queued, in flight, or orphaned."""
+        sim, report = _run(sc, faults=FaultInjector(sc["faults"], seed=13))
+        assert report.submitted == len(sc["requests"])
+        assert report.submitted == (
+            report.completed + report.rejected + report.shed + report.failed
+        )
+        assert sim.pool.pending == 0
+        by_class = {}
+        for req in sc["requests"]:
+            by_class[req.slo_class] = by_class.get(req.slo_class, 0) + 1
+        for cls in report.classes:
+            assert cls.submitted == by_class[cls.name]
+            assert cls.submitted == (
+                cls.completed + cls.rejected + cls.shed + cls.failed
+            )
+
+    @given(faulty_scenario())
+    @settings(max_examples=15, deadline=None)
+    def test_no_request_double_counted_under_faults(self, sc):
+        sim, report = _run(sc, faults=FaultInjector(sc["faults"], seed=13))
+        completed_ids = [r.request_id for r in sim.metrics.records]
+        dropped_ids = [d.request_id for d in sim.metrics.drops]
+        assert len(completed_ids) == len(set(completed_ids))
+        assert len(dropped_ids) == len(set(dropped_ids))
+        assert not set(completed_ids) & set(dropped_ids)
+        assert set(completed_ids) | set(dropped_ids) == {
+            r.request_id for r in sc["requests"]
+        }
+
+    @given(faulty_scenario())
+    @settings(max_examples=10, deadline=None)
+    def test_same_faulty_scenario_byte_identical_report(self, sc):
+        _, first = _run(sc, faults=FaultInjector(sc["faults"], seed=13))
+        _, second = _run(sc, faults=FaultInjector(sc["faults"], seed=13))
+        assert first.render() == second.render()
+
+
+class TestEmptyInjectorIdentity:
+    @given(scenario())
+    @settings(max_examples=10)
+    def test_armed_but_empty_injector_is_byte_identical(self, sc):
+        """A FaultInjector with no specs schedules nothing, draws
+        nothing, multiplies nothing: the run is indistinguishable from
+        one with no injector at all."""
+        _, without = _run(sc, faults=None)
+        _, empty = _run(sc, faults=FaultInjector([], seed=99))
+        assert without.render() == empty.render()
+        assert [p.t_s for p in without.series] == [p.t_s for p in empty.series]

@@ -1,0 +1,354 @@
+"""Fault injection unit tests: specs, injector, lifecycle, recovery.
+
+End-to-end scenarios run the tiny cost-model workload from
+``tests/cluster/test_simulator.py`` with fault specs layered on; the
+chaos-sweep claims live in ``tests/experiments/test_faults.py`` and the
+conservation/byte-identity laws in ``test_cluster_properties.py``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    CostModelClock,
+    CrashSpec,
+    EDFPolicy,
+    FaultInjector,
+    GreedyFIFOPolicy,
+    OpenLoopSource,
+    PoissonProcess,
+    RecoveryConfig,
+    SimConfig,
+    SLOClass,
+    StragglerSpec,
+    TransientSpec,
+    WORKER_DOWN,
+    WORKER_UP,
+    WorkloadSpec,
+    open_loop,
+    simulate,
+)
+from repro.patterns.library import longformer_pattern
+from repro.serving import AttentionRequest
+
+
+def _spec(num=60, seed=3):
+    return WorkloadSpec(
+        num_requests=num,
+        n=64,
+        window=8,
+        heads=2,
+        head_dim=4,
+        seed=seed,
+        slo_classes=(SLOClass("interactive", 0.001, 0.5), SLOClass("bulk", 0.01, 0.5)),
+    )
+
+
+# A 20k rps trickle over 60 requests: 3 ms horizon, so the fault windows
+# below (crash at 1 ms, rejoin at 2 ms) land mid-run with room on both
+# sides, and millisecond heartbeats would outlast the run — hence the
+# 50 us probes.
+_RECOVERY = RecoveryConfig(heartbeat_interval_s=5e-5, heartbeat_timeout_s=1e-4)
+
+
+def _run(specs, *, recovery=_RECOVERY, steal=True, num=60, rate=20000.0, seed=3):
+    source = open_loop(_spec(num=num, seed=seed), PoissonProcess(rate_rps=rate))
+    config = SimConfig(
+        workers=2,
+        policy=EDFPolicy(),
+        steal=steal,
+        faults=FaultInjector(specs, seed=7) if specs is not None else None,
+        recovery=recovery,
+    )
+    sim = ClusterSimulator(config)
+    report = sim.run(source)
+    return sim, report
+
+
+def _conserved(report):
+    return report.submitted == (
+        report.completed + report.rejected + report.shed + report.failed
+    )
+
+
+class TestSpecValidation:
+    def test_crash_spec_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            CrashSpec(worker=-1, at_s=0.0)
+        with pytest.raises(ValueError):
+            CrashSpec(worker=0, at_s=-1.0)
+        with pytest.raises(ValueError):
+            CrashSpec(worker=0, at_s=0.0, down_for_s=0.0)
+
+    def test_straggler_spec_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            StragglerSpec(worker=0, start_s=0.0, duration_s=0.0, factor=2.0)
+        with pytest.raises(ValueError):
+            StragglerSpec(worker=0, start_s=0.0, duration_s=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            StragglerSpec(worker=0, start_s=0.0, duration_s=1.0, factor=math.inf)
+
+    def test_transient_spec_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            TransientSpec(prob=1.0)
+        with pytest.raises(ValueError):
+            TransientSpec(prob=-0.1)
+        with pytest.raises(ValueError):
+            TransientSpec(prob=0.1, start_s=2.0, end_s=1.0)
+
+    def test_straggler_window_is_half_open(self):
+        s = StragglerSpec(worker=0, start_s=1.0, duration_s=2.0, factor=3.0)
+        assert not s.active_at(0.999)
+        assert s.active_at(1.0) and s.active_at(2.999)
+        assert not s.active_at(3.0)
+
+    def test_transient_covers_worker_and_window(self):
+        s = TransientSpec(prob=0.5, worker=1, start_s=1.0, end_s=2.0)
+        assert s.covers(1, 1.5)
+        assert not s.covers(0, 1.5)  # other worker
+        assert not s.covers(1, 2.0)  # window is half-open
+        everyone = TransientSpec(prob=0.5)
+        assert everyone.covers(0, 0.0) and everyone.covers(7, 1e9)
+
+    def test_recovery_config_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(heartbeat_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            RecoveryConfig(backoff_jitter=1.5)
+
+    def test_backoff_doubles_then_caps(self):
+        cfg = RecoveryConfig(backoff_base_s=1e-4, backoff_cap_s=3e-4)
+        assert cfg.backoff_s(1) == pytest.approx(1e-4)
+        assert cfg.backoff_s(2) == pytest.approx(2e-4)
+        assert cfg.backoff_s(3) == pytest.approx(3e-4)  # capped, not 4e-4
+        assert cfg.backoff_s(10) == pytest.approx(3e-4)
+        with pytest.raises(ValueError):
+            cfg.backoff_s(0)
+
+
+class TestInjector:
+    def test_active_only_with_specs(self):
+        assert not FaultInjector().active
+        assert not FaultInjector([]).active
+        assert FaultInjector([CrashSpec(worker=0, at_s=1.0)]).active
+
+    def test_unknown_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            FaultInjector(["crash worker 0"])
+
+    def test_validate_workers(self):
+        inj = FaultInjector([CrashSpec(worker=2, at_s=1.0)])
+        inj.validate_workers(3)
+        with pytest.raises(ValueError):
+            inj.validate_workers(2)
+
+    def test_crash_and_rejoin_events_sorted(self):
+        inj = FaultInjector(
+            [
+                CrashSpec(worker=1, at_s=5.0, down_for_s=1.0),
+                CrashSpec(worker=0, at_s=2.0),  # permanent: no rejoin
+            ]
+        )
+        assert inj.crash_events() == [(2.0, 0), (5.0, 1)]
+        assert inj.rejoin_events() == [(6.0, 1)]
+
+    def test_service_factor_multiplies_overlapping_windows(self):
+        inj = FaultInjector(
+            [
+                StragglerSpec(worker=0, start_s=0.0, duration_s=2.0, factor=2.0),
+                StragglerSpec(worker=0, start_s=1.0, duration_s=2.0, factor=3.0),
+            ]
+        )
+        assert inj.service_factor(0, 0.5) == pytest.approx(2.0)
+        assert inj.service_factor(0, 1.5) == pytest.approx(6.0)
+        assert inj.service_factor(0, 2.5) == pytest.approx(3.0)
+        assert inj.service_factor(1, 1.5) == pytest.approx(1.0)
+        assert inj.service_factor(0, 9.0) == pytest.approx(1.0)
+
+    def test_dispatch_fails_deterministic_per_seed(self):
+        def draws(seed):
+            inj = FaultInjector([TransientSpec(prob=0.5)], seed=seed)
+            return [inj.dispatch_fails(0, float(t)) for t in range(64)]
+
+        assert draws(1) == draws(1)
+        assert draws(1) != draws(2)  # a different stream, not a constant
+        assert any(draws(1)) and not all(draws(1))
+
+    def test_rng_advances_only_under_coverage(self):
+        """Dispatches no transient spec covers must not consume RNG state,
+        so adding uncovered traffic cannot perturb the covered draws."""
+        spec = TransientSpec(prob=0.5, worker=1)
+        mixed = FaultInjector([spec], seed=3)
+        clean = FaultInjector([spec], seed=3)
+        mixed_draws = []
+        for t in range(32):
+            mixed.dispatch_fails(0, float(t))  # uncovered: no draw
+            mixed_draws.append(mixed.dispatch_fails(1, float(t)))
+        clean_draws = [clean.dispatch_fails(1, float(t)) for t in range(32)]
+        assert mixed_draws == clean_draws
+
+    def test_jitter_bounded_and_gated(self):
+        inj = FaultInjector([TransientSpec(prob=0.5)], seed=0)
+        assert inj.jitter(0.0, 0.5) == 0.0
+        assert inj.jitter(1.0, 0.0) == 0.0
+        for _ in range(16):
+            j = inj.jitter(2.0, 0.25)
+            assert 0.0 <= j <= 0.5
+
+
+class TestCrashRecovery:
+    def test_crash_and_rejoin_conserves_and_detects(self):
+        sim, report = _run([CrashSpec(worker=1, at_s=1e-3, down_for_s=1e-3)])
+        assert _conserved(report)
+        assert report.failed == 0  # requeue + steal recovered everything
+        assert report.requeues > 0
+        assert report.availability < 1.0
+        crashed = sim.pool.workers[1]
+        assert crashed.crashes == 1 and crashed.rejoins == 1
+        assert crashed.state == WORKER_UP  # back up by the end of the run
+        wrep = report.workers[1]
+        assert wrep.crashes == 1 and wrep.rejoins == 1
+        assert wrep.downtime_s > 0
+        # Detection latency is bounded by probe interval + timeout.
+        assert 0 < wrep.detect_s <= (
+            _RECOVERY.heartbeat_interval_s + _RECOVERY.heartbeat_timeout_s
+        )
+
+    def test_permanent_crash_without_recovery_fails_work(self):
+        sim, report = _run(
+            [CrashSpec(worker=1, at_s=1e-3)],  # never rejoins
+            recovery=RecoveryConfig(
+                heartbeat_interval_s=5e-5, heartbeat_timeout_s=1e-4, requeue=False
+            ),
+            steal=False,
+        )
+        assert _conserved(report)
+        assert report.failed > 0  # the stranded queue is terminal
+        assert report.requeues == 0
+        assert sim.pool.workers[1].state == WORKER_DOWN
+        kinds = {d.kind for d in sim.metrics.drops}
+        assert "failed" in kinds
+
+    def test_permanent_crash_with_requeue_fails_nothing(self):
+        _, report = _run([CrashSpec(worker=1, at_s=1e-3)])
+        assert _conserved(report)
+        assert report.failed == 0
+        assert report.completed + report.shed == report.submitted
+
+    def test_rejoined_worker_pays_cold_compiles_again(self):
+        class RecordingClock(CostModelClock):
+            def __init__(self):
+                super().__init__()
+                self.dispatches = []  # (wid, t_is_cold)
+
+            def service_s(self, worker, batch, cold):
+                self.dispatches.append((worker.wid, cold))
+                return super().service_s(worker, batch, cold)
+
+        clock = RecordingClock()
+        source = open_loop(_spec(num=80), PoissonProcess(rate_rps=20000.0))
+        sim = ClusterSimulator(
+            SimConfig(
+                workers=2,
+                policy=EDFPolicy(),
+                service=clock,
+                faults=FaultInjector(
+                    [CrashSpec(worker=1, at_s=1e-3, down_for_s=1e-3)], seed=7
+                ),
+                recovery=_RECOVERY,
+            )
+        )
+        sim.run(source)
+        cold_on_crashed = [cold for wid, cold in clock.dispatches if wid == 1]
+        # Warm before the crash, then cold again after the rejoin: the
+        # cold flags are non-monotonic (True ... False ... True ...).
+        assert True in cold_on_crashed
+        first_warm = cold_on_crashed.index(False)
+        assert any(cold_on_crashed[first_warm:])  # re-paid after rejoin
+
+    def test_straggler_stretches_the_run(self):
+        _, healthy = _run([])
+        _, slowed = _run(
+            [StragglerSpec(worker=0, start_s=0.0, duration_s=1.0, factor=8.0)]
+        )
+        assert _conserved(slowed)
+        assert slowed.makespan_s > healthy.makespan_s
+        assert slowed.failed == 0  # slow is not dead: nothing fails
+
+
+class TestTransientRetries:
+    def test_retries_within_budget_complete_everything(self):
+        _, report = _run([TransientSpec(prob=0.15)])
+        assert _conserved(report)
+        assert report.retries > 0
+        assert report.failed == 0
+        assert report.completed == report.submitted
+
+    def test_zero_budget_fails_on_first_error(self):
+        _, report = _run(
+            [TransientSpec(prob=0.15)],
+            recovery=RecoveryConfig(
+                heartbeat_interval_s=5e-5, heartbeat_timeout_s=1e-4, max_retries=0
+            ),
+        )
+        assert _conserved(report)
+        assert report.failed > 0
+        assert report.retries == 0
+
+
+class TestExpiryTimers:
+    def test_queued_requests_shed_at_their_deadline_not_next_consultation(self):
+        """The timer-heap satellite: with ``drop_expired`` a doomed queued
+        request is shed the instant its deadline passes — while the
+        worker is still busy — not when the next batch closes."""
+        pattern = longformer_pattern(64, 8, (0,))
+        data = np.zeros((64, 4))
+
+        def req(i, t, deadline):
+            return AttentionRequest(
+                request_id=i,
+                pattern=pattern,
+                q=data,
+                k=data,
+                v=data,
+                heads=2,
+                arrival_s=t,
+                deadline_s=deadline,
+                slo_class="tight",
+            )
+
+        # Request 0 occupies the single worker (cold compile alone is
+        # 0.5 ms); 1 and 2 arrive right behind it with 0.1 ms budgets
+        # that expire long before the worker frees up.
+        requests = [req(0, 0.0, None), req(1, 1e-5, 1e-4), req(2, 2e-5, 1e-4)]
+        sim = ClusterSimulator(
+            SimConfig(workers=1, policy=GreedyFIFOPolicy(drop_expired=True))
+        )
+        report = sim.run(OpenLoopSource(requests))
+        assert report.completed == 1 and report.shed == 2
+        sheds = {d.request_id: d for d in sim.metrics.drops if d.kind == "shed"}
+        assert set(sheds) == {1, 2}
+        for i in (1, 2):
+            arrival = requests[i].arrival_s
+            assert sheds[i].t_s == pytest.approx(arrival + 1e-4)
+        # And the shed happened strictly before the blocking batch
+        # finished — i.e. via the timer, not the completion sweep.
+        assert all(d.t_s < report.makespan_s for d in sheds.values())
+
+
+class TestReportRendering:
+    def test_fault_block_renders_only_under_fault_activity(self):
+        _, clean = _run(None)
+        assert "fault tolerance" not in clean.render()
+        _, faulty = _run([CrashSpec(worker=1, at_s=1e-3, down_for_s=1e-3)])
+        out = faulty.render()
+        assert "fault tolerance" in out
+        assert "availability" in out
+        assert "worker 1: crashes 1" in out
