@@ -4,9 +4,12 @@
 #                  committed BENCH_engines.json baseline + a tiny
 #                  end-to-end cluster simulation
 #   make test    - tier-1 tests only
-#   make bench   - run the engine bench suite, compare against the
-#                  baseline (writes the fresh summary to a temp file so
-#                  the committed baseline is left untouched)
+#   make bench-gate - run the engine bench suite and fail on any
+#                  benchmark regressing beyond the threshold vs the
+#                  committed BENCH_engines.json (the perf gate inside
+#                  `make check`; writes the fresh summary to a temp
+#                  file so the committed baseline is left untouched)
+#   make bench   - alias for bench-gate (manual runs)
 #   make bench-update - re-snapshot BENCH_engines.json (after a
 #                  deliberate perf change; commit the result)
 #   make simulate-smoke - 2-worker discrete-event simulation end to end
@@ -27,21 +30,26 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test bench bench-update simulate-smoke simulate-overload \
-	simulate-faults engines-smoke
+.PHONY: check test bench bench-gate bench-update simulate-smoke \
+	simulate-overload simulate-faults engines-smoke
 
-check: test bench engines-smoke simulate-smoke simulate-overload simulate-faults
+check: test bench-gate engines-smoke simulate-smoke simulate-overload simulate-faults
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Tolerance 2.0: the suite's small (few-ms) benches see ~1.5x run-to-run
 # swings on shared/noisy hosts; genuine regressions this gate exists for
-# (reintroduced per-pass walks, lost batching) are 2x-10x.
-bench:
+# (reintroduced per-pass walks, lost batching, a tiled path falling back
+# to whole-lane-axis layout) are 2x-10x.  The suite itself additionally
+# asserts tiled <= untiled on the lane-tiling benches, so a layout
+# regression fails the gate even inside the timing tolerance.
+bench-gate:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py \
 		--out $(or $(TMPDIR),/tmp)/BENCH_engines.new.json \
 		--compare BENCH_engines.json --tolerance 2.0
+
+bench: bench-gate
 
 bench-update:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_benchmarks.py

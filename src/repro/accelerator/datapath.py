@@ -80,6 +80,91 @@ class Datapath:
             return np.asarray(o, dtype=np.float64)
         return self.output_format.quantize(o)
 
+    # ------------------------------------------------------------------
+    # Allocation-free variants used by the tiled compiled hot path.  Each
+    # performs the same elementwise operation as its namesake above,
+    # writing through ``out`` (which may alias the input).
+    def quantize_input_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if self.input_format is None:
+            if x is not out:
+                np.copyto(out, x)
+            return out
+        return self.input_format.quantize_into(x, out)
+
+    def exp_into(self, s: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if self._exp_unit is None:
+            np.exp(s, out=out)
+            return out
+        return self._exp_unit.into(s, out)
+
+    def recip_into(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Reciprocal without the positivity check — caller's contract."""
+        if self._recip_unit is None:
+            np.divide(1.0, w, out=out)
+            return out
+        return self._recip_unit.into(w, out)
+
+    def quantize_prob_into(
+        self, p: np.ndarray, out: np.ndarray, bounded: bool = False
+    ) -> np.ndarray:
+        """``bounded=True`` asserts ``0 <= p < 2`` (a normalised weight:
+        ``p = e * recip(w)`` with ``e <= w`` and the shift-normalised LUT
+        reciprocal satisfying ``w * recip(w) < 2``), letting the
+        saturation pass be skipped when the format has the headroom."""
+        if self.prob_format is None:
+            if p is not out:
+                np.copyto(out, p)
+            return out
+        saturate = not (bounded and self.prob_format.max_value >= 2.0)
+        return self.prob_format.quantize_into(p, out, saturate=saturate)
+
+    def quantize_output_into(
+        self, o: np.ndarray, out: np.ndarray, bounded: bool = False
+    ) -> np.ndarray:
+        """``bounded=True`` asserts the caller has proven ``o`` in range —
+        either a convex combination of already-quantised outputs (an
+        Eq. 2 merge cannot leave the representable range) or a stage-5
+        probability-weighted sum whose row-sum bound fits the format
+        (see ``FunctionalEngine._stage5_bounded``) — so the saturation
+        pass is skipped."""
+        if self.output_format is None:
+            if o is not out:
+                np.copyto(out, o)
+            return out
+        return self.output_format.quantize_into(o, out, saturate=not bounded)
+
+    # ------------------------------------------------------------------
+    def supports_exact_gemm(self, head_dim: int, max_cols: int) -> bool:
+        """True when stage-1/5 dot products are *exact* in float64.
+
+        On a quantised datapath every operand is an integer multiple of a
+        fixed power of two, so any partial sum of a dot product is an
+        integer in those units; as long as the largest possible partial
+        fits in the 53-bit double mantissa, no summation order ever
+        rounds, and a BLAS ``matmul`` (arbitrary order, FMA or not) is
+        bit-identical to the ordered einsum it replaces.
+
+        * stage 1 (``q @ k``): ``2 * (input_bits - 1)`` bits per product
+          plus ``ceil(log2 head_dim)`` for the sum;
+        * stage 5 (``S' @ v``): probability codes are unsigned
+          ``output_bits`` wide, value codes ``input_bits - 1``, plus
+          ``ceil(log2 max_cols)`` for the sum (zero padding in the
+          scattered rectangle adds exactly nothing).
+
+        Exact (unquantised) datapaths get ``False`` — arbitrary floats
+        make summation order observable, so those keep the einsum path.
+        """
+        if self.input_format is None or self.prob_format is None or self.output_format is None:
+            return False
+        cols = max(1, int(max_cols))
+        dim = max(1, int(head_dim))
+        log2 = lambda v: int(np.ceil(np.log2(v))) if v > 1 else 0  # noqa: E731
+        stage1 = 2 * (self.input_format.total_bits - 1) + log2(dim)
+        stage5 = (
+            self.prob_format.total_bits + (self.input_format.total_bits - 1) + log2(cols)
+        )
+        return stage1 <= 53 and stage5 <= 53
+
     @property
     def exp_unit(self) -> Optional[PWLExpUnit]:
         return self._exp_unit

@@ -65,6 +65,7 @@ class PWLExpUnit:
     style: str = "pow2"
     slopes: np.ndarray = field(init=False, repr=False)
     intercepts: np.ndarray = field(init=False, repr=False)
+    _scratch: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.segments < 2:
@@ -84,6 +85,25 @@ class PWLExpUnit:
         intercepts = y0 - slopes * x0
         self.slopes = self.coeff_format.quantize(slopes)
         self.intercepts = self.coeff_format.quantize(intercepts)
+        # Identity-pass facts, proven once from the quantised tables so
+        # the hot path can skip provably no-op passes (see ``into``):
+        # with all-nonneg tables and a nonneg multiplier (pow2's
+        # ``f in [0, 1)``; direct's ``s`` can be negative) the 0-floor
+        # is a no-op, and when the largest reachable output code fits
+        # the format the saturation clip is one too.
+        self._nonneg = self.style == "pow2" and bool(
+            (self.slopes >= 0).all() and (self.intercepts >= 0).all()
+        )
+        self._sat_free = False
+        if self.style == "pow2":
+            peak = float(np.max(self.slopes + self.intercepts))
+            imax = int(np.floor(self.hi * _LOG2E)) + 1
+            bound = np.ldexp(peak, imax)
+            of = self.out_format
+            self._sat_free = (
+                self._nonneg
+                and bound * (1 << of.frac_bits) <= of.max_code
+            )
 
     @classmethod
     def from_numerics(cls, numerics: NumericsConfig) -> "PWLExpUnit":
@@ -138,6 +158,59 @@ class PWLExpUnit:
             idx = self.segment_index(s)
             y = self.slopes[idx] * s + self.intercepts[idx]
         return self.out_format.quantize(np.maximum(y, 0.0))
+
+    def into(self, s: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free :meth:`__call__` (after the first call per shape).
+
+        Evaluates the PWL exponential elementwise through ``out`` and a
+        per-shape internal scratch set; ``s`` may alias ``out``.  Every
+        operation is the same elementwise op as in :meth:`__call__`, so
+        the result is bit-identical.  Not thread-safe (the scratch is
+        shared per unit instance, like the engine that owns it).
+        """
+        sc = self._scratch.get(s.shape)
+        if sc is None:
+            sc = (
+                np.empty(s.shape, dtype=np.float64),  # t (then f)
+                np.empty(s.shape, dtype=np.float64),  # i / chord product
+                np.empty(s.shape, dtype=np.int64),  # LUT index
+                np.empty(s.shape, dtype=np.int32),  # shift exponent
+                np.empty(s.shape, dtype=np.float64),  # intercept lookup
+            )
+            self._scratch[s.shape] = sc
+        t, i, idx, i32, lut = sc
+        np.clip(s, self.lo, self.hi, out=t)
+        if self.style == "pow2":
+            np.multiply(t, _LOG2E, out=t)
+            np.floor(t, out=i)
+            np.subtract(t, i, out=t)  # t = f in [0, 1)
+            np.multiply(t, self.segments, out=lut)
+            # The index clip of __call__ is an identity here: f < 1
+            # strictly (even at 1 - ulp, f * segments rounds below
+            # segments), so the truncating cast already lands the index
+            # in [0, segments - 1]; NaN casts to INT64_MIN, which the
+            # clip-mode takes send to 0 exactly like the explicit clip.
+            np.copyto(idx, lut, casting="unsafe")  # C cast == .astype(int64)
+            np.take(self.slopes, idx, out=out, mode="clip")
+            np.multiply(out, t, out=out)
+            np.take(self.intercepts, idx, out=lut, mode="clip")
+            np.add(out, lut, out=out)
+            np.copyto(i32, i, casting="unsafe")
+            np.ldexp(out, i32, out=out)
+        else:
+            width = (self.hi - self.lo) / self.segments
+            np.subtract(t, self.lo, out=i)
+            np.divide(i, width, out=i)
+            np.floor(i, out=i)
+            np.copyto(idx, i, casting="unsafe")
+            np.clip(idx, 0, self.segments - 1, out=idx)
+            np.take(self.slopes, idx, out=out, mode="clip")
+            np.multiply(out, t, out=out)
+            np.take(self.intercepts, idx, out=lut, mode="clip")
+            np.add(out, lut, out=out)
+        if not self._nonneg:
+            np.maximum(out, 0.0, out=out)
+        return self.out_format.quantize_into(out, out, saturate=not self._sat_free)
 
     def lut_size_bits(self) -> int:
         """Total LUT storage (two tables of ``segments`` coefficients)."""

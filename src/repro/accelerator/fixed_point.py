@@ -74,6 +74,25 @@ class FixedPointFormat:
         codes = np.clip(codes, self.min_code, self.max_code)
         return codes * self.resolution
 
+    def quantize_into(
+        self, x: np.ndarray, out: np.ndarray, saturate: bool = True
+    ) -> np.ndarray:
+        """Allocation-free :meth:`quantize`; ``x`` may alias ``out``.
+
+        Bit-identical to :meth:`quantize`: the same elementwise
+        scale / round-half-even / saturate / rescale sequence, written
+        through ``out`` without temporaries.  ``saturate=False`` skips
+        the clip pass — only valid when the caller proves every input
+        already lies inside the representable range (``rint`` of an
+        in-range scaled value is in-range, so the clip is the identity).
+        """
+        np.multiply(x, float(1 << self.frac_bits), out=out)
+        np.rint(out, out=out)
+        if saturate:
+            np.clip(out, self.min_code, self.max_code, out=out)
+        np.multiply(out, self.resolution, out=out)
+        return out
+
     def to_codes(self, values: np.ndarray) -> np.ndarray:
         """Integer codes of already-quantised values."""
         codes = np.rint(np.asarray(values, dtype=np.float64) * (1 << self.frac_bits))

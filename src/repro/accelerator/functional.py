@@ -75,6 +75,7 @@ characterises the bound.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -82,7 +83,7 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from ..scheduler.compiled import WindowJob
+from ..scheduler.compiled import WindowJob, _arange_start
 from ..scheduler.plan import ExecutionPlan, TilePass
 from .datapath import Datapath
 from .weighted_sum import WeightedSumModule
@@ -178,6 +179,14 @@ class _BatchAccumulator:
         self.module = module
         self.merges = 0
 
+    def reset(self) -> None:
+        """Zero the running state so the instance can serve another call."""
+        self.out.fill(0.0)
+        self.w.fill(0.0)
+        self.has.fill(False)
+        self.parts.fill(0)
+        self.merges = 0
+
     def add_part(
         self, rows: np.ndarray, out: np.ndarray, w: np.ndarray, has: np.ndarray
     ) -> None:
@@ -234,6 +243,7 @@ class FunctionalEngine:
         plan: ExecutionPlan,
         mode: str = "compiled",
         use_compiled: Optional[bool] = None,
+        tiled: Optional[bool] = None,
     ) -> None:
         if isinstance(mode, bool):
             # Positional spelling of the old signature:
@@ -259,10 +269,33 @@ class FunctionalEngine:
         # pure plan structure, so cached for the engine's lifetime (the
         # engine keeps the compiled plan — and its jobs — alive).
         self._segment_ids_cache: dict = {}
+        self.tiled = False
         if self.use_compiled:
             # Compile once at construction (memoized on the plan), and
             # force the lazy execution schedule now: engines always run.
-            plan.compiled().window_jobs
+            cp = plan.compiled()
+            cp.window_jobs
+            # Lane-tiled GEMM execution is only bit-identical when every
+            # stage-1/5 accumulation is exact in float64 (quantised
+            # datapaths within the bit budget); exact datapaths keep the
+            # ordered-einsum path, where summation order is observable.
+            auto = self._supports_tiled(cp)
+            if tiled is None:
+                self.tiled = auto
+            elif tiled and not auto:
+                raise ValueError(
+                    "tiled execution requires a quantised datapath whose "
+                    "stage-1/5 accumulations are exact in float64"
+                )
+            else:
+                self.tiled = bool(tiled)
+
+    def _supports_tiled(self, cp) -> bool:
+        """Whether the lane-tiled GEMM path is bit-exact for this plan."""
+        max_cols = cp.pad_rows + cp.pad_cols - 1
+        if len(cp.global_tokens):
+            max_cols = max(max_cols, len(cp.global_tokens))
+        return self.datapath.supports_exact_gemm(cp.head_dim, max_cols)
 
     # ------------------------------------------------------------------
     def run(
@@ -308,6 +341,8 @@ class FunctionalEngine:
         lens = self._check_valid_lens(valid_lens, q)
 
         if self.use_compiled:
+            if self.tiled:
+                return self._run_compiled_tiled(q, k, v, scale, lens)
             return self._run_compiled(q, k, v, scale, lens)
 
         if q.ndim == 3:
@@ -446,6 +481,818 @@ class FunctionalEngine:
             output = output.reshape(n, heads * d)
             parts = parts.reshape(heads, n)
         return FunctionalResult(output=output, merges=acc.merges, parts=parts)
+
+    # ------------------------------------------------------------------
+    # Lane-tiled compiled path (quantised datapaths; see _supports_tiled)
+    # ------------------------------------------------------------------
+    # Stages 1 and 5 run as banded GEMMs: per block the full
+    # (R, R + W - 1) score rectangle is one matmul against the segment's
+    # overlapping stream view, and the band is extracted (stage 1) or
+    # scattered back (stage 5) through a strided view.  On a quantised
+    # datapath every operand is an integer multiple of a fixed power of
+    # two and every partial sum fits the double mantissa, so the BLAS
+    # accumulation order — and the exact zeros of the rectangle padding —
+    # cannot round: results are bit-identical to the ordered einsums of
+    # the flat path.  All buffers live in the plan's scratch dict, so
+    # warm calls on a cached plan perform no steady-state allocation.
+
+    @staticmethod
+    def _buf(sc: dict, name, shape, dtype=np.float64) -> np.ndarray:
+        """Grow-on-demand scratch buffer keyed by (name, shape, dtype)."""
+        key = ("buf", name, shape, np.dtype(dtype).str)
+        a = sc.get(key)
+        if a is None:
+            a = np.empty(shape, dtype=dtype)
+            sc[key] = a
+        return a
+
+    @staticmethod
+    def _zbuf(sc: dict, name, shape, dtype=np.float64) -> np.ndarray:
+        """Scratch buffer zeroed once at allocation.
+
+        For buffers whose writers always touch the same positions (the
+        scattered band of a score rectangle), everything outside those
+        positions stays exactly zero across reuses, so the per-use
+        ``fill(0)`` pass can be dropped.
+        """
+        key = ("zbuf", name, shape, np.dtype(dtype).str)
+        a = sc.get(key)
+        if a is None:
+            a = np.zeros(shape, dtype=dtype)
+            sc[key] = a
+        return a
+
+    @staticmethod
+    def _static_index(sc: dict, key, arr) -> np.ndarray:
+        """Memoized contiguous int64 copy of a static index tensor."""
+        idx = sc.get(key)
+        if idx is None:
+            idx = np.ascontiguousarray(np.reshape(arr, -1), dtype=np.int64)
+            sc[key] = idx
+        return idx
+
+    def _run_compiled_tiled(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: float,
+        lens: Optional[np.ndarray] = None,
+    ) -> FunctionalResult:
+        plan = self.plan
+        cp = plan.compiled()
+        sc = cp.scratch
+        n, d, heads = plan.n, plan.head_dim, plan.heads
+        batched = q.ndim == 3
+        b = q.shape[0] if batched else 1
+        lanes = b * heads
+        lane_lens = None if lens is None else np.repeat(lens, heads)
+        margins = self._wide_margins(cp)
+        qh = self._lane_slab(sc, "q", q, b, n, heads, d)
+        kh = self._lane_slab(sc, "k", k, b, n, heads, d, pad=margins)
+        vh = self._lane_slab(sc, "v", v, b, n, heads, d, pad=margins)
+        acc = sc.get(("acc", lanes))
+        if acc is None:
+            acc = _BatchAccumulator(lanes, n, d, self.module)
+            sc[("acc", lanes)] = acc
+        else:
+            acc.module = self.module  # scratch follows the engine in use
+            acc.reset()
+
+        jobs = cp.window_jobs
+        for chain in cp.job_chains:
+            if jobs[chain.jobs[0]].segments is None:  # pragma: no cover - irregular
+                for ji in chain.jobs:
+                    self._run_window_job(jobs[ji], qh, kh, vh, scale, acc, lane_lens)
+            else:
+                self._run_chain_tiled(cp, chain, qh, kh, vh, scale, acc, lane_lens)
+        if len(cp.global_tokens):
+            self._run_global_column_tiled(cp, qh, kh, vh, scale, acc)
+            self._run_global_rows_tiled(cp, qh, kh, vh, scale, acc, lane_lens)
+
+        covered = acc.has
+        if lane_lens is not None:
+            covered = covered | (np.arange(n)[None, :] >= lane_lens[:, None])
+        if not covered.all():
+            missing = np.flatnonzero(~covered.all(axis=0))
+            raise EngineError(
+                f"queries {missing[:8].tolist()}... received no attention part; "
+                "the pattern leaves them without keys"
+            )
+        # The accumulator buffers are reused across calls, so the caller
+        # -owned results must be fresh copies.
+        parts = acc.parts.reshape(b, heads, n).copy()
+        output = np.empty((b, n, heads * d), dtype=np.float64)
+        np.copyto(
+            output.reshape(b, n, heads, d),
+            acc.out.reshape(b, heads, n, d).transpose(0, 2, 1, 3),
+        )
+        if not batched:
+            output = output.reshape(n, heads * d)
+            parts = parts.reshape(heads, n)
+        return FunctionalResult(output=output, merges=acc.merges, parts=parts)
+
+    def _lane_slab(
+        self,
+        sc: dict,
+        name: str,
+        x: np.ndarray,
+        b: int,
+        n: int,
+        heads: int,
+        d: int,
+        pad: Tuple[int, int] = (0, 0),
+    ) -> np.ndarray:
+        """Quantised ``(lanes, n, d)`` operand slab in reused storage.
+
+        Same values as the flat path's quantise-then-transpose (the two
+        elementwise steps commute), written through a cached buffer.
+
+        ``pad = (head, tail)`` reserves margin rows around the core that
+        replicate its first/last row — exactly what a clip-clamped
+        gather of an out-of-range id loads — so window key streams that
+        overhang the sequence edges slice the slab instead of gathering
+        (see :meth:`_wide_chunk_slabs`).  The returned view is the core;
+        the padded base is published under ``("slabpad", name)``.
+        """
+        head, tail = pad
+        slab = self._buf(sc, ("slab", name), (b * heads, head + n + tail, d))
+        core = slab[:, head : head + n]
+        # The transpose copy fuses into the quantiser's first multiply
+        # (its read may be any strided view), saving one full pass.
+        self.datapath.quantize_input_into(
+            x.reshape(b, n, heads, d).transpose(0, 2, 1, 3),
+            core.reshape(b, heads, n, d),
+        )
+        if head:
+            slab[:, :head] = core[:, 0:1]
+        if tail:
+            slab[:, head + n :] = core[:, n - 1 : n]
+        sc[("slabpad", name)] = (slab, head, tail)
+        return core
+
+    def _stage5_bounded(self, cp) -> bool:
+        """True when stage-5 outputs provably cannot saturate.
+
+        Per output element ``|o| <= (sum of the row's probabilities) *
+        vmax``.  Each quantised probability exceeds its pre-rounding
+        value by at most half a resolution step and the pre-rounding row
+        sum is ``w * recip(w) < 2`` (the shift-normalised LUT bound; an
+        exact reciprocal gives 1), so with at most ``n`` columns the row
+        sum is under ``2 + n * res / 2``.  When that times the largest
+        operand magnitude still fits the output format, the saturation
+        clip of every stage-5 quantise is an identity and is skipped.
+        """
+        ok = cp.scratch.get(("q5_bounded",))
+        if ok is None:
+            dp = self.datapath
+            fi, pf, of = dp.input_format, dp.prob_format, dp.output_format
+            if fi is None or pf is None or of is None:
+                ok = False
+            else:
+                vmax = max(abs(fi.min_value), fi.max_value)
+                bound = (2.0 + cp.n * pf.resolution * 0.5) * vmax
+                ok = bound * (1 << of.frac_bits) <= of.max_code
+            cp.scratch[("q5_bounded",)] = ok
+        return ok
+
+    def _wide_margins(self, cp) -> Tuple[int, int]:
+        """Largest head/tail overhang of any wide chain's key stream.
+
+        Wide streams are clip-clamped contiguous ranges; padding the K/V
+        slabs by these margins (with the replicated edge rows the clamp
+        would load) turns every chunk of every wide chain into a pure
+        slice of the slab.
+        """
+        m = cp.scratch.get(("wide_margins",))
+        if m is None:
+            head = tail = 0
+            jobs = cp.window_jobs
+            for ch in cp.job_chains:
+                if ch.wide_start is None or ch.wide_offsets is None:
+                    continue
+                job0 = jobs[ch.jobs[0]]
+                if job0.num_groups != 1:
+                    continue
+                step = job0.segments[0].block_step
+                last = jobs[ch.jobs[-1]]
+                span = job0.rows + ch.wide_offsets[-1] + last.segments[0].width - 1
+                full = (job0.num_blocks - 1) * step + span
+                s = ch.wide_start[0]
+                head = max(head, -s)
+                tail = max(tail, s + full - cp.n)
+            m = (max(head, 0), max(tail, 0))
+            cp.scratch[("wide_margins",)] = m
+        return m
+
+    def _run_chain_tiled(
+        self,
+        cp,
+        chain,
+        qh: np.ndarray,
+        kh: np.ndarray,
+        vh: np.ndarray,
+        scale: float,
+        acc: "_BatchAccumulator",
+        lane_lens: Optional[np.ndarray] = None,
+    ) -> None:
+        """Execute one job chain on chain-local merge state.
+
+        The tile loop is *outer*, jobs inner: within one lane tile every
+        job's gathered K/V streams stay cache-resident through stages
+        1–5, and per (lane, query) the merge order is exactly the job
+        order of the schedule.  Chain-local state is *seeded* from the
+        accumulator before the first job and committed back by plain
+        assignment afterwards, so chains whose queries already carry
+        parts from earlier jobs replay exactly the flat path's
+        sequential merges.
+        """
+        sc = cp.scratch
+        jobs = [cp.window_jobs[ji] for ji in chain.jobs]
+        job0 = jobs[0]
+        lanes = qh.shape[0]
+        d = qh.shape[2]
+        G, B, R = job0.num_groups, job0.num_blocks, job0.rows
+        T, Bc = cp.tile_shape(job0, lanes)
+        flat_keep, flat_q = chain.flat_keep, chain.flat_q
+        M = flat_keep.size
+        cells = G * B * R
+        # When every cell is kept and the flattened query ids are one
+        # contiguous range, the chain's cells *are* a slice of the
+        # accumulator: run the merge state directly on accumulator views
+        # — no seed, no commit, no scratch copies at all.
+        alias = chain.keep_all and chain.q_start is not None
+        if alias:
+            base = chain.q_start
+            out_run = acc.out[:, base : base + cells].reshape(lanes, G, B, R, d)
+            w_run = acc.w[:, base : base + cells].reshape(lanes, G, B, R)
+            has_run = acc.has[:, base : base + cells].reshape(lanes, G, B, R)
+            parts_run = acc.parts[:, base : base + cells].reshape(lanes, G, B, R)
+        else:
+            # Zeroed at allocation only: stale out/w values at non-kept
+            # cells are gated out of every merge by the has masks and
+            # never committed (and stay bounded, unlike raw np.empty
+            # garbage), so the per-chain fill of the two big buffers can
+            # be dropped; the masks themselves do need clearing.
+            out_run = self._zbuf(sc, "chain_out", (lanes, G, B, R, d))
+            w_run = self._zbuf(sc, "chain_w", (lanes, G, B, R))
+            has_run = self._buf(sc, "chain_has", (lanes, G, B, R), np.bool_)
+            parts_run = self._buf(sc, "chain_parts", (lanes, G, B, R), np.int64)
+            has_run.fill(False)
+            parts_run.fill(0)
+            # Seed the kept cells with the accumulator's current state
+            # for these queries (all zeros when no earlier job touched
+            # them) so every chain job is a merge against exactly the
+            # state the flat path would see.
+            if chain.keep_slice is not None:
+                k0, q0 = chain.keep_slice
+                out_run.reshape(lanes, cells, d)[:, k0 : k0 + M] = acc.out[
+                    :, q0 : q0 + M
+                ]
+                w_run.reshape(lanes, cells)[:, k0 : k0 + M] = acc.w[:, q0 : q0 + M]
+                has_run.reshape(lanes, cells)[:, k0 : k0 + M] = acc.has[
+                    :, q0 : q0 + M
+                ]
+            else:
+                cb_out = self._buf(sc, "commit_out", (lanes, M, d))
+                cb_w = self._buf(sc, "commit_w", (lanes, M))
+                cb_has = self._buf(sc, "commit_has", (lanes, M), np.bool_)
+                np.take(acc.out, flat_q, axis=1, out=cb_out, mode="clip")
+                np.take(acc.w, flat_q, axis=1, out=cb_w, mode="clip")
+                np.take(acc.has, flat_q, axis=1, out=cb_has, mode="clip")
+                out_run.reshape(lanes, cells, d)[:, flat_keep] = cb_out
+                w_run.reshape(lanes, cells)[:, flat_keep] = cb_w
+                has_run.reshape(lanes, cells)[:, flat_keep] = cb_has
+        chain_merges = 0
+        for b0 in range(0, B, Bc):
+            b1 = min(b0 + Bc, B)
+            # Single-band chains gather Q/K/V for the whole chunk once,
+            # across all lanes; the lane tiles below slice the slabs.
+            wide = (
+                self._wide_chunk_slabs(cp, chain, jobs, qh, kh, vh, b0, b1)
+                if chain.wide_ids is not None
+                else None
+            )
+            for t0 in range(0, lanes, T):
+                t1 = min(t0 + T, lanes)
+                if wide is not None:
+                    stages = self._wide_job_stages(
+                        cp, jobs, wide, scale, t0, t1, b0, b1, lane_lens
+                    )
+                else:
+                    stages = (
+                        self._job_stages_tiled(
+                            cp, job, qh, kh, vh, scale, t0, t1, b0, b1, lane_lens
+                        )
+                        for job in jobs
+                    )
+                for out5, w, has in stages:
+                    ro = out_run[t0:t1, :, b0:b1]
+                    rw = w_run[t0:t1, :, b0:b1]
+                    rh = has_run[t0:t1, :, b0:b1]
+                    rp = parts_run[t0:t1, :, b0:b1]
+                    if not rh.any():
+                        # Nothing to merge against yet: pure assignment.
+                        np.copyto(ro, out5)
+                        np.copyto(rw, w)
+                        np.copyto(rh, has)
+                    elif np.array_equal(has, rh):
+                        # Same cells on both sides: one full-array
+                        # in-place Eq. 2 merge.  Cells empty on both
+                        # sides stay exactly (0, 0) through it.
+                        self.module.merge_into(ro, rw, out5, w)
+                        chain_merges += int(has.sum())
+                    else:
+                        # Boundary blocks where coverage differs: merge
+                        # a scratch copy of the running state, then
+                        # select per cell — merged where both sides have
+                        # work, assigned where only the new part does,
+                        # untouched otherwise — all via masked copies.
+                        both = self._buf(sc, "sel_both", w.shape, np.bool_)
+                        fresh = self._buf(sc, "sel_fresh", w.shape, np.bool_)
+                        mout = self._buf(sc, "sel_out", out5.shape)
+                        mw = self._buf(sc, "sel_w", w.shape)
+                        np.logical_and(has, rh, out=both)
+                        np.greater(has, rh, out=fresh)  # has & ~rh
+                        np.copyto(mout, ro)
+                        np.copyto(mw, rw)
+                        self.module.merge_into(mout, mw, out5, w)
+                        np.copyto(ro, out5, where=fresh[..., None])
+                        np.copyto(rw, w, where=fresh)
+                        np.copyto(ro, mout, where=both[..., None])
+                        np.copyto(rw, mw, where=both)
+                        np.logical_or(rh, has, out=rh)
+                        chain_merges += int(both.sum())
+                    np.add(rp, has, out=rp)
+        if alias:
+            pass  # the accumulator *is* the run state; parts included
+        elif chain.keep_slice is not None:
+            k0, q0 = chain.keep_slice
+            acc.out[:, q0 : q0 + M] = out_run.reshape(lanes, cells, d)[:, k0 : k0 + M]
+            acc.w[:, q0 : q0 + M] = w_run.reshape(lanes, cells)[:, k0 : k0 + M]
+            acc.has[:, q0 : q0 + M] = has_run.reshape(lanes, cells)[:, k0 : k0 + M]
+            acc.parts[:, q0 : q0 + M] += parts_run.reshape(lanes, cells)[
+                :, k0 : k0 + M
+            ]
+        else:
+            cb_out = self._buf(sc, "commit_out", (lanes, M, d))
+            cb_w = self._buf(sc, "commit_w", (lanes, M))
+            cb_has = self._buf(sc, "commit_has", (lanes, M), np.bool_)
+            cb_parts = self._buf(sc, "commit_parts", (lanes, M), np.int64)
+            flat = out_run.reshape(lanes, cells, d)
+            np.take(flat, flat_keep, axis=1, out=cb_out, mode="clip")
+            np.take(w_run.reshape(lanes, cells), flat_keep, axis=1, out=cb_w, mode="clip")
+            np.take(
+                has_run.reshape(lanes, cells), flat_keep, axis=1, out=cb_has, mode="clip"
+            )
+            np.take(
+                parts_run.reshape(lanes, cells),
+                flat_keep,
+                axis=1,
+                out=cb_parts,
+                mode="clip",
+            )
+            acc.out[:, flat_q] = cb_out
+            acc.w[:, flat_q] = cb_w
+            acc.has[:, flat_q] = cb_has
+            acc.parts[:, flat_q] += cb_parts
+        acc.merges += chain_merges
+
+    def _job_stages_tiled(
+        self,
+        cp,
+        job: WindowJob,
+        qh: np.ndarray,
+        kh: np.ndarray,
+        vh: np.ndarray,
+        scale: float,
+        t0: int,
+        t1: int,
+        b0: int,
+        b1: int,
+        lane_lens: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stages 1–5 of one (lane tile, block chunk) of a window job.
+
+        Returns ``(out, w, has)`` scratch views shaped
+        ``(Tc, G, Bc, R, d)`` / ``(Tc, G, Bc, R)``; the caller must
+        consume them before the next call reuses the buffers.
+        """
+        sc = cp.scratch
+        dp = self.datapath
+        jid = id(job)
+        Tc = t1 - t0
+        G, R, C = job.num_groups, job.rows, job.cols
+        Bc = b1 - b0
+        d = qh.shape[2]
+        qidx = self._static_index(sc, ("qidx", jid, b0, b1), job.q_safe[:, b0:b1])
+        qb = self._buf(sc, "job_q", (Tc, G * Bc * R, d))
+        np.take(qh[t0:t1], qidx, axis=1, out=qb, mode="clip")
+        qv = qb.reshape(Tc, G, Bc, R, d)
+        band = self._buf(sc, "job_band", (Tc, G, Bc, R, C))
+        col0 = 0
+        for s, seg in enumerate(job.segments):
+            W = seg.width
+            span = R + W - 1
+            lo = b0 * seg.block_step
+            hi = (b1 - 1) * seg.block_step + span
+            L = hi - lo
+            sidx = self._static_index(
+                sc, ("sidx", jid, s, b0, b1), seg.gather_ids[:, lo:hi]
+            )
+            kst = self._buf(sc, ("job_k", s), (Tc, G * L, d))
+            np.take(kh[t0:t1], sidx, axis=1, out=kst, mode="clip")
+            st, sg, sl, sd = kst.reshape(Tc, G, L, d).strides
+            kview = as_strided(
+                kst.reshape(Tc, G, L, d),
+                (Tc, G, Bc, span, d),
+                (st, sg, seg.block_step * sl, sl, sd),
+            )
+            rect = self._buf(sc, ("job_rect", s), (Tc, G, Bc, R, span))
+            np.matmul(qv, kview.swapaxes(-1, -2), out=rect)
+            rs = rect.strides
+            bandv = as_strided(rect, (Tc, G, Bc, R, W), rs[:3] + (rs[3] + rs[4], rs[4]))
+            np.copyto(band[..., col0 : col0 + W], bandv)
+            col0 += W
+        w, has = self._job_epilogue(cp, job, band, scale, t0, t1, b0, b1, lane_lens)
+        out5 = self._buf(sc, "job_out", (Tc, G, Bc, R, d))
+        tmp5 = (
+            self._buf(sc, "job_out2", (Tc, G, Bc, R, d))
+            if len(job.segments) > 1
+            else None
+        )
+        col0 = 0
+        for s, seg in enumerate(job.segments):
+            W = seg.width
+            span = R + W - 1
+            L = (b1 - 1 - b0) * seg.block_step + span
+            # Zeroed once at allocation; every use scatters into the same
+            # band positions (the stage-1 rect holds garbage off-band).
+            rect = self._zbuf(sc, ("job_rect5", s), (Tc, G, Bc, R, span))
+            rs = rect.strides
+            bandv = as_strided(rect, (Tc, G, Bc, R, W), rs[:3] + (rs[3] + rs[4], rs[4]))
+            np.copyto(bandv, band[..., col0 : col0 + W])
+            vst = self._buf(sc, ("job_v", s), (Tc, G * L, d))
+            sidx = self._static_index(
+                sc,
+                ("sidx", jid, s, b0, b1),
+                seg.gather_ids[:, b0 * seg.block_step : b0 * seg.block_step + L],
+            )
+            np.take(vh[t0:t1], sidx, axis=1, out=vst, mode="clip")
+            st, sg, sl, sd = vst.reshape(Tc, G, L, d).strides
+            vview = as_strided(
+                vst.reshape(Tc, G, L, d),
+                (Tc, G, Bc, span, d),
+                (st, sg, seg.block_step * sl, sl, sd),
+            )
+            np.matmul(rect, vview, out=out5 if s == 0 else tmp5)
+            if s > 0:
+                np.add(out5, tmp5, out=out5)
+            col0 += W
+        dp.quantize_output_into(out5, out5, bounded=self._stage5_bounded(cp))
+        return out5, w, has
+
+    def _job_epilogue(
+        self,
+        cp,
+        job: WindowJob,
+        band: np.ndarray,
+        scale: float,
+        t0: int,
+        t1: int,
+        b0: int,
+        b1: int,
+        lane_lens: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Masks + fused epilogue of one job chunk; returns ``(w, has)``."""
+        sc = cp.scratch
+        jid = id(job)
+        Tc, G, Bc, R, C = band.shape
+        validf = sc.get(("validf", jid, b0, b1))
+        if validf is None:
+            vchunk = job.valid[:, b0:b1]
+            # ``True`` marks an all-valid chunk: multiplying by an
+            # all-ones mask is exact, so skipping it is bit-identical.
+            validf = True if vchunk.all() else np.ascontiguousarray(
+                vchunk[None], dtype=np.float64
+            )
+            sc[("validf", jid, b0, b1)] = validf
+        if validf is True:
+            validf = None
+        lmask = None
+        if lane_lens is not None:
+            ids = self._segment_key_ids(job, b0, b1)
+            lmask = self._buf(sc, "job_lmask", (Tc, G, Bc, R, C), np.bool_)
+            np.less(ids[None], lane_lens[t0:t1, None, None, None, None], out=lmask)
+        w = self._buf(sc, "job_w", (Tc, G, Bc, R))
+        has = self._buf(sc, "job_has", (Tc, G, Bc, R), np.bool_)
+        self._band_epilogue(sc, band, validf, lmask, scale, w, has)
+        # Rows the window path never merges (global queries, padding) are
+        # dropped by the flat path before its accumulator call; clearing
+        # their ``has`` excludes them from chain merges, part counts and
+        # the commit identically (their values are discarded either way).
+        kmask = sc.get(("keepm", jid, b0, b1))
+        if kmask is None:
+            kmask = np.ascontiguousarray(job.keep[None, :, b0:b1])
+            sc[("keepm", jid, b0, b1)] = kmask
+        np.logical_and(has, kmask, out=has)
+        return w, has
+
+    def _wide_chunk_slabs(
+        self, cp, chain, jobs, qh, kh, vh, b0: int, b1: int
+    ) -> tuple:
+        """Full-lane Q/K/V slabs of one block chunk of a single-band chain.
+
+        The chain's jobs stream adjacent column slices of one window
+        band (``JobChain.wide_ids``), so one gather per operand serves
+        every (job, lane tile) of the chunk; the tiles slice the slabs.
+        """
+        sc = cp.scratch
+        job0 = jobs[0]
+        lanes, n, d = qh.shape
+        G, R = job0.num_groups, job0.rows
+        Bc = b1 - b0
+        step = job0.segments[0].block_step
+        offs = chain.wide_offsets
+        widths = [j.segments[0].width for j in jobs]
+        span = R + offs[-1] + widths[-1] - 1
+        lo = b0 * step
+        hi = (b1 - 1) * step + span
+        L = hi - lo
+        # The schedule's streams are contiguous id ranges (verified at
+        # compile time, see JobChain.q_start / wide_start): interior
+        # chunks are plain zero-copy slices of the operand slabs, and
+        # clamped stream edges are a slice plus tiny broadcast fills that
+        # reproduce the clipped gather exactly.
+        if G == 1 and chain.q_start is not None:
+            s = chain.q_start + b0 * R
+            qf = qh[:, s : s + Bc * R]
+        else:
+            qidx = self._static_index(
+                sc, ("qidx", id(job0), b0, b1), job0.q_safe[:, b0:b1]
+            )
+            qf = self._buf(sc, "wide_q", (lanes, G * Bc * R, d))
+            np.take(qh, qidx, axis=1, out=qf, mode="clip")
+        if G == 1 and chain.wide_start is not None:
+            s = chain.wide_start[0] + lo
+            e = s + L
+            # Overhanging edges land in the slab's replicated-row
+            # margins (sized for every wide chain by _wide_margins).
+            kslab, head, _ = sc[("slabpad", "k")]
+            vslab, _, _ = sc[("slabpad", "v")]
+            kf = kslab[:, head + s : head + e]
+            vf = vslab[:, head + s : head + e]
+        else:
+            widx = self._static_index(
+                sc, ("widx", id(chain), b0, b1), chain.wide_ids[:, lo:hi]
+            )
+            kf = self._buf(sc, "wide_k", (lanes, G * L, d))
+            vf = self._buf(sc, "wide_v", (lanes, G * L, d))
+            np.take(kh, widx, axis=1, out=kf, mode="clip")
+            np.take(vh, widx, axis=1, out=vf, mode="clip")
+        return qf, kf, vf, span, L, step, offs, widths
+
+    def _wide_job_stages(
+        self,
+        cp,
+        jobs,
+        wide: tuple,
+        scale: float,
+        t0: int,
+        t1: int,
+        b0: int,
+        b1: int,
+        lane_lens: Optional[np.ndarray] = None,
+    ):
+        """Stages 1–5 of one (lane tile, chunk) for a single-band chain.
+
+        Stage 1 is *one* banded GEMM spanning every job's columns —
+        each per-cell dot product is the identical exact integer
+        regardless of the surrounding GEMM width, so extracting a job's
+        band from the wide rectangle is bit-identical to the per-job
+        GEMM it replaces.  Yields per-job ``(out, w, has)`` scratch
+        views in schedule order; stage 5 stays per job (each job
+        normalises and merges its own probabilities).
+        """
+        sc = cp.scratch
+        dp = self.datapath
+        qf, kf, vf, span, L, step, offs, widths = wide
+        job0 = jobs[0]
+        Tc = t1 - t0
+        G, R = job0.num_groups, job0.rows
+        Bc = b1 - b0
+        d = qf.shape[2]
+        q5 = self._stage5_bounded(cp)
+        qv = qf[t0:t1].reshape(Tc, G, Bc, R, d)
+        kr = kf[t0:t1].reshape(Tc, G, L, d)
+        vr = vf[t0:t1].reshape(Tc, G, L, d)
+        st, sg, sl, sd = kr.strides
+        vt, vg, vl, vd = vr.strides
+        kview = as_strided(kr, (Tc, G, Bc, span, d), (st, sg, step * sl, sl, sd))
+        rect = self._buf(sc, "wide_rect", (Tc, G, Bc, R, span))
+        np.matmul(qv, kview.swapaxes(-1, -2), out=rect)
+        rs = rect.strides
+        for jpos, job in enumerate(jobs):
+            W = widths[jpos]
+            off = offs[jpos]
+            span_j = R + W - 1
+            band = self._buf(sc, "job_band", (Tc, G, Bc, R, W))
+            bandv = as_strided(
+                rect[..., off:], (Tc, G, Bc, R, W), rs[:3] + (rs[3] + rs[4], rs[4])
+            )
+            np.copyto(band, bandv)
+            w, has = self._job_epilogue(
+                cp, job, band, scale, t0, t1, b0, b1, lane_lens
+            )
+            # Zeroed once at allocation: each use scatters the band into
+            # the same strided positions, everything else stays 0.
+            rect5 = self._zbuf(sc, "wide_rect5", (Tc, G, Bc, R, span_j))
+            r5 = rect5.strides
+            b5 = as_strided(
+                rect5, (Tc, G, Bc, R, W), r5[:3] + (r5[3] + r5[4], r5[4])
+            )
+            np.copyto(b5, band)
+            vview = as_strided(
+                vr[:, :, off:],
+                (Tc, G, Bc, span_j, d),
+                (vt, vg, step * vl, vl, vd),
+            )
+            out5 = self._buf(sc, "job_out", (Tc, G, Bc, R, d))
+            np.matmul(rect5, vview, out=out5)
+            dp.quantize_output_into(out5, out5, bounded=q5)
+            yield out5, w, has
+
+    def _exp_table(self, sc: dict, scale: float):
+        """Direct score->exp lookup table, or ``False`` when inapplicable.
+
+        On a quantised datapath every stage-1 score is an exact integer
+        multiple of ``2^-2f`` (``f`` input fraction bits), and a power
+        -of-two ``scale`` keeps the scaled scores on a fixed grid ``g``.
+        The whole exp pipeline (clamp, range reduction, LUT chords,
+        shift, output quantise) is then a function of the grid code
+        alone, so it collapses into one gather from a table built by
+        evaluating the reference unit at every representable input —
+        bit-identical by construction.  Codes beyond the clamp range
+        land on the ``unit.lo`` / ``unit.hi`` sentinel entries via the
+        take's index clip, exactly like the unit's input clamp.
+        """
+        ent = sc.get(("exp_lut", scale))
+        if ent is None:
+            ent = False
+            fi = self.datapath.input_format
+            unit = self.datapath.exp_unit
+            m, e = math.frexp(float(scale))
+            if fi is not None and unit is not None and m == 0.5:
+                g = math.ldexp(1.0, e - 1 - 2 * fi.frac_bits)
+                c_min = math.ceil(unit.lo / g)
+                c_max = math.floor(unit.hi / g)
+                size = c_max - c_min + 3
+                if 0 < size <= (1 << 17):
+                    xs = np.empty(size, dtype=np.float64)
+                    xs[0] = unit.lo
+                    xs[1:-1] = np.arange(c_min, c_max + 1) * g
+                    xs[-1] = unit.hi
+                    cmul = math.ldexp(1.0, 2 * fi.frac_bits)
+                    ent = (unit(xs), cmul, float(c_min - 1))
+            sc[("exp_lut", scale)] = ent
+        return ent
+
+    def _band_epilogue(
+        self,
+        sc: dict,
+        band: np.ndarray,
+        validf: Optional[np.ndarray],
+        lmask: Optional[np.ndarray],
+        scale: float,
+        w: np.ndarray,
+        has: np.ndarray,
+    ) -> None:
+        """Fused mask + softmax epilogue: ``band`` (scores) -> probs in place.
+
+        One pass per tile over the contiguous band buffer: scale, PWL
+        exp, validity masking, row sum, LUT reciprocal and probability
+        quantisation — every step the same elementwise op (or same
+        -order reduction) as the flat path, so bit-identical.  Rows
+        without work get a safe reciprocal operand of 1.0; their cells
+        are all exact zeros, so the probabilities come out 0 either way.
+        """
+        dp = self.datapath
+        lut = self._exp_table(sc, scale)
+        if lut is not False:
+            table, cmul, off = lut
+            idx = self._buf(sc, ("exp_idx",), band.shape, np.int64)
+            np.multiply(band, cmul, out=band)  # exact: scores -> grid codes
+            np.subtract(band, off, out=band)
+            np.copyto(idx, band, casting="unsafe")
+            np.take(table, idx, out=band, mode="clip")
+        else:
+            np.multiply(band, scale, out=band)
+            dp.exp_into(band, band)
+        if validf is not None:
+            np.multiply(band, validf, out=band)
+        if lmask is not None:
+            np.multiply(band, lmask, out=band)
+        band.sum(axis=-1, out=w)
+        np.greater(w, 0.0, out=has)
+        wsafe = self._buf(sc, ("epi_wsafe",), w.shape)
+        inv = self._buf(sc, ("epi_inv",), w.shape)
+        np.subtract(1.0, has, out=wsafe)
+        np.add(wsafe, w, out=wsafe)
+        dp.recip_into(wsafe, inv)
+        pf = dp.prob_format
+        if pf is not None and pf.max_value >= 2.0:
+            # Fold the prob quantiser's power-of-two scale into the
+            # row-shaped reciprocal: exact power-of-two scaling commutes
+            # with fp rounding, so ``rint(e * (inv*2^k)) * res`` is bit
+            # -identical to quantize_prob_into(bounded=True) on
+            # ``e * inv`` — one fewer full-band pass.  The ≥ 2 headroom
+            # check is the same saturation-skip proof (p < 2).
+            np.multiply(inv, float(1 << pf.frac_bits), out=inv)
+            np.multiply(band, inv[..., None], out=band)
+            np.rint(band, out=band)
+            np.multiply(band, pf.resolution, out=band)
+        else:
+            np.multiply(band, inv[..., None], out=band)
+            dp.quantize_prob_into(band, band, bounded=True)
+
+    def _run_global_column_tiled(self, cp, qh, kh, vh, scale, acc) -> None:
+        """Global PE column via GEMM + the fused epilogue.
+
+        When every non-global row already carries a window part and
+        every row has work — the common case — the merge is one full
+        -array in-place Eq. 2 pass over the accumulator slice instead of
+        a gathered merge/scatter.
+        """
+        rows = cp.nonglobal_rows
+        nr = len(rows)
+        if nr == 0:
+            return
+        sc = cp.scratch
+        dp = self.datapath
+        gtok = cp.global_tokens
+        lanes, _, d = qh.shape
+        ng = len(gtok)
+        contig = nr == int(rows[-1]) - int(rows[0]) + 1
+        if contig:
+            r0 = int(rows[0])
+            qg = qh[:, r0 : r0 + nr]
+        else:  # pragma: no cover - scattered global tokens
+            ridx = self._static_index(sc, ("gcol_rows",), rows)
+            qg = self._buf(sc, "gcol_q", (lanes, nr, d))
+            np.take(qh, ridx, axis=1, out=qg, mode="clip")
+        gidx = self._static_index(sc, ("gcol_keys",), gtok)
+        kg = self._buf(sc, "gcol_k", (lanes, ng, d))
+        vg = self._buf(sc, "gcol_v", (lanes, ng, d))
+        np.take(kh, gidx, axis=1, out=kg, mode="clip")
+        np.take(vh, gidx, axis=1, out=vg, mode="clip")
+        s = self._buf(sc, "gcol_s", (lanes, nr, ng))
+        np.matmul(qg, kg.swapaxes(-1, -2), out=s)
+        w = self._buf(sc, "gcol_w", (lanes, nr))
+        has = self._buf(sc, "gcol_has", (lanes, nr), np.bool_)
+        self._band_epilogue(sc, s, None, None, scale, w, has)
+        out = self._buf(sc, "gcol_out", (lanes, nr, d))
+        np.matmul(s, vg, out=out)
+        dp.quantize_output_into(out, out, bounded=self._stage5_bounded(cp))
+        if contig:
+            a_out = acc.out[:, r0 : r0 + nr]
+            a_w = acc.w[:, r0 : r0 + nr]
+            a_has = acc.has[:, r0 : r0 + nr]
+            if bool(has.all()) and bool(a_has.all()):
+                self.module.merge_into(a_out, a_w, out, w)
+                acc.parts[:, r0 : r0 + nr] += 1
+                acc.merges += lanes * nr
+                return
+            if has.any():
+                # Mixed fresh/stale rows (padded tails under valid_lens):
+                # run one full-array merge on weight-padded copies and
+                # commit cells selectively — the same arithmetic the
+                # gathered ``add_part`` merge performs at each stale
+                # cell, without its per-call index allocations.  Padding
+                # the weights with +1 at non-stale cells keeps every
+                # reciprocal operand positive; those lanes' merged
+                # values are discarded by the masked commit.
+                stale = self._buf(sc, "gcol_stale", (lanes, nr), np.bool_)
+                fresh = self._buf(sc, "gcol_fresh", (lanes, nr), np.bool_)
+                np.logical_and(has, a_has, out=stale)
+                np.greater(has, a_has, out=fresh)  # has & ~a_has
+                mo = self._buf(sc, "gcol_mo", (lanes, nr, d))
+                mw = self._buf(sc, "gcol_mw", (lanes, nr))
+                w2 = self._buf(sc, "gcol_w2", (lanes, nr))
+                np.copyto(mo, a_out)
+                np.subtract(1.0, stale, out=mw)
+                np.add(mw, a_w, out=mw)
+                np.subtract(1.0, stale, out=w2)
+                np.add(w2, w, out=w2)
+                self.module.merge_into(mo, mw, out, w2)
+                np.copyto(a_out, mo, where=stale[..., None])
+                np.copyto(a_w, mw, where=stale)
+                np.copyto(a_out, out, where=fresh[..., None])
+                np.copyto(a_w, w, where=fresh)
+                np.logical_or(a_has, has, out=a_has)
+                acc.parts[:, r0 : r0 + nr] += has
+                acc.merges += int(np.count_nonzero(stale))
+            return
+        acc.add_part(rows, out, w, has)  # pragma: no cover - scattered globals
 
     def _stages_batched(
         self,
@@ -656,6 +1503,93 @@ class FunctionalEngine:
             out[:, idx] = o
             w[:, idx] = ww
             has[:, idx] = hh
+        self._merge_global_rows(cp, out, w, has, acc)
+
+    def _run_global_rows_tiled(
+        self, cp, qh, kh, vh, scale, acc, lane_lens: Optional[np.ndarray] = None
+    ) -> None:
+        """Global PE row via GEMM + fused epilogue in plan scratch.
+
+        Same length-bucketed batches and merge chain as
+        :meth:`_run_global_rows_batched`; only stages 1–5 differ —
+        gathered contiguous key/value slabs and ``matmul`` replace the
+        broadcast einsums (exact under quantisation, see
+        :meth:`Datapath.supports_exact_gemm`), and the fused epilogue
+        replaces the allocating mask/exp/recip sequence.
+        """
+        gtok = cp.global_tokens
+        num_b = cp.global_batches.shape[0]
+        if num_b == 0 or len(gtok) == 0:
+            return
+        sc = cp.scratch
+        dp = self.datapath
+        lanes, _, d = qh.shape
+        num_g = len(gtok)
+        out = self._buf(sc, "grow_out", (lanes, num_b, num_g, d))
+        w = self._buf(sc, "grow_w", (lanes, num_b, num_g))
+        has = self._buf(sc, "grow_has", (lanes, num_b, num_g), np.bool_)
+        gidx = self._static_index(sc, ("grow_q",), gtok)
+        qg = self._buf(sc, "grow_qg", (lanes, num_g, d))
+        np.take(qh, gidx, axis=1, out=qg, mode="clip")
+        buckets = sc.get(("grow_buckets",))
+        if buckets is None:
+            lengths = cp.global_batch_valid.sum(axis=1)
+            buckets = [
+                (int(length), np.flatnonzero(lengths == length))
+                for length in np.unique(lengths)
+            ]
+            sc[("grow_buckets",)] = buckets
+        for L, bidx in buckets:
+            nb = len(bidx)
+            keys = sc.get(("grow_keymat", L))
+            if keys is None:
+                keys = np.ascontiguousarray(cp.global_batches[bidx, :L])
+                sc[("grow_keymat", L)] = keys
+            # Adjacent batches usually tile the sequence: when the
+            # flattened key matrix is one arange the gathers collapse to
+            # zero-copy slices of the key/value slabs.
+            krun = sc.get(("grow_krange", L))
+            if krun is None:
+                krun = _arange_start(keys.ravel())
+                krun = False if krun is None else krun
+                sc[("grow_krange", L)] = krun
+            if krun is not False:
+                s0 = int(krun)
+                kv = kh[:, s0 : s0 + nb * L].reshape(lanes, nb, L, d)
+                vv = vh[:, s0 : s0 + nb * L].reshape(lanes, nb, L, d)
+            else:
+                kidx = self._static_index(sc, ("grow_keys", L), keys)
+                kb = self._buf(sc, ("grow_k", L, nb), (lanes, nb * L, d))
+                vb = self._buf(sc, ("grow_v", L, nb), (lanes, nb * L, d))
+                np.take(kh, kidx, axis=1, out=kb, mode="clip")
+                np.take(vh, kidx, axis=1, out=vb, mode="clip")
+                kv = kb.reshape(lanes, nb, L, d)
+                vv = vb.reshape(lanes, nb, L, d)
+            s = self._buf(sc, ("grow_s", L, nb), (lanes, nb, num_g, L))
+            np.matmul(qg[:, None], kv.swapaxes(-1, -2), out=s)
+            lmask = None
+            if lane_lens is not None:
+                lmask = self._buf(sc, ("grow_lmask", L, nb), (lanes, nb, 1, L), np.bool_)
+                np.less(
+                    keys[None, :, None, :], lane_lens[:, None, None, None], out=lmask
+                )
+            bw = self._buf(sc, ("grow_bw", L, nb), (lanes, nb, num_g))
+            bh = self._buf(sc, ("grow_bh", L, nb), (lanes, nb, num_g), np.bool_)
+            self._band_epilogue(sc, s, None, lmask, scale, bw, bh)
+            bo = self._buf(sc, ("grow_bo", L, nb), (lanes, nb, num_g, d))
+            np.matmul(s, vv, out=bo)
+            dp.quantize_output_into(bo, bo, bounded=self._stage5_bounded(cp))
+            out[:, bidx] = bo
+            w[:, bidx] = bw
+            has[:, bidx] = bh
+        self._merge_global_rows(cp, out, w, has, acc)
+
+    def _merge_global_rows(self, cp, out, w, has, acc) -> None:
+        """Sequential weighted-sum merge chain of the global-row batches."""
+        gtok = cp.global_tokens
+        num_b = out.shape[1]
+        heads_n = out.shape[0]
+        num_g = len(gtok)
         if heads_n * num_g == 1:
             # Serving-path fast path: one lane, one global token.  The
             # general chain below spends most of its time building (1, 1)
@@ -667,14 +1601,34 @@ class FunctionalEngine:
         # touches a global query row, so run the chain on local (H, G)
         # state and commit it to the accumulator once at the end.
         heads, _, num_g, d = out.shape
-        out_run = np.zeros((heads, num_g, d), dtype=np.float64)
-        w_run = np.zeros((heads, num_g), dtype=np.float64)
-        has_run = np.zeros((heads, num_g), dtype=bool)
-        parts_run = np.zeros((heads, num_g), dtype=np.int64)
+        sc = cp.scratch
+        out_run = self._buf(sc, "grow_run_out", (heads, num_g, d))
+        w_run = self._buf(sc, "grow_run_w", (heads, num_g))
+        has_run = self._buf(sc, "grow_run_has", (heads, num_g), np.bool_)
+        parts_run = self._buf(sc, "grow_run_parts", (heads, num_g), np.int64)
+        out_run.fill(0.0)
+        w_run.fill(0.0)
+        has_run.fill(False)
+        parts_run.fill(0)
         for b in range(num_b):
             hb = has[:, b]
             if not hb.any():
                 continue
+            if bool(hb.all()):
+                # Full batches dominate (every lane attends every global
+                # token); merge the whole running state in place instead
+                # of building masks and fancy-index copies per batch.
+                if bool(has_run.all()):
+                    self.module.merge_into(out_run, w_run, out[:, b], w[:, b])
+                    acc.merges += has_run.size
+                    parts_run += 1
+                    continue
+                if not has_run.any():
+                    np.copyto(out_run, out[:, b])
+                    np.copyto(w_run, w[:, b])
+                    has_run[:] = True
+                    parts_run += 1
+                    continue
             stale = hb & has_run
             fresh = hb & ~has_run
             if fresh.any():
@@ -689,10 +1643,20 @@ class FunctionalEngine:
                 w_run[stale] = total
                 acc.merges += int(stale.sum())
             parts_run[hb] += 1
-        h_idx, g_idx = np.nonzero(has_run)
-        acc.out[h_idx, gtok[g_idx]] = out_run[has_run]
-        acc.w[h_idx, gtok[g_idx]] = w_run[has_run]
-        acc.has[h_idx, gtok[g_idx]] = True
+        g0 = sc.get(("grow_grange",))
+        if g0 is None:
+            g0 = _arange_start(np.asarray(gtok).ravel())
+            g0 = False if g0 is None else g0
+            sc[("grow_grange",)] = g0
+        if bool(has_run.all()) and g0 is not False:
+            acc.out[:, g0 : g0 + num_g] = out_run
+            acc.w[:, g0 : g0 + num_g] = w_run
+            acc.has[:, g0 : g0 + num_g] = True
+        else:
+            h_idx, g_idx = np.nonzero(has_run)
+            acc.out[h_idx, gtok[g_idx]] = out_run[has_run]
+            acc.w[h_idx, gtok[g_idx]] = w_run[has_run]
+            acc.has[h_idx, gtok[g_idx]] = True
         acc.parts[:, gtok] += parts_run
 
     def _merge_global_chain_scalar(self, cp, out, w, has, acc) -> None:

@@ -31,6 +31,7 @@ class ReciprocalUnit:
     lut_bits: int
     mantissa_format: FixedPointFormat
     table: np.ndarray = field(init=False, repr=False)
+    _scratch: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.lut_bits < 1:
@@ -59,6 +60,36 @@ class ReciprocalUnit:
         # Exact shift by 2^-e (the denormalise step), identical to
         # multiplying by np.power(2.0, -e) but without the pow call.
         return np.ldexp(self.table[idx], -e)
+
+    def into(self, w: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free :meth:`__call__` (after the first call per shape).
+
+        Same elementwise shift-normalise / LUT / denormalise sequence as
+        :meth:`__call__`, so bit-identical — but the positivity check is
+        the *caller's* contract (the fused epilogue substitutes a safe
+        operand into empty rows before calling).  ``w`` may alias ``out``.
+        Not thread-safe.
+        """
+        sc = self._scratch.get(w.shape)
+        if sc is None:
+            sc = (
+                np.empty(w.shape, dtype=np.float64),  # mantissa
+                np.empty(w.shape, dtype=np.intc),  # exponent
+                np.empty(w.shape, dtype=np.int64),  # LUT index
+            )
+            self._scratch[w.shape] = sc
+        mant, e, idx = sc
+        np.frexp(w, mant, e)  # w = mant * 2**e, mant in [0.5, 1)
+        np.multiply(mant, 2.0, out=mant)  # [1, 2)
+        np.subtract(e, 1, out=e)
+        np.subtract(mant, 1.0, out=mant)
+        np.multiply(mant, float(1 << self.lut_bits), out=mant)
+        np.copyto(idx, mant, casting="unsafe")  # C cast == .astype(int64)
+        np.minimum(idx, (1 << self.lut_bits) - 1, out=idx)
+        np.take(self.table, idx, out=out, mode="clip")
+        np.negative(e, out=e)
+        np.ldexp(out, e, out=out)
+        return out
 
     def max_relative_error(self, samples: int = 8192) -> float:
         """Worst-case relative error over one mantissa octave."""

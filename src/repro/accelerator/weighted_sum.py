@@ -15,7 +15,7 @@ even after quantisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 import numpy as np
@@ -30,6 +30,7 @@ class WeightedSumModule:
     """Hardware-faithful pairwise merge of partial attention outputs."""
 
     datapath: Datapath
+    _scratch: dict = field(init=False, repr=False, default_factory=dict)
 
     def merge(
         self,
@@ -56,3 +57,61 @@ class WeightedSumModule:
             a1[..., None] * np.asarray(out1) + a2[..., None] * np.asarray(out2)
         )
         return merged, total
+
+    def merge_into(
+        self,
+        out1: np.ndarray,
+        w1: np.ndarray,
+        out2: np.ndarray,
+        w2: np.ndarray,
+    ) -> None:
+        """In-place Eq. 2 merge of ``(out2, w2)`` into the running pair.
+
+        Elementwise-identical to :meth:`merge` for any array shapes
+        (``w*`` broadcast over a trailing feature axis of ``out*``), but
+        writes the merged output into ``out1`` and the summed weight into
+        ``w1`` with zero steady-state allocation.  Strictly positive
+        weights are the caller's contract (chain merges are gated on the
+        ``has`` mask, so both sides carry weight).  Not thread-safe.
+        """
+        dp = self.datapath
+        key = (w1.shape, out1.shape)
+        sc = self._scratch.get(key)
+        if sc is None:
+            sc = (
+                np.empty(w1.shape, dtype=np.float64),  # total
+                np.empty(w1.shape, dtype=np.float64),  # a1
+                np.empty(w1.shape, dtype=np.float64),  # a2
+                np.empty(out1.shape, dtype=np.float64),  # a2 * out2
+            )
+            self._scratch[key] = sc
+        total, a1, a2, tmp = sc
+        np.add(w1, w2, out=total)
+        dp.recip_into(total, a1)
+        np.multiply(a1, w1, out=a1)
+        dp.quantize_prob_into(a1, a1, bounded=True)
+        np.clip(a1, 0.0, 1.0, out=a1)
+        np.subtract(1.0, a1, out=a2)
+        of = dp.output_format
+        if of is not None:
+            # Fold the output quantiser's power-of-two scale into the
+            # row coefficients: scaling by an exact power of two
+            # commutes with fp rounding (no over/underflow at these
+            # magnitudes), so ``rint((a1*2^k)*o1 + (a2*2^k)*o2) * res``
+            # is bit-identical to quantising the unscaled combination —
+            # one fewer full-size pass.  Saturation is skipped as in
+            # quantize_output_into(bounded=True): a convex combination
+            # of in-range values stays in range.
+            lift = float(1 << of.frac_bits)
+            np.multiply(a1, lift, out=a1)
+            np.multiply(a2, lift, out=a2)
+            np.multiply(out1, a1[..., None], out=out1)
+            np.multiply(out2, a2[..., None], out=tmp)
+            np.add(out1, tmp, out=out1)
+            np.rint(out1, out=out1)
+            np.multiply(out1, of.resolution, out=out1)
+        else:
+            np.multiply(out1, a1[..., None], out=out1)
+            np.multiply(out2, a2[..., None], out=tmp)
+            np.add(out1, tmp, out=out1)
+        np.copyto(w1, total)

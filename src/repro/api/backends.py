@@ -309,6 +309,16 @@ register_backend(
     _salo_caps("systolic"),
     summary="cycle-accurate micro-simulator (small configs, single sequence)",
 )
+if "functional-jit" in ENGINE_BACKENDS:  # pragma: no cover - requires numba
+    # Present only when numba imports (see repro.accelerator.jit): the
+    # registry — and therefore ``engines list`` — shows exactly the
+    # backends that can actually run on this interpreter.
+    register_backend(
+        "functional-jit",
+        _salo_factory("functional-jit"),
+        _salo_caps("functional-jit"),
+        summary="numba-fused tiled SALO engine (optional; requires numba)",
+    )
 register_backend(
     "dense",
     lambda config: DenseOracleBackend(),

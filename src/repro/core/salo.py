@@ -82,6 +82,12 @@ def _make_systolic(plan: ExecutionPlan):
     return SystolicEngine(plan)
 
 
+def _make_jit(plan: ExecutionPlan):
+    from ..accelerator.jit import JitFunctionalEngine
+
+    return JitFunctionalEngine(plan)
+
+
 #: Plan-executing engine backends a :class:`SALO` instance can run.
 #: name -> (engine factory, supports_batch, supports_valid_lens).  The
 #: :mod:`repro.api` registry derives its SALO-backed adapters (and their
@@ -91,6 +97,16 @@ ENGINE_BACKENDS = {
     "functional-legacy": (_make_legacy, True, True),
     "systolic": (_make_systolic, False, False),
 }
+
+# The numba-fused engine is strictly optional: it only exists (here and
+# in the repro.api registry, which derives from this table) when numba
+# is importable, with the same capability flags as ``functional`` — the
+# parity suite holds it to bit-identity with the rest of the quantised
+# engine group.
+from ..accelerator.jit import HAVE_NUMBA as _HAVE_NUMBA  # noqa: E402
+
+if _HAVE_NUMBA:  # pragma: no cover - requires an image with numba
+    ENGINE_BACKENDS["functional-jit"] = (_make_jit, True, True)
 
 
 def pattern_structure_key(pattern: AttentionPattern) -> Optional[Tuple]:

@@ -136,7 +136,12 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     workers = 2
     num_requests = 600  # long enough that steady-state overload, not the
     # cold-compile transient, dominates the numbers
-    clock = CostModelClock()
+    # Flat clock: the sweep's committed claims (shedding beats no-control
+    # at rho 1.5, admission near-parity) are about control dynamics at a
+    # designed service scale.  The bench-calibrated clock's host dispatch
+    # overhead dwarfs this probe workload's per-request latency, which
+    # inflates the deadline unit until nothing is ever doomed.
+    clock = CostModelClock.flat()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
     unit_s, dispatch_s = service_scales(probe, clock)
     capacity = workers / unit_s

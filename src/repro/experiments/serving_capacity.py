@@ -80,7 +80,11 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     """``backend`` selects the worker engine backend (CLI ``--backend``);
     the cost-model clock is engine-independent, so only measured-mode
     details and cold-compile accounting can differ between backends."""
-    clock = CostModelClock()
+    # Flat clock for the same reason as the overload sweep: the capacity
+    # frontier and EDF-vs-FIFO claims are scaled to this probe workload,
+    # whose per-request latency the calibrated host dispatch overhead
+    # would swamp (deadlines balloon and every policy meets them).
+    clock = CostModelClock.flat()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
     unit_s, dispatch_s = service_scales(probe, clock)
     num_requests = 240 if fast else 400

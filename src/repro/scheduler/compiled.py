@@ -43,7 +43,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
     from .plan import ExecutionPlan
 
-__all__ = ["CompiledPlan", "SegmentStream", "WindowJob", "compile_plan"]
+__all__ = ["CompiledPlan", "JobChain", "SegmentStream", "WindowJob", "compile_plan"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,160 @@ class WindowJob:
     safe_key_ids: Optional[np.ndarray]  # (G, B, R, C) fallback gather ids
 
 
+@dataclass(frozen=True)
+class JobChain:
+    """A maximal run of consecutive same-geometry window jobs.
+
+    Jobs of one chain share ``q_ids`` and ``keep`` bit for bit, so every
+    job contributes a part to exactly the same (group, block, row) cells.
+    The per-query weighted-sum chain therefore runs on chain-local state:
+    seeded from the accumulator before the first job (all zeros when the
+    chain is *private*, i.e. no earlier job touched its queries),
+    merged job by job in schedule order, and committed back by plain
+    assignment — exactly what the sequential per-job accumulator merges
+    would have left there.
+
+    ``flat_keep`` / ``flat_q`` are the static commit indices: positions
+    of kept cells in the flattened ``(G * B * R)`` cell axis and the
+    query ids they map to, precomputed once per plan.
+
+    When every job of the chain streams a single key segment and the
+    segments are adjacent column slices of one window band — the shape
+    the scheduler's column splitting always produces — the chain also
+    carries the *wide stream*: the union of all jobs' key streams
+    (``wide_ids``) plus each job's column offset into it
+    (``wide_offsets``).  Engines then gather K/V once per tile for the
+    whole chain and run one banded stage-1 GEMM spanning every job's
+    columns, instead of one overlapping gather + GEMM per job.
+    """
+
+    jobs: Tuple[int, ...]  # indices into CompiledPlan.window_jobs
+    private: bool
+    flat_keep: np.ndarray  # (M,) int64 indices into flattened (G*B*R)
+    flat_q: np.ndarray  # (M,) int64 query ids of the kept cells
+    wide_ids: Optional[np.ndarray] = None  # (G, L) combined stream key ids
+    wide_offsets: Optional[Tuple[int, ...]] = None  # per-job column offset
+    # Contiguity facts, verified by direct comparison at build time, that
+    # let engines replace gathers with slices (see FunctionalEngine):
+    wide_start: Optional[Tuple[int, ...]] = None  # wide_ids[g] == clip(arange)
+    q_start: Optional[int] = None  # flattened q_safe == arange(q_start, ...)
+    keep_all: bool = False  # every (group, block, row) cell is merged
+    keep_slice: Optional[Tuple[int, int]] = None  # (k0, q0): both flat aranges
+
+
+def _arange_start(a: np.ndarray) -> Optional[int]:
+    """Start value when ``a`` is exactly a contiguous ascending range."""
+    if a.size == 0:
+        return None
+    s = int(a[0])
+    if int(a[-1]) - s != a.size - 1:
+        return None
+    return s if np.array_equal(a, np.arange(s, s + a.size)) else None
+
+
+def _clipped_arange_start(a: np.ndarray, n: int) -> Optional[int]:
+    """Start ``s`` when ``a == clip(arange(s, s + len(a)), 0, n - 1)``.
+
+    The window schedule's key streams are ranges with their out-of-range
+    head/tail clamped by the gather-safety clip; recovering ``s`` from
+    the (normally unclamped) midpoint and re-verifying keeps this exact.
+    """
+    mid = a.size // 2
+    s = int(a[mid]) - mid
+    if np.array_equal(a, np.clip(np.arange(s, s + a.size), 0, n - 1)):
+        return s
+    return None
+
+
+def _wide_stream(jobs) -> Tuple[Optional[np.ndarray], Optional[Tuple[int, ...]]]:
+    """Combined key stream of a chain, when its jobs slice one band.
+
+    Verifies — by direct array comparison, not by construction — that
+    each job's single key-stream segment is the previous one shifted by
+    exactly its width, and returns the union stream plus per-job
+    offsets.  Any mismatch (multi-segment jobs, differing block steps,
+    non-adjacent columns) returns ``(None, None)`` and the engine falls
+    back to per-job gathers.
+    """
+    if any(j.segments is None or len(j.segments) != 1 for j in jobs):
+        return None, None
+    segs = [j.segments[0] for j in jobs]
+    step = segs[0].block_step
+    if any(s.block_step != step for s in segs):
+        return None, None
+    base = segs[0].gather_ids
+    L0 = base.shape[1]
+    offsets = [0]
+    for prev, seg in zip(segs, segs[1:]):
+        off = offsets[-1] + prev.width
+        overlap = L0 - off
+        if overlap < 0 or not np.array_equal(seg.gather_ids[:, :overlap], base[:, off:]):
+            return None, None
+        offsets.append(off)
+    tail = segs[-1].gather_ids[:, L0 - offsets[-1] :]
+    wide = np.concatenate([base, tail], axis=1) if tail.shape[1] else base
+    return np.ascontiguousarray(wide), tuple(offsets)
+
+
+def _build_job_chains(jobs, n: int) -> Tuple[JobChain, ...]:
+    """Group the job schedule into chains (see :class:`JobChain`)."""
+    chains: List[JobChain] = []
+    seen: Optional[np.ndarray] = None  # query ids already covered
+    i = 0
+    while i < len(jobs):
+        a = jobs[i]
+        j = i + 1
+        while j < len(jobs):
+            b = jobs[j]
+            if (
+                a.segments is not None
+                and b.segments is not None
+                and a.q_ids.shape == b.q_ids.shape
+                and np.array_equal(a.q_ids, b.q_ids)
+                and np.array_equal(a.keep, b.keep)
+            ):
+                j += 1
+            else:
+                break
+        flat_keep = np.flatnonzero(a.keep.ravel()).astype(np.int64)
+        flat_q = a.q_ids.ravel()[flat_keep]
+        private = bool(
+            a.segments is not None
+            and (seen is None or not np.isin(flat_q, seen).any())
+        )
+        wide_ids, wide_offsets = _wide_stream(jobs[i:j])
+        wide_start: Optional[Tuple[int, ...]] = None
+        if wide_ids is not None:
+            starts = [
+                _clipped_arange_start(wide_ids[g], n)
+                for g in range(wide_ids.shape[0])
+            ]
+            if all(s is not None for s in starts):
+                wide_start = tuple(starts)
+        q_start = _arange_start(a.q_safe.ravel())
+        keep_all = bool(a.keep.all())
+        k0 = _arange_start(flat_keep)
+        q0 = _arange_start(flat_q)
+        keep_slice = (k0, q0) if k0 is not None and q0 is not None else None
+        chains.append(
+            JobChain(
+                jobs=tuple(range(i, j)),
+                private=private,
+                flat_keep=flat_keep,
+                flat_q=flat_q,
+                wide_ids=wide_ids,
+                wide_offsets=wide_offsets,
+                wide_start=wide_start,
+                q_start=q_start,
+                keep_all=keep_all,
+                keep_slice=keep_slice,
+            )
+        )
+        seen = flat_q if seen is None else np.union1d(seen, flat_q)
+        i = j
+    return tuple(chains)
+
+
 @dataclass
 class CompiledPlan:
     """Precompiled index tensors and aggregates of one execution plan.
@@ -133,6 +287,15 @@ class CompiledPlan:
     _window_jobs: Optional[List[WindowJob]] = field(
         default=None, repr=False, compare=False
     )
+    _job_chains: Optional[Tuple[JobChain, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    # Per-plan execution scratch: engines key reusable buffers and
+    # static per-(job, chunk) index tensors here, so warm ``attend()``
+    # calls on a cached plan run with zero steady-state allocation.  The
+    # dict lives with the plan (and hence with the SALO plan-cache
+    # entry), not with any one engine instance.
+    scratch: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -143,6 +306,45 @@ class CompiledPlan:
                 self.plan, self.q_ids, self.key_ids, self.valid, self.keep
             )
         return self._window_jobs
+
+    @property
+    def job_chains(self) -> Tuple[JobChain, ...]:
+        """Same-geometry runs of :attr:`window_jobs`, built on first use."""
+        if self._job_chains is None:
+            self._job_chains = _build_job_chains(self.window_jobs, self.n)
+        return self._job_chains
+
+    def tile_shape(self, job: WindowJob, lanes: int) -> Tuple[int, int]:
+        """``(lane tile T, block chunk Bc)`` for one window job.
+
+        Sized so one tile's stage 1–5 working set — the gathered K/V
+        stream blocks, the score rectangle, the band buffer and the
+        stage-5 output — fits the configured ``tile_bytes`` budget and
+        stays cache-resident across the fused epilogue.  A positive
+        ``HardwareConfig.lane_tile`` overrides the derived lane tile.
+        """
+        cfg = self.plan.config
+        d = self.head_dim
+        rows, cols = job.rows, job.cols
+        widths = (
+            [seg.width for seg in job.segments]
+            if job.segments is not None
+            else [cols]
+        )
+        # Per lane, per block: score rectangle + 2 stream gathers per
+        # segment, plus band, stage-5 output, queries and the row-shaped
+        # epilogue vectors (all float64).
+        elems = rows * cols + 2 * rows * d + 6 * rows
+        for w in widths:
+            span = rows + w - 1
+            elems += rows * span + 2 * span * d
+        per_block = 8 * job.num_groups * elems
+        budget = max(int(cfg.tile_bytes), per_block)
+        bc = max(1, min(job.num_blocks, budget // per_block))
+        t = max(1, min(lanes, budget // (per_block * bc)))
+        if cfg.lane_tile > 0:
+            t = max(1, min(lanes, int(cfg.lane_tile)))
+        return t, bc
 
     @property
     def safe_key_ids(self) -> np.ndarray:

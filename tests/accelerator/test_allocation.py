@@ -1,0 +1,75 @@
+"""Zero steady-state allocation: the tiled hot path's committed contract.
+
+After one warmup call on a plan, every buffer the compiled path touches
+lives in the plan's scratch (or aliases the accumulator), so a warm
+``run`` may allocate only what it *returns* — the output array and the
+per-row part counts, which the caller owns — plus a small fixed slack
+for result objects and interpreter noise.  The gate is deliberately
+tight: re-introducing a single full-size temporary (any plan-sized
+``np.empty`` in the steady state) exceeds the slack by an order of
+magnitude and fails the assertion.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.accelerator.functional import FunctionalEngine
+from repro.core.config import HardwareConfig
+from repro.patterns.library import longformer_pattern, vil_pattern
+from repro.scheduler.scheduler import DataScheduler
+
+#: Fixed allowance beyond the caller-owned result arrays: result
+#: dataclasses, view headers, bucket lists — measured well under 8 KiB;
+#: a plan-sized float64 temporary is ≥ 256 KiB at these sizes.
+SLACK_BYTES = 64 * 1024
+
+
+def _measure(engine, q, k, v, calls=3, **kw):
+    warm = engine.run(q, k, v, **kw)  # warmup: allocates all scratch
+    owned = warm.output.nbytes + warm.parts.nbytes
+    engine.run(q, k, v, **kw)
+    del warm
+    tracemalloc.start()
+    try:
+        for _ in range(calls):
+            res = engine.run(q, k, v, **kw)
+            del res  # one caller-owned result alive at a time
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, owned
+
+
+@pytest.mark.parametrize(
+    "pattern,heads,head_dim",
+    [
+        (longformer_pattern(512, 64, (0,)), 4, 32),
+        (vil_pattern(256, 32), 4, 32),
+    ],
+)
+def test_warm_attend_is_allocation_free(pattern, heads, head_dim):
+    plan = DataScheduler(HardwareConfig()).schedule(
+        pattern, heads=heads, head_dim=head_dim
+    )
+    rng = np.random.default_rng(5)
+    q, k, v = (rng.standard_normal((pattern.n, heads * head_dim)) for _ in range(3))
+    engine = FunctionalEngine(plan)
+    peak, owned = _measure(engine, q, k, v)
+    assert peak <= owned + SLACK_BYTES, (
+        f"warm tiled run allocated {peak} B (budget: {owned} B of returned "
+        f"results + {SLACK_BYTES} B slack) — a scratch buffer leaked out of "
+        "the plan's reuse pool"
+    )
+
+
+def test_warm_attend_with_valid_lens_budget():
+    """The padded-tail masking path shares the same scratch pool."""
+    pattern = longformer_pattern(512, 64, (0,))
+    plan = DataScheduler(HardwareConfig()).schedule(pattern, heads=4, head_dim=32)
+    rng = np.random.default_rng(6)
+    q, k, v = (rng.standard_normal((2, 512, 128)) for _ in range(3))
+    engine = FunctionalEngine(plan)
+    peak, owned = _measure(engine, q, k, v, valid_lens=np.array([512, 384]))
+    assert peak <= owned + SLACK_BYTES

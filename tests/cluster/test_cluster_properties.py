@@ -212,14 +212,21 @@ def _build_admission(name: str):
 
 
 def _run(sc, service=None, faults=None):
-    """Build a fresh simulator for the scenario and run it to empty."""
+    """Build a fresh simulator for the scenario and run it to empty.
+
+    Scenario deadlines, admission caps and heartbeat probes are absolute
+    times sized against the flat clock scale, so the clock is pinned
+    (``CostModelClock.flat()``) rather than left to calibrate itself from
+    BENCH_engines.json — re-snapshotting the benches must not move these
+    property tests.
+    """
     config = SimConfig(
         workers=sc["workers"],
         max_batch_size=sc["max_batch"],
         pad_to_bucket=sc["pad"],
         policy=_build_policy(*sc["policy"]),
         admission=_build_admission(sc["admission"]),
-        service=service if service is not None else CostModelClock(),
+        service=service if service is not None else CostModelClock.flat(),
         salo_factory=_small_salo,
         faults=faults,
         # Probes at 50us against ~10us-1ms service times: detection is
@@ -240,7 +247,8 @@ class _RecordingClock(CostModelClock):
     """Cost-model clock that also captures every dispatched batch."""
 
     def __init__(self):
-        super().__init__()
+        flat = CostModelClock.flat()
+        super().__init__(flat.batch_overhead_s, flat.cold_compile_s)
         self.batches = []
 
     def service_s(self, worker, batch, cold):

@@ -34,6 +34,13 @@ def _small_salo():
     return SALO(HardwareConfig(pe_rows=4, pe_cols=4))
 
 
+def _pinned_clock():
+    """Flat clock: the affinity/stealing tests below size their arrival
+    rates against this scale, so they must not move when the default
+    clock recalibrates from a re-snapshotted bench file."""
+    return CostModelClock.flat()
+
+
 class TestRouting:
     def test_warm_worker_wins_over_idle_cold_one(self):
         pool = EnginePool(workers=2, salo_factory=_small_salo)
@@ -74,7 +81,12 @@ class TestAffinityEndToEnd:
         source = open_loop(spec, PoissonProcess(rate_rps=500.0))  # sparse arrivals
         report = simulate(
             source,
-            SimConfig(workers=2, policy=GreedyFIFOPolicy(), salo_factory=_small_salo),
+            SimConfig(
+                workers=2,
+                policy=GreedyFIFOPolicy(),
+                service=_pinned_clock(),
+                salo_factory=_small_salo,
+            ),
         )
         warm = max(report.workers, key=lambda w: w.batches)
         # Routing keeps the repeats on the warm worker (an occasional
@@ -156,6 +168,57 @@ class TestServiceClocks:
         cold = clock.service_s(worker, batch, cold=True)
         warm = clock.service_s(worker, batch, cold=False)
         assert cold - warm == pytest.approx(1.0)
+
+    def test_defaults_calibrate_from_bench_snapshot(self):
+        """The repo ships BENCH_engines.json, so a default clock derives
+        its dispatch overhead from the sequential-vs-batched attend gap
+        and scales the cold penalty by the served plan's pass count."""
+        from repro.cluster import Worker
+        from repro.cluster.pool import measured_clock_costs
+
+        overhead, rate = measured_clock_costs()
+        assert overhead is not None and overhead > 0
+        assert rate is not None and rate > 0
+        clock = CostModelClock()
+        assert clock.batch_overhead_s == pytest.approx(overhead)
+        worker = Worker(0, _small_salo())
+        worker.queue.enqueue(_request(0))
+        batch = worker.queue.next_batch()
+        stats = worker.salo.estimate(batch.execution_pattern(), heads=2, head_dim=4)
+        cold = clock.service_s(worker, batch, cold=True)
+        warm = clock.service_s(worker, batch, cold=False)
+        assert cold - warm == pytest.approx(rate * stats.plan.num_passes)
+
+    def test_bigger_plans_pay_bigger_cold_penalties(self):
+        """The per-pass rate makes cold cost track plan size — the flat
+        seed constant charged a 4096-token longformer like a toy."""
+        from repro.cluster import Worker
+
+        clock = CostModelClock()
+        small, large = Worker(0, _small_salo()), Worker(1, _small_salo())
+        small.queue.enqueue(_request(0, n=32, window=6))
+        large.queue.enqueue(_request(1, n=256, window=32))
+        sb, lb = small.queue.next_batch(), large.queue.next_batch()
+        small_penalty = clock.service_s(small, sb, cold=True) - clock.service_s(
+            small, sb, cold=False
+        )
+        large_penalty = clock.service_s(large, lb, cold=True) - clock.service_s(
+            large, lb, cold=False
+        )
+        assert large_penalty > small_penalty > 0
+
+    def test_explicit_cold_compile_stays_flat(self):
+        """An explicit penalty disables per-plan scaling (the knob keeps
+        its historical flat meaning for sweeps that set it)."""
+        from repro.cluster import Worker
+
+        clock = CostModelClock(cold_compile_s=2.0)
+        worker = Worker(0, _small_salo())
+        worker.queue.enqueue(_request(0, n=256, window=32))
+        batch = worker.queue.next_batch()
+        cold = clock.service_s(worker, batch, cold=True)
+        warm = clock.service_s(worker, batch, cold=False)
+        assert cold - warm == pytest.approx(2.0)
 
     def test_measured_clock_executes_and_times(self):
         from repro.cluster import Worker

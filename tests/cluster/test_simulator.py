@@ -97,7 +97,11 @@ class TestEventLoop:
     def test_max_wait_improves_occupancy_over_greedy(self):
         def run(policy):
             source = open_loop(_spec(num=80, seed=11), PoissonProcess(rate_rps=50000.0))
-            return simulate(source, SimConfig(workers=2, policy=policy))
+            # Pinned to the flat clock scale: the 50k rps arrival rate and
+            # 1 ms hold are sized against it, and a bench re-snapshot must
+            # not flip this occupancy comparison.
+            clock = CostModelClock.flat()
+            return simulate(source, SimConfig(workers=2, policy=policy, service=clock))
 
         greedy = run(GreedyFIFOPolicy())
         holding = run(MaxWaitPolicy(max_wait_s=1e-3))
