@@ -26,14 +26,18 @@
 #                  tabulates every registered backend, and one serve
 #                  replay runs on a non-default backend
 #                  (--backend functional-legacy)
+#   make decode-smoke - continuous-batching decode simulation end to
+#                  end: tokens/s, TTFT/ITL percentiles, per-worker
+#                  plan-cache hit rates (fixed seed, deterministic)
 
 PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: check test bench bench-gate bench-update simulate-smoke \
-	simulate-overload simulate-faults engines-smoke
+	simulate-overload simulate-faults decode-smoke engines-smoke
 
-check: test bench-gate engines-smoke simulate-smoke simulate-overload simulate-faults
+check: test bench-gate engines-smoke simulate-smoke simulate-overload \
+	simulate-faults decode-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -72,6 +76,15 @@ simulate-faults:
 		--fault-crash 1:0.5:1.0 --fault-transient 0.05 \
 		--heartbeat-interval-ms 0.05 --heartbeat-timeout-ms 0.1 \
 		--max-retries 3
+
+decode-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli decode \
+		--sequences 48 --rate 2500 --workers 2 --max-lanes 4 \
+		--window 8 --heads 2 --head-dim 8 --seed 0
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli decode \
+		--sequences 32 --rate 2500 --workers 2 --max-lanes 8 \
+		--admission est-wait --fault-transient 0.2 --fault-worker 0 \
+		--seed 0
 
 simulate-overload:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \

@@ -9,6 +9,7 @@ Usage::
     salo-repro all [--fast]              # everything, in DESIGN.md order
     salo-repro serve --requests 64       # replay a synthetic serving trace
     salo-repro simulate --workers 4      # discrete-event cluster simulation
+    salo-repro decode --max-lanes 8      # continuous-batching decode simulation
 
 ``run``, ``serve`` and ``simulate`` accept ``--backend NAME`` to select
 any registered execution backend (see ``engines list``); serving paths
@@ -45,6 +46,7 @@ _ORDER = [
     "seq_scaling",
     "serving_capacity",
     "overload",
+    "decode_scaling",
 ]
 
 
@@ -261,6 +263,22 @@ def _cmd_simulate(args) -> int:
     if args.max_retries < 0:
         print(f"--max-retries must be >= 0, got {args.max_retries}", file=sys.stderr)
         return 2
+    if args.breaker_threshold is not None and not (0 < args.breaker_threshold <= 1):
+        print(
+            f"--breaker-threshold must be in (0, 1], got {args.breaker_threshold}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.breaker_min_samples < 1 or args.breaker_window < args.breaker_min_samples:
+        print(
+            "--breaker-window must be >= --breaker-min-samples >= 1, got "
+            f"window {args.breaker_window}, min-samples {args.breaker_min_samples}",
+            file=sys.stderr,
+        )
+        return 2
+    if not (args.breaker_cooldown_ms > 0):
+        print(f"--breaker-cooldown-ms must be positive, got {args.breaker_cooldown_ms}", file=sys.stderr)
+        return 2
     injector = FaultInjector(fault_specs, seed=args.fault_seed) if fault_specs else None
     if injector is not None:
         try:
@@ -273,6 +291,10 @@ def _cmd_simulate(args) -> int:
         heartbeat_timeout_s=args.heartbeat_timeout_ms / 1e3,
         max_retries=args.max_retries,
         requeue=not args.no_requeue,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_min_samples=args.breaker_min_samples,
+        breaker_cooldown_s=args.breaker_cooldown_ms / 1e3,
     )
 
     explicit_slo = None
@@ -416,6 +438,121 @@ def _cmd_simulate(args) -> int:
     )
     print(report.render())
     print(f"\n[simulate finished in {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    """Build a decode workload from CLI args and run the decode simulator."""
+    from .cluster import (
+        DecodeClusterSimulator,
+        DecodeSimConfig,
+        DecodeSLOClass,
+        DecodeWorkloadSpec,
+        FaultInjector,
+        TransientSpec,
+        make_admission,
+    )
+
+    slo_classes = None
+    if args.slo:
+        classes = []
+        for spec_str in args.slo:
+            try:
+                name, ttft_ms, itl_ms, share = spec_str.split(":")
+                ttft = None if ttft_ms in ("none", "") else float(ttft_ms) / 1e3
+                itl = None if itl_ms in ("none", "") else float(itl_ms) / 1e3
+                classes.append(
+                    DecodeSLOClass(name, ttft, float(share), itl_deadline_s=itl)
+                )
+            except ValueError:
+                print(
+                    f"bad --slo {spec_str!r}; expected NAME:TTFT_MS:ITL_MS:SHARE "
+                    "(budgets may be 'none')",
+                    file=sys.stderr,
+                )
+                return 2
+        slo_classes = tuple(classes)
+
+    try:
+        spec_kwargs = dict(
+            sequences=args.sequences,
+            rate_rps=args.rate,
+            prompt_min=args.prompt_min,
+            prompt_max=args.prompt_max,
+            mean_new_tokens=args.mean_new_tokens,
+            max_new_tokens=args.max_new_tokens,
+            window=args.window,
+            global_tokens=tuple(args.global_token or ()),
+            heads=args.heads,
+            head_dim=args.head_dim,
+            seed=args.seed,
+        )
+        if slo_classes is not None:
+            spec_kwargs["slo_classes"] = slo_classes
+        spec = DecodeWorkloadSpec(**spec_kwargs)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    admission = None
+    if args.admission != "admit-all":
+        admission_kwargs = {}
+        if args.admission == "queue-depth":
+            admission_kwargs["max_depth"] = args.admission_depth
+        elif args.admission == "est-wait":
+            admission_kwargs["slack"] = args.admission_slack
+        elif args.admission == "token-bucket":
+            # Default quota: the offered sequence rate split evenly
+            # across the configured SLO classes.
+            admission_kwargs["default_rate"] = (
+                args.admission_rate
+                if args.admission_rate is not None
+                else args.rate / max(len(spec.slo_classes), 1)
+            )
+        try:
+            admission = make_admission(args.admission, **admission_kwargs)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    faults = None
+    if args.fault_transient is not None:
+        try:
+            faults = FaultInjector(
+                [TransientSpec(prob=args.fault_transient, worker=args.fault_worker)],
+                seed=args.fault_seed,
+            )
+            faults.validate_workers(args.workers)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    try:
+        config = DecodeSimConfig(
+            workers=args.workers,
+            max_lanes=args.max_lanes,
+            admission=admission,
+            shed_lagging=not args.no_shed_lagging,
+            itl_shed_factor=args.itl_shed_factor,
+            max_retries=args.max_retries,
+            faults=faults,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    report = DecodeClusterSimulator(config).run(spec)
+    print(
+        f"workload: {args.sequences} sequences @ {args.rate:.0f} seq/s, "
+        f"prompts [{args.prompt_min}, {args.prompt_max}], "
+        f"output ~geometric({args.mean_new_tokens:.0f}) cap {args.max_new_tokens}, "
+        f"{args.workers} workers x {args.max_lanes} lanes"
+        + (f", admission {args.admission}" if admission is not None else "")
+        + (f", faults {faults!r}" if faults is not None else "")
+    )
+    print(report.render())
+    print(f"\n[decode finished in {time.perf_counter() - t0:.1f}s]")
     return 0
 
 
@@ -682,6 +819,152 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fail a down worker's orphaned requests instead of requeuing them",
     )
+    sim_p.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "per-worker circuit breaker: stop routing to a worker whose "
+            "dispatch failure rate over the sliding window reaches RATE "
+            "(catches grey failures heartbeats miss; default: disabled)"
+        ),
+    )
+    sim_p.add_argument(
+        "--breaker-window",
+        type=int,
+        default=8,
+        help="circuit breaker: sliding window of dispatch outcomes (default 8)",
+    )
+    sim_p.add_argument(
+        "--breaker-min-samples",
+        type=int,
+        default=4,
+        help="circuit breaker: outcomes required before it may trip (default 4)",
+    )
+    sim_p.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=2.0,
+        help="circuit breaker: open duration before the half-open probe "
+        "(simulated ms; default 2.0)",
+    )
+
+    dec_p = sub.add_parser(
+        "decode",
+        help="continuous-batching decode simulation (tokens/s, TTFT/ITL SLOs)",
+        description=(
+            "Simulates decode-phase workers: each sequence arrives with a "
+            "prompt, holds a lane for one engine step per generated token, "
+            "and retires at its output budget — new arrivals join the running "
+            "batch between steps.  Service times come from the cost model "
+            "(latency x lanes + batch overhead, cold compile on the first "
+            "step per bucket).  Reports tokens/s, mean lane concurrency, "
+            "TTFT/ITL percentiles per SLO class, and per-worker plan-cache "
+            "hit rates."
+        ),
+    )
+    dec_p.add_argument("--sequences", type=int, default=64, help="total sequences (default 64)")
+    dec_p.add_argument(
+        "--rate", type=float, default=2000.0, help="sequence arrival rate in seq/s"
+    )
+    dec_p.add_argument("--workers", type=int, default=2, help="decode workers (default 2)")
+    dec_p.add_argument(
+        "--max-lanes", type=int, default=8, help="continuous-batch lanes per worker"
+    )
+    dec_p.add_argument("--prompt-min", type=int, default=4, help="shortest prompt")
+    dec_p.add_argument("--prompt-max", type=int, default=48, help="longest prompt")
+    dec_p.add_argument(
+        "--mean-new-tokens",
+        type=float,
+        default=16.0,
+        help="mean output budget (geometric draw)",
+    )
+    dec_p.add_argument(
+        "--max-new-tokens", type=int, default=64, help="output budget cap"
+    )
+    dec_p.add_argument("--window", type=int, default=8, help="attention window width")
+    dec_p.add_argument(
+        "--global-token",
+        action="append",
+        type=int,
+        metavar="POS",
+        help="a global-attention token position (repeatable)",
+    )
+    dec_p.add_argument("--heads", type=int, default=2, help="attention heads")
+    dec_p.add_argument("--head-dim", type=int, default=8, help="per-head width")
+    dec_p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    dec_p.add_argument(
+        "--slo",
+        action="append",
+        metavar="NAME:TTFT_MS:ITL_MS:SHARE",
+        help=(
+            "a decode SLO class with first-token and inter-token budgets "
+            "(either may be 'none'; repeatable; default: interactive/bulk)"
+        ),
+    )
+    dec_p.add_argument(
+        "--admission",
+        choices=("admit-all", "queue-depth", "est-wait", "token-bucket"),
+        default="admit-all",
+        help="admission policy at the decode door (est-wait gates on TTFT "
+        "feasibility via the lane-drain estimate)",
+    )
+    dec_p.add_argument(
+        "--admission-depth",
+        type=int,
+        default=64,
+        help="queue-depth admission: max sequences held by the routed worker",
+    )
+    dec_p.add_argument(
+        "--admission-slack",
+        type=float,
+        default=1.0,
+        help="est-wait admission: reject once the projected first-step wait "
+        "exceeds this fraction of the TTFT budget",
+    )
+    dec_p.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="token-bucket admission: per-class refill rate in seq/s "
+        "(default: the offered rate split across classes)",
+    )
+    dec_p.add_argument(
+        "--no-shed-lagging",
+        action="store_true",
+        help="keep lanes whose inter-token gap blew past their ITL budget "
+        "(default: shed them; produced tokens stay completed)",
+    )
+    dec_p.add_argument(
+        "--itl-shed-factor",
+        type=float,
+        default=4.0,
+        help="shed a lane once its gap exceeds this multiple of its ITL budget",
+    )
+    dec_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="step-failure retry budget per sequence (default 3)",
+    )
+    dec_p.add_argument(
+        "--fault-transient",
+        type=float,
+        default=None,
+        metavar="PROB",
+        help="per-step transient-error probability",
+    )
+    dec_p.add_argument(
+        "--fault-worker",
+        type=int,
+        default=None,
+        metavar="WID",
+        help="restrict transient faults to one worker (default: all)",
+    )
+    dec_p.add_argument(
+        "--fault-seed", type=int, default=0, help="fault injector RNG seed"
+    )
 
     args = parser.parse_args(argv)
 
@@ -750,6 +1033,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "simulate":
         return _cmd_simulate(args)
+
+    if args.command == "decode":
+        return _cmd_decode(args)
 
     if args.command == "all":
         for name in _ordered_names():

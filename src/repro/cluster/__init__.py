@@ -30,6 +30,10 @@ SLO at a given traffic level?*  Layered on the serving stack:
   heap-driven event loop and the :class:`ClusterReport` (per-class
   percentiles, goodput, utilisation, queue-depth time series,
   availability and recovery counters under faults).
+* :mod:`repro.cluster.decode` — the decode phase: continuous-batching
+  workers stepping autoregressive sequences on the cost-model clock,
+  with TTFT/ITL SLO classes, tokens/s-vs-concurrency metrics, and a
+  token-level conservation law on top of the sequence-level one.
 
 Entry points: the ``salo-repro simulate`` CLI subcommand and the
 ``serving_capacity`` experiment sweep.
@@ -47,6 +51,7 @@ from ..serving.admission import (
     QueueDepthCap,
     TokenBucketAdmission,
     make_admission,
+    queue_drain_estimate,
 )
 from .arrivals import (
     DEFAULT_SLO_CLASSES,
@@ -95,12 +100,22 @@ from .policy import (
 from .pool import (
     BULK_BUDGET,
     INTERACTIVE_BUDGET,
+    CircuitBreaker,
     CostModelClock,
     EnginePool,
     MeasuredClock,
     ServiceModel,
     Worker,
     service_scales,
+)
+from .decode import (
+    DEFAULT_DECODE_SLO_CLASSES,
+    DecodeClassReport,
+    DecodeClusterSimulator,
+    DecodeReport,
+    DecodeSimConfig,
+    DecodeSLOClass,
+    DecodeWorkloadSpec,
 )
 from .simulator import ClusterSimulator, SimConfig, simulate
 
@@ -133,7 +148,9 @@ __all__ = [
     "TokenBucketAdmission",
     "ADMISSIONS",
     "make_admission",
+    "queue_drain_estimate",
     "Worker",
+    "CircuitBreaker",
     "EnginePool",
     "ServiceModel",
     "CostModelClock",
@@ -144,6 +161,13 @@ __all__ = [
     "SimConfig",
     "ClusterSimulator",
     "simulate",
+    "DecodeSLOClass",
+    "DEFAULT_DECODE_SLO_CLASSES",
+    "DecodeWorkloadSpec",
+    "DecodeSimConfig",
+    "DecodeClusterSimulator",
+    "DecodeClassReport",
+    "DecodeReport",
     "CrashSpec",
     "StragglerSpec",
     "TransientSpec",

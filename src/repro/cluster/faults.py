@@ -183,6 +183,15 @@ class RecoveryConfig:
     ``requeue`` — recover a down worker's orphaned requests onto healthy
     workers (oldest deadline first); ``False`` fails them instead (the
     no-recovery baseline the chaos experiment contrasts against).
+    ``breaker_threshold`` — when set, every worker gets a
+    :class:`~repro.cluster.pool.CircuitBreaker` that opens once this
+    fraction of its last ``breaker_window`` dispatches (at least
+    ``breaker_min_samples`` of them) failed transiently; the router then
+    holds new traffic off the worker for ``breaker_cooldown_s`` before a
+    half-open probe.  This catches **grey failures** heartbeats cannot:
+    a worker that answers every probe while failing most of its work.
+    ``None`` (the default) disables breakers entirely — existing
+    configurations behave bit-for-bit as before.
     """
 
     heartbeat_interval_s: float = 1e-3
@@ -192,6 +201,10 @@ class RecoveryConfig:
     backoff_cap_s: float = 2e-3
     backoff_jitter: float = 0.1
     requeue: bool = True
+    breaker_threshold: Optional[float] = None
+    breaker_window: int = 8
+    breaker_min_samples: int = 4
+    breaker_cooldown_s: float = 2e-3
 
     def __post_init__(self) -> None:
         if not (self.heartbeat_interval_s > 0):
@@ -208,6 +221,25 @@ class RecoveryConfig:
             raise ValueError("backoff delays must be >= 0")
         if not (0.0 <= self.backoff_jitter <= 1.0):
             raise ValueError(f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}")
+        if self.breaker_threshold is not None and not (
+            0.0 < self.breaker_threshold <= 1.0
+        ):
+            raise ValueError(
+                f"breaker_threshold must be in (0, 1] or None, got {self.breaker_threshold}"
+            )
+        if self.breaker_min_samples < 1:
+            raise ValueError(
+                f"breaker_min_samples must be >= 1, got {self.breaker_min_samples}"
+            )
+        if self.breaker_window < self.breaker_min_samples:
+            raise ValueError(
+                f"breaker_window ({self.breaker_window}) must be >= "
+                f"breaker_min_samples ({self.breaker_min_samples})"
+            )
+        if not (self.breaker_cooldown_s > 0):
+            raise ValueError(
+                f"breaker_cooldown_s must be positive, got {self.breaker_cooldown_s}"
+            )
 
     def backoff_s(self, attempt: int) -> float:
         """Deterministic part of the ``attempt``-th retry delay (1-based)."""

@@ -132,6 +132,7 @@ class WorkerReport:
     rejoins: int = 0
     downtime_s: float = 0.0  # marked-down time, incl. still down at end
     detect_s: float = 0.0  # mean crash -> marked-down latency
+    breaker_trips: int = 0  # circuit-breaker opens (grey failures)
 
 
 @dataclass
@@ -249,12 +250,13 @@ class ClusterReport:
             )
             lines.append(f"availability         {self.availability:.1%}")
             for w in self.workers:
-                if not (w.crashes or w.rejoins or w.downtime_s > 0):
+                if not (w.crashes or w.rejoins or w.downtime_s > 0 or w.breaker_trips):
                     continue
                 lines.append(
                     f"  worker {w.wid}: crashes {w.crashes}  rejoins {w.rejoins}  "
                     f"down {w.downtime_s * 1e3:.2f} ms  "
-                    f"detect {w.detect_s * 1e3:.2f} ms"
+                    f"detect {w.detect_s * 1e3:.2f} ms  "
+                    f"breaker trips {w.breaker_trips}"
                 )
         return "\n".join(lines)
 
@@ -265,7 +267,10 @@ class ClusterReport:
             self.failed
             or self.retries
             or self.requeues
-            or any(w.crashes or w.rejoins or w.downtime_s > 0 for w in self.workers)
+            or any(
+                w.crashes or w.rejoins or w.downtime_s > 0 or w.breaker_trips
+                for w in self.workers
+            )
         )
 
 
@@ -399,6 +404,7 @@ class MetricsCollector:
                     plan_cache=w.salo.cache_info(),
                     crashes=getattr(w, "crashes", 0),
                     rejoins=getattr(w, "rejoins", 0),
+                    breaker_trips=getattr(getattr(w, "breaker", None), "trips", 0),
                     downtime_s=downtime,
                     detect_s=float(np.mean(delays)) if delays else 0.0,
                 )

@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from pathlib import Path
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from ..serving.session import execute_batch
 from .faults import WORKER_DOWN, WORKER_UP
 
 __all__ = [
+    "CircuitBreaker",
     "Worker",
     "ServiceModel",
     "CostModelClock",
@@ -165,6 +167,86 @@ def service_scales(spec, clock: "CostModelClock", full_batch: int = 8) -> Tuple[
     )
 
 
+class CircuitBreaker:
+    """Per-worker transient-error-rate breaker.
+
+    Heartbeats catch *dead* workers; they miss **grey failures** — a
+    worker that answers probes but fails most of its dispatches (flaky
+    NIC, failing DIMM, a bad cable on one link).  The breaker watches a
+    sliding window of recent dispatch outcomes and *opens* once the
+    failure rate over at least ``min_samples`` outcomes reaches
+    ``threshold``: the router stops sending the worker new traffic for
+    ``cooldown_s``.  After the cooldown the breaker is **half-open** —
+    the worker is routable again and the next completed dispatch is its
+    probe: a success recloses the breaker (window reset), a failure
+    re-opens it for another cooldown.
+
+    Everything is driven by the caller's clock and the recorded
+    outcomes — no wall time, no RNG — so simulations stay replayable.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        window: int = 8,
+        min_samples: int = 4,
+        cooldown_s: float = 2e-3,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if window < min_samples:
+            raise ValueError(
+                f"window ({window}) must be >= min_samples ({min_samples})"
+            )
+        if not (cooldown_s > 0):
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.cooldown_s = cooldown_s
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self.open_until_s: Optional[float] = None
+        self.trips = 0
+
+    def is_open(self, now: float) -> bool:
+        """True while the cooldown holds; past it the breaker is
+        half-open and the worker routable (its next outcome decides)."""
+        return self.open_until_s is not None and now < self.open_until_s
+
+    def record(self, ok: bool, now: float) -> None:
+        """Fold one dispatch outcome in; may trip, re-trip or reclose."""
+        if self.open_until_s is not None:
+            if now < self.open_until_s:
+                # outcome of a dispatch launched before the trip: the
+                # breaker already acted on this failure burst
+                return
+            # half-open probe outcome
+            if ok:
+                self.open_until_s = None
+                self._outcomes.clear()
+                self._outcomes.append(True)
+            else:
+                self.open_until_s = now + self.cooldown_s
+                self.trips += 1
+            return
+        self._outcomes.append(ok)
+        if len(self._outcomes) < self.min_samples:
+            return
+        failures = sum(1 for o in self._outcomes if not o)
+        if failures / len(self._outcomes) >= self.threshold:
+            self.open_until_s = now + self.cooldown_s
+            self.trips += 1
+            self._outcomes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(threshold={self.threshold}, "
+            f"window={self.window}, trips={self.trips})"
+        )
+
+
 class Worker:
     """One engine: a SALO instance, its queue, and accounting.
 
@@ -214,12 +296,25 @@ class Worker:
         self.crashes = 0
         self.rejoins = 0
         self.detect_delays: List[float] = []  # crash -> marked-down latency
+        # Optional transient-error circuit breaker (see CircuitBreaker);
+        # attached by the simulator when RecoveryConfig enables it.
+        self.breaker: Optional[CircuitBreaker] = None
 
     # ------------------------------------------------------------------
     @property
     def healthy(self) -> bool:
         """Routable as far as the cluster knows (not marked down)."""
         return self.state != WORKER_DOWN
+
+    def breaker_open(self, now: Optional[float]) -> bool:
+        """True when the circuit breaker is holding traffic off this
+        worker (grey failure).  Lifecycle-independent: a breaker-open
+        worker is alive and heartbeating, just not worth routing to."""
+        return (
+            self.breaker is not None
+            and now is not None
+            and self.breaker.is_open(now)
+        )
 
     def crash(self, now: float) -> None:
         """The process dies.  Nothing else learns of it until heartbeats
@@ -465,7 +560,7 @@ class EnginePool:
         self.steals = 0
 
     # ------------------------------------------------------------------
-    def route(self, request: AttentionRequest) -> Worker:
+    def route(self, request: AttentionRequest, now: Optional[float] = None) -> Worker:
         """Pick the worker maximising cache-hit probability per queue slot.
 
         Score = P(plan cache hit) / (1 + depth): a warm worker wins until
@@ -476,12 +571,19 @@ class EnginePool:
 
         Workers *marked down* are skipped — but workers that crashed and
         have not yet missed enough heartbeats still receive traffic (the
-        router only knows what detection has told it).  If every worker
-        is down the request still routes (to the best of the down set)
-        and is recovered by the next heartbeat sweep.
+        router only knows what detection has told it).  With ``now``
+        given, workers whose circuit breaker is open (grey failures:
+        alive, heartbeating, failing dispatches) are skipped the same
+        way.  If every worker is excluded the request still routes (to
+        the best of the excluded set) and is recovered by the next
+        heartbeat sweep or breaker probe.
         """
         key = self.workers[0].queue.group_key(request)
-        candidates = [w for w in self.workers if w.healthy] or self.workers
+        candidates = [
+            w for w in self.workers if w.healthy and not w.breaker_open(now)
+        ]
+        if not candidates:
+            candidates = [w for w in self.workers if w.healthy] or self.workers
         best: Optional[Worker] = None
         best_score: Optional[Tuple[float, int, int]] = None
         for worker in candidates:

@@ -55,12 +55,17 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 from ..core.salo import SALO
 from ..serving.batching import Batch
 from ..serving.request import AttentionRequest
-from ..serving.admission import AdmissionContext, AdmissionPolicy, AdmitAll
+from ..serving.admission import (
+    AdmissionContext,
+    AdmissionPolicy,
+    AdmitAll,
+    queue_drain_estimate,
+)
 from .arrivals import RequestSource
 from .faults import FaultInjector, RecoveryConfig, WORKER_SUSPECT, WORKER_UP
 from .metrics import MetricsCollector, ClusterReport, RequestRecord
 from .policy import BatchPolicy, GreedyFIFOPolicy, recovery_order
-from .pool import CostModelClock, EnginePool, ServiceModel, Worker
+from .pool import CircuitBreaker, CostModelClock, EnginePool, ServiceModel, Worker
 
 __all__ = ["SimConfig", "ClusterSimulator", "simulate"]
 
@@ -131,6 +136,16 @@ class ClusterSimulator:
         if cfg.faults is not None:
             cfg.faults.validate_workers(cfg.workers)
         self._recovery = cfg.recovery
+        if cfg.recovery.breaker_threshold is not None:
+            # Grey-failure valve: one breaker per worker, watching its
+            # own dispatch outcomes (see CircuitBreaker in pool.py).
+            for w in self.pool.workers:
+                w.breaker = CircuitBreaker(
+                    threshold=cfg.recovery.breaker_threshold,
+                    window=cfg.recovery.breaker_window,
+                    min_samples=cfg.recovery.breaker_min_samples,
+                    cooldown_s=cfg.recovery.breaker_cooldown_s,
+                )
         self._inflight: Dict[int, Tuple[Batch, float, float]] = {}  # wid -> (batch, t0, t1)
         self._lost: Dict[int, List[AttentionRequest]] = {}  # wid -> orphaned in-flight
         self._attempts: Dict[Hashable, int] = {}  # request id -> transient failures so far
@@ -196,11 +211,12 @@ class ClusterSimulator:
     def _admission_context(self, worker: Worker, request: AttentionRequest, now: float) -> AdmissionContext:
         """Admission view of the routed worker at ``now``.
 
-        The wait estimate is deliberately coarse — backlog depth times
-        the request's own cost-model unit, plus one batch overhead — but
-        it is deterministic, cheap (the worker's SALO stats cache absorbs
-        repeats), and *lazy*: policies that never read it never pay for
-        it.
+        The wait estimate is the batch-amortisation-aware queue-drain
+        model (:func:`repro.serving.admission.queue_drain_estimate`):
+        the backlog drains in batches of ``max_batch_size``, each
+        charging one batch overhead — deterministic, cheap (the worker's
+        SALO stats cache absorbs repeats), and *lazy*: policies that
+        never read it never pay for it.
         """
 
         def estimate() -> Tuple[float, float]:
@@ -208,14 +224,17 @@ class ClusterSimulator:
                 request.pattern, heads=request.heads, head_dim=request.head_dim
             ).latency_s
             overhead = getattr(self.config.service, "batch_overhead_s", 0.0)
-            return (worker.depth() * unit + overhead, unit + overhead)
+            wait = queue_drain_estimate(
+                worker.depth(), unit, overhead, self.config.max_batch_size
+            )
+            return (wait, unit + overhead)
 
         return AdmissionContext(now=now, depth=worker.depth(), estimator=estimate)
 
     # ------------------------------------------------------------------
     def _on_arrive(self, request: AttentionRequest, now: float) -> None:
         self.metrics.note_arrival(now)
-        worker = self.pool.route(request)
+        worker = self.pool.route(request, now)
         ctx = self._admission_context(worker, request, now)
         if not self.config.admission.admit(request, ctx):
             self.metrics.note_rejection(request, now)
@@ -248,6 +267,8 @@ class ClusterSimulator:
             return
         self._inflight.pop(worker.wid, None)
         worker.note_complete()
+        if worker.breaker is not None:
+            worker.breaker.record(not failed, now)
         if failed:
             self._retry_or_fail(batch, now)
             self._dispatch(worker, now)
@@ -290,6 +311,10 @@ class ClusterSimulator:
                 continue
             if not worker.alive or not worker.healthy:
                 continue
+            if worker.breaker_open(now):
+                # a breaker-open thief would drag work onto the very
+                # worker the breaker is shielding traffic from
+                continue
             if self.pool.steal_into(worker, now):
                 self._dispatch(worker, now)
 
@@ -314,7 +339,7 @@ class ClusterSimulator:
         False when every worker is marked down — there is nowhere to
         put the request and the caller must fail it.
         """
-        target = self.pool.route(request)
+        target = self.pool.route(request, now)
         if not target.healthy:
             return False
         self._routed[request.request_id] = target.wid

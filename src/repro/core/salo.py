@@ -197,6 +197,10 @@ class SALO:
         self._plan_cache: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # per padded-length accounting: n -> [hits, misses].  Decode
+        # compiles per length bucket, so these counters are what proves
+        # (or disproves) amortisation across a bucket's steps.
+        self._bucket_counters: "OrderedDict[int, list]" = OrderedDict()
 
     #: SALO schedules band/global structure; mask-only patterns are
     #: unservable (the oracle backends of :mod:`repro.api` set False).
@@ -238,14 +242,24 @@ class SALO:
             return key, None  # opaque pattern: uncacheable, not a miss
         if self.plan_cache_size <= 0:
             self.plan_cache_misses += 1
+            self._count_bucket(pattern.n, hit=False)
             return key, None
         entry = self._plan_cache.get(key)
         if entry is not None:
             self._plan_cache.move_to_end(key)
             self.plan_cache_hits += 1
+            self._count_bucket(pattern.n, hit=True)
             return key, entry
         self.plan_cache_misses += 1
+        self._count_bucket(pattern.n, hit=False)
         return key, None
+
+    def _count_bucket(self, n: int, hit: bool) -> None:
+        counters = self._bucket_counters.get(n)
+        if counters is None:
+            counters = [0, 0]
+            self._bucket_counters[n] = counters
+        counters[0 if hit else 1] += 1
 
     def _store(self, key: Optional[Tuple], entry: _CacheEntry) -> None:
         if key is None or self.plan_cache_size <= 0:
@@ -270,7 +284,14 @@ class SALO:
         self._plan_cache.clear()
 
     def cache_info(self) -> dict:
-        """Serving-cache observability: size, capacity and hit statistics."""
+        """Serving-cache observability: size, capacity and hit statistics.
+
+        ``buckets`` breaks hits/misses down by padded pattern length
+        (the decode length bucket): a healthy decode run shows exactly
+        one miss per (bucket, structure) and hits for every warm step.
+        Only cacheable (structured) lookups are counted, mirroring the
+        aggregate counters.
+        """
         total = self.plan_cache_hits + self.plan_cache_misses
         return {
             "size": len(self._plan_cache),
@@ -278,6 +299,10 @@ class SALO:
             "hits": self.plan_cache_hits,
             "misses": self.plan_cache_misses,
             "hit_rate": self.plan_cache_hits / total if total else 0.0,
+            "buckets": {
+                n: {"hits": h, "misses": m}
+                for n, (h, m) in sorted(self._bucket_counters.items())
+            },
         }
 
     # ------------------------------------------------------------------

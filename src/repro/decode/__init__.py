@@ -1,0 +1,30 @@
+"""Autoregressive decode: per-sequence KV state, bucketed incremental
+plans, and continuous batching over the shared engine lane axis.
+
+* :class:`DecodeSession` — one sequence, one token per step, plans
+  compiled per length bucket and reused via the SALO plan cache.
+* :class:`DecodeScheduler` — many sequences folded into one running
+  batch; joins and retirements happen between steps.
+* :mod:`repro.cluster.decode` builds the fleet-level simulator (TTFT /
+  ITL / tokens-per-second) on the same primitives.
+"""
+
+from .scheduler import (
+    DecodeRequest,
+    DecodeRunResult,
+    DecodeScheduler,
+    DecodeStepReport,
+    default_next_token,
+)
+from .session import DecodeSession, KVState, decode_pattern
+
+__all__ = [
+    "DecodeRequest",
+    "DecodeRunResult",
+    "DecodeScheduler",
+    "DecodeSession",
+    "DecodeStepReport",
+    "KVState",
+    "decode_pattern",
+    "default_next_token",
+]

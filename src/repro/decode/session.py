@@ -1,0 +1,277 @@
+"""Per-sequence autoregressive decode state and stepping.
+
+One-shot encoder attention hands the engine a finished sequence;
+*decode* grows it one token per step and re-runs attention against the
+incrementally extended key set.  Recompiling a plan per length would
+spend a cold compile on every token, so :class:`DecodeSession` compiles
+at **length buckets** (powers of two via
+:func:`repro.serving.batching.length_bucket`) and masks the not-yet-
+written tail with ``valid_lens``:
+
+* steps *within* a bucket reuse the bucket's cached plan — plan-cache
+  hits, zero compiles;
+* *crossing* a bucket (length 16→17, 32→33, …) is the only cold
+  compile, and each bucket is compiled exactly once per structure.
+
+KV state lifecycle
+------------------
+:class:`KVState` owns the growing Q/K/V history.  Buffers are allocated
+at the current bucket capacity; ``append`` writes the next row in
+place, and a bucket crossing reallocates at the next power of two and
+copies (amortised O(1) per token, like a growable array).  Rows past
+``length`` stay zero — exactly the padding the engine masks out.
+
+Numerical contract
+------------------
+Every step output is **bit-identical to a from-scratch full-length
+recompute**: a fresh engine handed the whole history in one call (same
+bucket, ``valid_lens=[length]``) produces byte-for-byte the session's
+output — incremental state adds zero numerical drift.  For purely
+banded patterns (sliding window, dilated, multi-band) the outputs are
+furthermore bit-identical to an *exact-length* ``attend()`` with no
+padding at all.  Global-token patterns keep that exact-length identity
+on every non-global row; the global rows themselves are equivalent only
+up to the engine's documented partial-softmax regrouping (the
+global-row pass grouping depends on the padded length, and the exp LUT
+makes regrouping observable).  The parity suite pins all three tiers.
+
+Global tokens must lie inside the valid prefix (the engine rejects a
+global key it cannot read), so the session activates a global token
+only once the sequence has grown past it — one extra structural compile
+per activation, bounded by the number of global tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import HardwareConfig
+from ..core.salo import SALO, pattern_structure_key
+from ..patterns.base import AttentionPattern, Band
+from ..patterns.hybrid import HybridSparsePattern
+from ..serving.batching import length_bucket
+
+__all__ = ["KVState", "DecodeSession", "decode_pattern"]
+
+
+def decode_pattern(
+    bands: Tuple[Band, ...],
+    global_tokens: Tuple[int, ...],
+    bucket: int,
+    valid_len: int,
+) -> HybridSparsePattern:
+    """Bucket-length pattern for a sequence of ``valid_len`` tokens.
+
+    Bands carry over unchanged (they are relative offsets); global
+    tokens are filtered to the valid prefix — the engine requires every
+    global key to be readable by every sequence in the call.
+    """
+    if valid_len > bucket:
+        raise ValueError(f"valid_len {valid_len} exceeds bucket {bucket}")
+    active = tuple(g for g in global_tokens if g < valid_len)
+    return HybridSparsePattern(bucket, list(bands), active)
+
+
+class KVState:
+    """Growing Q/K/V history with bucket-capacity buffers.
+
+    Buffers hold ``capacity = length_bucket(length)`` rows; the tail
+    past ``length`` is zero.  ``padded(capacity)`` is a zero-copy view
+    of the internal buffers, so a warm decode step allocates nothing.
+    """
+
+    def __init__(self, hidden: int, bucket_floor: int = 16) -> None:
+        if hidden <= 0:
+            raise ValueError("hidden must be positive")
+        self.hidden = hidden
+        self.bucket_floor = bucket_floor
+        self._len = 0
+        self._cap = 0
+        self._q = np.zeros((0, hidden))
+        self._k = np.zeros((0, hidden))
+        self._v = np.zeros((0, hidden))
+        self.grows = 0
+
+    @property
+    def length(self) -> int:
+        return self._len
+
+    @property
+    def capacity(self) -> int:
+        """Current bucket (padded length of every attend call)."""
+        return self._cap
+
+    def _ensure(self, new_len: int) -> bool:
+        cap = length_bucket(new_len, self.bucket_floor)
+        if cap <= self._cap:
+            return False
+        for name in ("_q", "_k", "_v"):
+            old = getattr(self, name)
+            buf = np.zeros((cap, self.hidden))
+            buf[: self._len] = old[: self._len]
+            setattr(self, name, buf)
+        self._cap = cap
+        self.grows += 1
+        return True
+
+    def extend(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> bool:
+        """Append a block of rows (the prompt); returns True on regrow."""
+        q = np.asarray(q, dtype=float)
+        k = np.asarray(k, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if q.ndim != 2 or q.shape[1] != self.hidden:
+            raise ValueError(f"expected (m, {self.hidden}) rows, got {q.shape}")
+        if q.shape != k.shape or q.shape != v.shape:
+            raise ValueError("q/k/v row blocks must share a shape")
+        m = q.shape[0]
+        if m == 0:
+            raise ValueError("cannot extend with zero rows")
+        grew = self._ensure(self._len + m)
+        lo = self._len
+        self._q[lo : lo + m] = q
+        self._k[lo : lo + m] = k
+        self._v[lo : lo + m] = v
+        self._len += m
+        return grew
+
+    def append(self, q_row: np.ndarray, k_row: np.ndarray, v_row: np.ndarray) -> bool:
+        """Append one token; returns True when a bucket was crossed."""
+        return self.extend(
+            np.asarray(q_row, dtype=float).reshape(1, -1),
+            np.asarray(k_row, dtype=float).reshape(1, -1),
+            np.asarray(v_row, dtype=float).reshape(1, -1),
+        )
+
+    def padded(self, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """History zero-padded to ``n`` rows (zero-copy at capacity)."""
+        if n == self._cap:
+            return self._q, self._k, self._v
+        if n < self._len:
+            raise ValueError(f"cannot pad {self._len} rows into {n}")
+        q = np.zeros((n, self.hidden))
+        k = np.zeros((n, self.hidden))
+        v = np.zeros((n, self.hidden))
+        q[: self._len] = self._q[: self._len]
+        k[: self._len] = self._k[: self._len]
+        v[: self._len] = self._v[: self._len]
+        return q, k, v
+
+    def history(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views of the live rows (no padding, no copy)."""
+        return (
+            self._q[: self._len],
+            self._k[: self._len],
+            self._v[: self._len],
+        )
+
+
+class DecodeSession:
+    """One autoregressive sequence against a shared :class:`SALO` engine.
+
+    ``prefill`` ingests the prompt and returns the full attention
+    output (its last row seeds the first generated token);  ``step``
+    appends one token and returns that token's attention row.  All
+    calls go through the shared engine's plan cache, so many sessions
+    on one engine amortise each bucket's compile across every sequence
+    and every step that touches it.
+
+    The ``pattern`` argument defines the *structure family*: its bands
+    and its **complete** global-token set.  Pass the full-length family
+    pattern — a short instance whose constructor already dropped
+    out-of-range globals would silently truncate the family, because
+    the session takes the global set exactly as given and activates
+    each global once the sequence grows past it.
+    """
+
+    def __init__(
+        self,
+        pattern: AttentionPattern,
+        salo: Optional[SALO] = None,
+        heads: int = 1,
+        bucket_floor: int = 16,
+        scale: Optional[float] = None,
+    ) -> None:
+        if pattern_structure_key(pattern) is None:
+            raise ValueError(
+                "decode requires a structured pattern (bands + globals); "
+                f"{type(pattern).__name__} is opaque"
+            )
+        self.salo = salo if salo is not None else SALO(HardwareConfig())
+        self.heads = heads
+        self.bucket_floor = bucket_floor
+        self.scale = scale
+        self._bands = tuple(pattern.bands() or ())
+        self._globals = tuple(pattern.global_tokens())
+        self._patterns: Dict[Tuple[int, Tuple[int, ...]], HybridSparsePattern] = {}
+        self._state: Optional[KVState] = None
+        self.steps = 0
+        self.bucket_crossings = 0
+        self.last_output: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        return self._state.length if self._state is not None else 0
+
+    @property
+    def bucket(self) -> int:
+        """Padded length of the current plan (0 before prefill)."""
+        return self._state.capacity if self._state is not None else 0
+
+    @property
+    def state(self) -> KVState:
+        if self._state is None:
+            raise RuntimeError("prefill() first")
+        return self._state
+
+    def bucket_pattern(self) -> HybridSparsePattern:
+        """The pattern the next attend call will execute."""
+        return self._pattern_for(self.state.capacity, self.state.length)
+
+    def _pattern_for(self, bucket: int, valid_len: int) -> HybridSparsePattern:
+        active = tuple(g for g in self._globals if g < valid_len)
+        key = (bucket, active)
+        pat = self._patterns.get(key)
+        if pat is None:
+            pat = decode_pattern(self._bands, self._globals, bucket, valid_len)
+            self._patterns[key] = pat
+        return pat
+
+    def _attend(self) -> np.ndarray:
+        state = self.state
+        pattern = self._pattern_for(state.capacity, state.length)
+        q, k, v = state.padded(state.capacity)
+        result = self.salo.attend(
+            pattern,
+            q[None],
+            k[None],
+            v[None],
+            heads=self.heads,
+            scale=self.scale,
+            valid_lens=[state.length],
+        )
+        self.last_output = result.output[0, : state.length]
+        return self.last_output
+
+    def prefill(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Ingest the prompt; returns the full (L, hidden) output."""
+        if self._state is not None:
+            raise RuntimeError("prefill() may only be called once")
+        q = np.asarray(q, dtype=float)
+        if q.ndim != 2:
+            raise ValueError("prompt must be (L, hidden)")
+        self._state = KVState(q.shape[1], self.bucket_floor)
+        self._state.extend(q, k, v)
+        self.steps += 1
+        return self._attend().copy()
+
+    def step(
+        self, q_row: np.ndarray, k_row: np.ndarray, v_row: np.ndarray
+    ) -> np.ndarray:
+        """Append one token; returns its (hidden,) attention output."""
+        crossed = self.state.append(q_row, k_row, v_row)
+        if crossed:
+            self.bucket_crossings += 1
+        self.steps += 1
+        return self._attend()[self.state.length - 1].copy()

@@ -17,8 +17,9 @@ seed, same request mix; only the arrival *rate* scales with rho):
   passed are dropped instead of served late, so scarce batch slots go to
   work that can still count.
 * ``admit+shed`` — shedding plus an estimated-wait admission cap
-  (slack 0.5): requests whose projected wait already burns half their
-  budget are refused at the door, before any queueing capacity is spent.
+  (slack 1.0): requests whose projected wait alone already exhausts
+  their budget are refused at the door, before any queueing capacity is
+  spent.
   At moderate overload the refusals cost a sliver of goodput (the wait
   estimate is conservative), but they bound the backlog: by rho 2.0 the
   mode beats shed-only on both met rate and goodput.
@@ -75,8 +76,12 @@ OVERLOAD_INTERACTIVE_BUDGET = 60.0
 OVERLOAD_BULK_BUDGET = 400.0
 
 #: Estimated-wait admission slack: refuse once the projected wait alone
-#: would burn this fraction of the request's latency budget.
-ADMIT_SLACK = 0.5
+#: would burn this fraction of the request's latency budget.  Tuned to
+#: the batch-aware queue-drain estimate: the drain model projects the
+#: true (larger) wait at deep backlogs, so the near-parity operating
+#: point sits at a higher slack than the retired shallow depth x unit
+#: shorthand needed.
+ADMIT_SLACK = 1.0
 
 #: Interactive completed-share band the weighted-fair mode must hold
 #: under overload.  With weights 3:1 the DRR slot share is 0.75, but the

@@ -19,6 +19,7 @@ from .admission import (
     QueueDepthCap,
     TokenBucketAdmission,
     make_admission,
+    queue_drain_estimate,
 )
 from .batching import Batch, BatchScheduler, length_bucket
 from .request import AttentionRequest, RequestResult
@@ -47,4 +48,5 @@ __all__ = [
     "TokenBucketAdmission",
     "ADMISSIONS",
     "make_admission",
+    "queue_drain_estimate",
 ]

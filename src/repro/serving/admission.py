@@ -60,7 +60,43 @@ __all__ = [
     "TokenBucketAdmission",
     "ADMISSIONS",
     "make_admission",
+    "queue_drain_estimate",
 ]
+
+
+def queue_drain_estimate(
+    depth: int,
+    unit_s: float,
+    batch_overhead_s: float = 0.0,
+    max_batch_size: Optional[int] = None,
+) -> float:
+    """Cost-model time to drain a backlog of ``depth`` requests.
+
+    The batch-amortisation-aware wait model: the backlog is served in
+    batches of at most ``max_batch_size``, and under the cost model a
+    batch of ``B`` costs ``B * unit_s + batch_overhead_s``.  Draining
+    ``depth`` requests therefore takes
+
+        ``depth * unit_s + ceil(depth / max_batch_size) * batch_overhead_s``
+
+    which is what an arriving request actually waits before a batch slot
+    opens.  The previous ``depth * unit + overhead`` shorthand charged
+    one overhead regardless of backlog, so under deep queues it
+    under-estimated the wait by ``(ceil(depth/B) - 1) * overhead`` and
+    doom-admitted requests the drain model correctly turns away; with an
+    empty queue it charged an overhead no request would wait for.  The
+    drain estimate is exact for a FIFO backlog of equal-cost requests,
+    and still O(1) and deterministic.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    if depth == 0:
+        return 0.0
+    if max_batch_size is None or max_batch_size < 1:
+        batches = 1
+    else:
+        batches = -(-depth // max_batch_size)  # ceil
+    return depth * unit_s + batches * batch_overhead_s
 
 
 class AdmissionContext:

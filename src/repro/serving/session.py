@@ -42,7 +42,7 @@ import numpy as np
 
 from ..core.salo import SALO, pattern_structure_key
 from ..patterns.base import AttentionPattern
-from .admission import AdmissionContext, AdmissionPolicy
+from .admission import AdmissionContext, AdmissionPolicy, queue_drain_estimate
 from .batching import Batch, BatchScheduler
 from .request import AttentionRequest, RequestResult
 
@@ -288,17 +288,24 @@ class ServingSession:
         like the token bucket need one monotone clock domain, and a
         trace replay that mixes recorded arrivals with live submissions
         would otherwise run the bucket arithmetic backwards.  The wait
-        estimate is the queue depth times the request's own cost-model
-        latency — coarse, but deterministic and cheap (the SALO stats
-        cache absorbs repeat structures), and lazy so depth-only
-        policies never trigger an estimate.
+        estimate is the queue-drain model over the pending backlog with
+        the request's own cost-model latency as the unit (the session
+        door has no batch-overhead clock, so the drain reduces to
+        depth x unit here) — deterministic, cheap (the SALO stats cache
+        absorbs repeat structures), and lazy so depth-only policies
+        never trigger an estimate.
         """
 
         def estimate() -> Tuple[float, float]:
             unit = self.salo.estimate(
                 request.pattern, heads=request.heads, head_dim=request.head_dim
             ).latency_s
-            return (self.scheduler.pending * unit, unit)
+            wait = queue_drain_estimate(
+                self.scheduler.pending,
+                unit,
+                max_batch_size=self.scheduler.max_batch_size,
+            )
+            return (wait, unit)
 
         return AdmissionContext(
             now=now, depth=self.scheduler.pending, estimator=estimate

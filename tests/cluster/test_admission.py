@@ -1,5 +1,7 @@
 """Admission policies: unit behaviour + the simulator's arrival gate."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,7 @@ from repro.cluster import (
     SimConfig,
     TokenBucketAdmission,
     make_admission,
+    queue_drain_estimate,
 )
 from repro.core.config import HardwareConfig
 from repro.core.salo import SALO
@@ -245,3 +248,114 @@ class TestSimulatorGate:
         requests = [_request(i, arrival=i * 1e-7) for i in range(6)]
         _, report = self._simulate(AdmitAll(), requests)
         assert report.rejected == 0 and report.completed == 6
+
+
+class TestQueueDrainEstimate:
+    """The batch-amortisation-aware wait model behind est-wait."""
+
+    UNIT = 1e-4
+    OVERHEAD = 5e-5
+
+    def _shallow(self, depth):
+        """The retired depth x unit + one-overhead shorthand."""
+        return depth * self.UNIT + self.OVERHEAD
+
+    def test_empty_queue_waits_nothing(self):
+        # the shallow model charged an overhead no request would wait for
+        assert queue_drain_estimate(0, self.UNIT, self.OVERHEAD, 4) == 0.0
+
+    def test_matches_shallow_model_within_one_batch(self):
+        for depth in (1, 2, 3, 4):
+            drain = queue_drain_estimate(depth, self.UNIT, self.OVERHEAD, 4)
+            assert drain == self._shallow(depth)
+
+    def test_strictly_greater_beyond_one_batch(self):
+        """Deep backlogs drain in several batches, each charging its
+        overhead — the shallow model under-estimated exactly here."""
+        for depth in (5, 8, 16, 33):
+            drain = queue_drain_estimate(depth, self.UNIT, self.OVERHEAD, 4)
+            assert drain > self._shallow(depth)
+            expected = depth * self.UNIT + math.ceil(depth / 4) * self.OVERHEAD
+            assert drain == expected
+
+    def test_monotone_in_depth(self):
+        waits = [queue_drain_estimate(d, self.UNIT, self.OVERHEAD, 4)
+                 for d in range(20)]
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+
+    def test_no_batch_limit_degenerates_to_one_overhead(self):
+        assert queue_drain_estimate(40, self.UNIT, self.OVERHEAD, None) == (
+            self._shallow(40)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            queue_drain_estimate(-1, self.UNIT)
+
+    def test_rejects_doomed_request_the_shallow_model_admitted(self):
+        """The strictly-more-precise case: at depth 10 with batches of
+        2, a deadline between the two wait models is doom-admitted by
+        the shallow estimate and correctly refused by the drain one."""
+        depth, batch = 10, 2
+        service = self.UNIT + self.OVERHEAD
+        shallow = self._shallow(depth)
+        drain = queue_drain_estimate(depth, self.UNIT, self.OVERHEAD, batch)
+        deadline = (shallow + drain) / 2 + service
+        policy = EstimatedWaitCap(slack=1.0)
+        doomed = _request(0, deadline=deadline)
+        assert policy.admit(doomed, _ctx(wait=shallow, service=service))
+        assert not policy.admit(doomed, _ctx(wait=drain, service=service))
+
+
+class TestDrainModelInSimulator:
+    """The simulator's est-wait gate now runs the drain model."""
+
+    def _probe_run(self, deadline):
+        clock = CostModelClock()
+        config = SimConfig(
+            workers=1,
+            max_batch_size=2,
+            policy=GreedyFIFOPolicy(),
+            admission=EstimatedWaitCap(slack=1.0),
+            service=clock,
+            salo_factory=lambda: SALO(HardwareConfig(pe_rows=4, pe_cols=4)),
+        )
+        # ten deadline-free requests burst in; the deadlined probe
+        # arrives while all ten are still queued or executing (depth 10)
+        requests = [_request(i, arrival=i * 1e-9) for i in range(10)]
+        requests.append(_request(99, arrival=1e-6, deadline=deadline))
+        sim = ClusterSimulator(config)
+        report = sim.run(OpenLoopSource(requests))
+        return sim, report, clock
+
+    def _units(self, clock):
+        salo = SALO(HardwareConfig(pe_rows=4, pe_cols=4))
+        pattern = longformer_pattern(32, 6, (0,))
+        unit = salo.estimate(pattern, heads=2, head_dim=4).latency_s
+        return unit, clock.batch_overhead_s
+
+    def test_doomed_probe_is_rejected_not_doom_admitted(self):
+        clock = CostModelClock()
+        unit, overhead = self._units(clock)
+        shallow = 10 * unit + overhead
+        drain = queue_drain_estimate(10, unit, overhead, 2)
+        service = unit + overhead
+        deadline = (shallow + drain) / 2 + service
+        # the shallow model calls this feasible...
+        assert shallow + service <= deadline
+        sim, report, _ = self._probe_run(deadline)
+        # ...the drain model knows better and turns it away at arrival
+        assert {d.request_id for d in sim.metrics.drops
+                if d.kind == "rejected"} == {99}
+        assert report.submitted == report.completed + report.rejected + report.shed
+
+    def test_feasible_probe_is_admitted(self):
+        clock = CostModelClock()
+        unit, overhead = self._units(clock)
+        drain = queue_drain_estimate(10, unit, overhead, 2)
+        # past the drain wait (plus the cold-compile penalty the
+        # estimate deliberately omits) the probe is genuinely feasible
+        deadline = 2 * drain + 10 * clock.cold_compile_s
+        _, report, _ = self._probe_run(deadline)
+        assert report.rejected == 0
+        assert report.completed == 11

@@ -1,0 +1,146 @@
+"""Decode-phase cluster simulation: TTFT/ITL metrics, continuous
+batching on the cost-model clock, conservation at both granularities."""
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_DECODE_SLO_CLASSES,
+    DecodeClusterSimulator,
+    DecodeSimConfig,
+    DecodeSLOClass,
+    DecodeWorkloadSpec,
+    FaultInjector,
+    TransientSpec,
+    make_admission,
+)
+
+
+def _spec(**overrides):
+    defaults = dict(sequences=40, rate_rps=2500.0, prompt_min=4, prompt_max=40,
+                    mean_new_tokens=12.0, max_new_tokens=48, seed=11)
+    defaults.update(overrides)
+    return DecodeWorkloadSpec(**defaults)
+
+
+def _run(spec=None, **cfg):
+    sim = DecodeClusterSimulator(DecodeSimConfig(**cfg))
+    return sim.run(spec if spec is not None else _spec())
+
+
+class TestConservation:
+    def test_sequence_and_token_laws_hold(self):
+        report = _run(workers=2, max_lanes=4)
+        assert report.sequence_conservation
+        assert report.token_conservation
+        assert report.submitted == 40
+        assert report.tokens_completed > 0
+
+    def test_laws_hold_under_admission_rejection(self):
+        report = _run(workers=1, max_lanes=2,
+                      admission=make_admission("est-wait", slack=1.0))
+        assert report.rejected > 0  # overloaded single worker turns some away
+        assert report.sequence_conservation
+        assert report.token_conservation
+
+    def test_laws_hold_under_transient_faults(self):
+        inj = FaultInjector([TransientSpec(prob=0.6, worker=0)], seed=5)
+        report = _run(workers=2, max_lanes=4, faults=inj, max_retries=2)
+        assert report.retries > 0
+        assert report.failed > 0  # budget of 2 exhausted under p=0.6
+        assert report.sequence_conservation
+        assert report.token_conservation
+        # a failed sequence splits its tokens: produced stay completed
+        assert report.tokens_failed > 0
+
+
+class TestContinuousBatchingOnClock:
+    def test_lanes_bound_concurrency(self):
+        narrow = _run(workers=1, max_lanes=2)
+        wide = _run(workers=1, max_lanes=8)
+        assert narrow.mean_concurrency <= 2 + 1e-9
+        assert wide.mean_concurrency <= 8 + 1e-9
+        assert wide.mean_concurrency > narrow.mean_concurrency
+
+    def test_batch_amortisation_raises_tokens_per_s(self):
+        """More lanes amortise the per-step batch overhead: same trace,
+        wider worker, strictly higher token throughput."""
+        narrow = _run(workers=1, max_lanes=1)
+        wide = _run(workers=1, max_lanes=8)
+        assert wide.tokens_per_s > narrow.tokens_per_s
+
+    def test_cold_compiles_bounded_by_buckets(self):
+        """Per-worker warm-plan tracking mirrors the real decode path:
+        each (bucket, structure) costs one cold compile per worker."""
+        report = _run(workers=2, max_lanes=4)
+        for w in report.workers:
+            assert 0 < w["cold_compiles"] <= 4  # buckets 16/32/64/128 at most
+            info = w["plan_cache"]
+            assert info["misses"] == w["cold_compiles"]
+            for counters in info["buckets"].values():
+                assert counters["misses"] == 1
+
+    def test_run_is_deterministic(self):
+        a = _run(workers=2, max_lanes=4)
+        b = _run(workers=2, max_lanes=4)
+        assert a.tokens_completed == b.tokens_completed
+        assert a.steps == b.steps
+        assert a.ttft_p99_s == b.ttft_p99_s
+        assert a.itl_p99_s == b.itl_p99_s
+
+
+class TestDecodeMetrics:
+    def test_ttft_and_itl_populated(self):
+        report = _run(workers=2, max_lanes=4)
+        assert report.ttft_p50_s > 0
+        assert report.ttft_p99_s >= report.ttft_p50_s
+        assert report.itl_p50_s > 0
+        assert report.itl_p99_s >= report.itl_p50_s
+        assert report.tokens_per_s > 0
+        assert report.makespan_s > 0
+
+    def test_per_class_reports(self):
+        report = _run(workers=2, max_lanes=8)
+        names = {c.name for c in report.classes}
+        assert names <= {c.name for c in DEFAULT_DECODE_SLO_CLASSES}
+        for c in report.classes:
+            assert 0.0 <= c.ttft_attainment <= 1.0
+            assert 0.0 <= c.itl_attainment <= 1.0
+
+    def test_render_mentions_decode_quantities(self):
+        text = _run(workers=2, max_lanes=4).render()
+        for needle in ("tokens/s", "TTFT", "ITL", "concurrency", "cold compiles"):
+            assert needle in text
+
+    def test_ttft_doomed_queued_sequences_are_shed(self):
+        """A tight TTFT class on an overloaded worker sheds instead of
+        serving hopeless first tokens."""
+        tight = (DecodeSLOClass("tight", deadline_s=1e-4, share=1.0,
+                                itl_deadline_s=None),)
+        report = _run(_spec(slo_classes=tight, rate_rps=10000.0),
+                      workers=1, max_lanes=2)
+        assert report.shed > 0
+        assert report.sequence_conservation and report.token_conservation
+
+
+class TestSpecValidation:
+    def test_trace_is_a_pure_function_of_the_spec(self):
+        a, b = _spec().draw(), _spec().draw()
+        assert [(s.arrival_s, s.prompt_n, s.target_tokens, s.slo_class)
+                for s in a] == [
+               (s.arrival_s, s.prompt_n, s.target_tokens, s.slo_class)
+                for s in b]
+        budgets = [s.target_tokens for s in a]
+        assert all(1 <= t <= 48 for t in budgets)
+        assert len(set(budgets)) > 1  # actually a distribution
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(sequences=0)
+        with pytest.raises(ValueError):
+            _spec(prompt_min=10, prompt_max=4)
+        with pytest.raises(ValueError):
+            _spec(mean_new_tokens=100.0, max_new_tokens=10)
+        with pytest.raises(ValueError):
+            DecodeSLOClass("x", deadline_s=1.0, itl_deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            DecodeSimConfig(max_lanes=0)

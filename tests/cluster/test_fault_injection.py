@@ -29,6 +29,7 @@ from repro.cluster import (
     WORKER_UP,
     WorkloadSpec,
     open_loop,
+    service_scales,
     simulate,
 )
 from repro.patterns.library import longformer_pattern
@@ -253,14 +254,27 @@ class TestCrashRecovery:
                 return super().service_s(worker, batch, cold)
 
         clock = RecordingClock()
-        source = open_loop(_spec(num=80), PoissonProcess(rate_rps=20000.0))
+        spec = _spec(num=80)
+        # Size the crash window off the clock's own service scale: the
+        # calibrated costs move with every bench re-snapshot, and a
+        # hard-coded schedule can drift past the whole (saturated) run.
+        unit_s, _ = service_scales(spec, clock)
+        makespan_s = spec.num_requests * unit_s / 2  # 2 saturated workers
+        source = open_loop(spec, PoissonProcess(rate_rps=20000.0))
         sim = ClusterSimulator(
             SimConfig(
                 workers=2,
                 policy=EDFPolicy(),
                 service=clock,
                 faults=FaultInjector(
-                    [CrashSpec(worker=1, at_s=1e-3, down_for_s=1e-3)], seed=7
+                    [
+                        CrashSpec(
+                            worker=1,
+                            at_s=0.3 * makespan_s,
+                            down_for_s=0.2 * makespan_s,
+                        )
+                    ],
+                    seed=7,
                 ),
                 recovery=_RECOVERY,
             )
@@ -352,3 +366,131 @@ class TestReportRendering:
         assert "fault tolerance" in out
         assert "availability" in out
         assert "worker 1: crashes 1" in out
+
+
+class TestCircuitBreaker:
+    """Grey failures: a worker that heartbeats fine but fails its work."""
+
+    def _breaker(self, **kw):
+        from repro.cluster import CircuitBreaker
+
+        defaults = dict(threshold=0.5, window=4, min_samples=2, cooldown_s=1e-3)
+        defaults.update(kw)
+        return CircuitBreaker(**defaults)
+
+    def test_trips_at_threshold_not_before(self):
+        b = self._breaker()
+        b.record(False, 0.0)  # one sample < min_samples: no trip
+        assert not b.is_open(0.0) and b.trips == 0
+        b.record(False, 1e-4)  # 2/2 failed >= 0.5
+        assert b.is_open(2e-4) and b.trips == 1
+
+    def test_successes_keep_it_closed(self):
+        b = self._breaker()
+        for i in range(8):
+            b.record(True, i * 1e-4)
+        b.record(False, 9e-4)  # 1/4 of the window < 0.5
+        assert not b.is_open(1e-3) and b.trips == 0
+
+    def test_window_slides(self):
+        b = self._breaker(window=4, min_samples=4)
+        for i in range(4):
+            b.record(True, i * 1e-4)
+        # two failures push two old successes out: 2/4 >= 0.5 -> trip
+        b.record(False, 5e-4)
+        b.record(False, 6e-4)
+        assert b.trips == 1
+
+    def test_half_open_probe_recloses_on_success(self):
+        b = self._breaker(threshold=0.75)
+        b.record(False, 0.0)
+        b.record(False, 1e-4)  # trips; open until 1.1e-3
+        assert b.is_open(1e-3)
+        assert not b.is_open(2e-3)  # cooldown over: half-open
+        b.record(True, 2e-3)  # probe succeeds
+        assert not b.is_open(2e-3) and b.open_until_s is None
+        b.record(False, 3e-3)  # window was reset: one failure alone
+        assert not b.is_open(3e-3) and b.trips == 1
+
+    def test_half_open_probe_failure_retrips(self):
+        b = self._breaker()
+        b.record(False, 0.0)
+        b.record(False, 1e-4)
+        b.record(True, 5e-4)  # launched pre-trip: ignored while open
+        assert b.is_open(1e-3) and b.trips == 1
+        b.record(False, 2e-3)  # half-open probe fails
+        assert b.is_open(2.5e-3) and b.trips == 2
+
+    def test_validation(self):
+        for kw in (
+            dict(threshold=0.0),
+            dict(threshold=1.5),
+            dict(min_samples=0),
+            dict(window=1, min_samples=2),
+            dict(cooldown_s=0.0),
+        ):
+            with pytest.raises(ValueError):
+                self._breaker(**kw)
+        for kw in (
+            dict(breaker_threshold=2.0),
+            dict(breaker_min_samples=0),
+            dict(breaker_window=2, breaker_min_samples=3),
+            dict(breaker_cooldown_s=0.0),
+        ):
+            with pytest.raises(ValueError):
+                RecoveryConfig(**kw)
+
+    def test_route_skips_breaker_open_worker(self):
+        from repro.cluster import CircuitBreaker, EnginePool
+
+        pool = EnginePool(workers=2)
+        pool.workers[0].breaker = CircuitBreaker(min_samples=1, window=4)
+        pool.workers[0].breaker.record(False, 0.0)  # trips immediately
+        req = AttentionRequest(
+            request_id=0, pattern=longformer_pattern(64, 8, (0,)),
+            q=np.zeros((64, 8)), k=np.zeros((64, 8)), v=np.zeros((64, 8)),
+            heads=2, arrival_s=0.0,
+        )
+        assert pool.route(req, now=1e-4).wid == 1  # open: skipped
+        assert pool.route(req, now=1.0).wid == 0  # cooldown over: back
+        assert pool.route(req).wid == 0  # no clock: breaker not consulted
+
+    def test_grey_failure_trips_and_shifts_traffic(self):
+        """Worker 0 answers every heartbeat but fails 90% of its
+        dispatches: the breaker opens and the router shifts load to
+        worker 1, with the conservation law intact throughout."""
+        recovery = RecoveryConfig(
+            heartbeat_interval_s=5e-5,
+            heartbeat_timeout_s=1e-4,
+            max_retries=6,
+            breaker_threshold=0.5,
+            breaker_window=4,
+            breaker_min_samples=2,
+            # Longer than any run at any clock calibration: once tripped,
+            # worker 0 stays shielded, so the traffic shift is not a
+            # function of how many half-open probes the timescale allows.
+            breaker_cooldown_s=10.0,
+        )
+        sim, report = _run(
+            [TransientSpec(prob=0.9, worker=0)], recovery=recovery
+        )
+        trips = sim.pool.workers[0].breaker.trips
+        assert trips >= 1
+        assert sim.pool.workers[1].breaker.trips == 0
+        by_wid = {w.wid: w for w in report.workers}
+        assert by_wid[0].breaker_trips == trips
+        # the healthy worker carries the run
+        assert by_wid[1].served > by_wid[0].served
+        assert _conserved(report)
+        assert "breaker trips" in report.render()
+
+    def test_breaker_disabled_runs_are_untouched(self):
+        """breaker_threshold=None (the default) must leave a faulty run
+        byte-identical to one that never heard of breakers."""
+        specs = [TransientSpec(prob=0.3, worker=0)]
+        _, plain = _run(specs)
+        _, off = _run(specs, recovery=RecoveryConfig(
+            heartbeat_interval_s=5e-5, heartbeat_timeout_s=1e-4,
+            breaker_threshold=None,
+        ))
+        assert plain.render() == off.render()

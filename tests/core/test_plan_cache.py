@@ -100,4 +100,57 @@ class TestCountersUnderMixedTraffic:
         assert salo.plan_cache_misses == 2
 
     def test_hit_rate_zero_when_untouched(self):
-        assert SALO().cache_info()["hit_rate"] == 0.0
+        info = SALO().cache_info()
+        assert info["hit_rate"] == 0.0
+        assert info["buckets"] == {}
+
+
+class TestPerBucketCounters:
+    """Per-padded-length accounting — what decode amortisation rests on."""
+
+    def test_buckets_split_by_padded_length(self):
+        salo = SALO()
+        for n, calls in ((16, 3), (32, 2), (64, 4)):
+            pattern = longformer_pattern(n, 4, (0,))
+            q, k, v = _data(n, 8, seed=n)
+            for _ in range(calls):
+                salo.attend(pattern, q, k, v)
+        info = salo.cache_info()
+        assert info["buckets"] == {
+            16: {"hits": 2, "misses": 1},
+            32: {"hits": 1, "misses": 1},
+            64: {"hits": 3, "misses": 1},
+        }
+        # the per-bucket split always sums to the aggregate counters
+        assert sum(b["hits"] for b in info["buckets"].values()) == info["hits"]
+        assert sum(b["misses"] for b in info["buckets"].values()) == info["misses"]
+
+    def test_bucket_crossing_decode_walk(self):
+        """A decode-style walk: every step attends at the current
+        bucket with the tail masked.  Each bucket is compiled exactly
+        once; every other step in the bucket is a hit."""
+        from repro.decode import DecodeSession
+        from repro.patterns.window import SlidingWindowPattern
+
+        salo = SALO()
+        session = DecodeSession(
+            SlidingWindowPattern.causal(16, 4), salo=salo, heads=2
+        )
+        rng = np.random.default_rng(3)
+        session.prefill(*(rng.standard_normal((12, 8)) for _ in range(3)))
+        for _ in range(40):  # 12 -> 52 tokens: buckets 16, 32, 64
+            session.step(*(rng.standard_normal(8) for _ in range(3)))
+        info = salo.cache_info()
+        assert set(info["buckets"]) == {16, 32, 64}
+        for n in (16, 32, 64):
+            assert info["buckets"][n]["misses"] == 1
+        assert session.bucket_crossings == 2
+        # 41 attends total, 3 compiles: within-bucket steps all hit
+        assert info["hits"] == 41 - 3 and info["misses"] == 3
+
+    def test_capacity_zero_still_counts_buckets(self):
+        salo = SALO(plan_cache_size=0)
+        q, k, v = _data(64, 8)
+        salo.attend(_pattern(8), q, k, v)
+        salo.attend(_pattern(8), q, k, v)
+        assert salo.cache_info()["buckets"] == {64: {"hits": 0, "misses": 2}}

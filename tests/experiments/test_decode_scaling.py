@@ -1,0 +1,60 @@
+"""The committed decode-scaling claims (fixed seed, cost-model clock).
+
+The sweep's assertions on exactly the workload the committed
+``decode_scaling`` experiment runs: conservation holds on every row,
+widening lanes raises tokens/s at fixed worker count, adding a worker
+never lowers tokens/s at fixed lane width, and cold compiles stay
+bounded by plan-cache reuse (the within-bucket warm-step property at
+cluster scale).
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.decode_scaling import FAST_GRID, GRID
+
+
+@pytest.fixture(scope="module")
+def result():
+    return get_experiment("decode_scaling")(fast=True)
+
+
+def _by_shape(result):
+    return {(row["workers"], row["lanes"]): row for row in result.rows}
+
+
+class TestDecodeScaling:
+    def test_sweep_shape(self, result):
+        assert {(r["workers"], r["lanes"]) for r in result.rows} == set(FAST_GRID)
+        assert set(FAST_GRID) <= set(GRID)
+        for row in result.rows:
+            assert row["completed"] > 0
+            assert row["tokens_per_s"] > 0
+            assert row["concurrency"] >= 1.0
+
+    def test_conservation_on_every_row(self, result):
+        # both laws, folded into the row by the sweep itself
+        assert all(row["conserved"] for row in result.rows)
+
+    def test_wider_lanes_raise_throughput(self, result):
+        by = _by_shape(result)
+        assert by[(1, 4)]["tokens_per_s"] > by[(1, 1)]["tokens_per_s"]
+        # concurrency is the mechanism: more lanes busy per unit time
+        assert by[(1, 4)]["concurrency"] > by[(1, 1)]["concurrency"]
+
+    def test_second_worker_raises_throughput(self, result):
+        by = _by_shape(result)
+        assert by[(2, 4)]["tokens_per_s"] > by[(1, 4)]["tokens_per_s"]
+
+    def test_cold_compiles_bounded_by_buckets(self, result):
+        # prompts <= 40, outputs <= 48 -> lengths < 128: at most the
+        # 16/32/64/128 buckets go cold once per worker
+        for row in result.rows:
+            assert row["cold"] <= row["workers"] * 4
+
+    def test_lane_width_does_not_change_the_trace(self, result):
+        # every row consumed the same arrival trace
+        submitted = {
+            row["completed"] + row["shed"] for row in result.rows
+        }  # rejected == failed == 0 without admission/faults
+        assert len(submitted) == 1
