@@ -29,15 +29,23 @@
 #   make decode-smoke - continuous-batching decode simulation end to
 #                  end: tokens/s, TTFT/ITL percentiles, per-worker
 #                  plan-cache hit rates (fixed seed, deterministic)
+#   make transport-smoke - out-of-process worker transport end to end:
+#                  the measured (wall-clock) multi-core ladder plus a
+#                  killed-worker recovery row (a real SIGKILL mid-run,
+#                  recovered by heartbeat detection + requeue).  Wrapped
+#                  in a hard `timeout` so a wedged worker process cannot
+#                  hang CI; the transport test suite additionally arms a
+#                  per-test SIGALRM guard (tests/transport/conftest.py)
 
 PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: check test bench bench-gate bench-update simulate-smoke \
-	simulate-overload simulate-faults decode-smoke engines-smoke
+	simulate-overload simulate-faults decode-smoke engines-smoke \
+	transport-smoke
 
 check: test bench-gate engines-smoke simulate-smoke simulate-overload \
-	simulate-faults decode-smoke
+	simulate-faults decode-smoke transport-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -85,6 +93,10 @@ decode-smoke:
 		--sequences 32 --rate 2500 --workers 2 --max-lanes 8 \
 		--admission est-wait --fault-transient 0.2 --fault-worker 0 \
 		--seed 0
+
+transport-smoke:
+	PYTHONPATH=$(PYTHONPATH) timeout 600 $(PYTHON) -m repro.cli \
+		run transport_multicore --fast
 
 simulate-overload:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \

@@ -14,6 +14,7 @@ batched dispatch vs 8 cache-hit calls on the same data); the
 regress against.
 """
 
+import os
 import time
 
 import numpy as np
@@ -595,6 +596,50 @@ def test_decode_continuous_batch_8(benchmark):
         f"continuous batching regressed: batched {batched_s * 1e3:.1f} ms > "
         f"solo {solo_s * 1e3:.1f} ms for identical work"
     )
+
+
+def _transport_report(driver, workers, num_requests=24):
+    """One full transport-cluster run; ``makespan_s`` on the returned
+    report is the serving wall-time alone (worker fork + plan warm-up
+    happen in cluster construction, before the run's clock starts)."""
+    from repro.experiments.transport_multicore import run_row
+
+    return run_row(driver, workers, num_requests)
+
+
+def test_transport_inprocess_single(benchmark):
+    """Measured serving baseline: the in-process transport driver on the
+    transport_multicore workload — the single-process number every
+    multi-core claim is relative to."""
+    report = benchmark.pedantic(
+        lambda: _transport_report("inprocess", 1), rounds=3, iterations=1
+    )
+    assert report.completed == report.submitted == 24
+    assert report.failed == 0
+
+
+def test_transport_multiprocess_4workers(benchmark):
+    """Measured multi-core throughput: 4 worker processes over shared
+    memory.  The first *measured* (not modelled) cluster numbers in the
+    repo.  The multi-worker > single-process claim is hardware-relative,
+    so it is only asserted when >= 4 cores are actually available; on
+    smaller hosts the bench still snapshots the measured timings (they
+    quantify IPC overhead, which is worth tracking too)."""
+    report = benchmark.pedantic(
+        lambda: _transport_report("multiprocess", 4), rounds=2, iterations=1
+    )
+    assert report.submitted == (
+        report.completed + report.rejected + report.shed + report.failed
+    )
+    assert report.completed == 24
+
+    if len(os.sched_getaffinity(0)) >= 4:
+        multi_s = min(_transport_report("multiprocess", 4).makespan_s for _ in range(3))
+        single_s = min(_transport_report("inprocess", 1).makespan_s for _ in range(3))
+        assert multi_s < single_s, (
+            f"4 worker processes served no faster than one process on a "
+            f">=4-core host: {multi_s * 1e3:.1f} ms vs {single_s * 1e3:.1f} ms"
+        )
 
 
 def test_micro_simulator_small(benchmark):

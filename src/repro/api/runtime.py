@@ -105,6 +105,22 @@ class Runtime:
         """Run the configured backend's cost model."""
         return self.backend.estimate(pattern, heads=heads, head_dim=head_dim)
 
+    def warm(self, patterns, heads: int = 1, head_dim: int = 64) -> dict:
+        """Pre-compile the plans for ``patterns`` (one tiny dispatch each).
+
+        The plan cache keys on pattern structure, head count and head
+        dim — not batch size or data — so a single zero-operand dispatch
+        per pattern leaves the cache warm for any later batch of the
+        same shape.  Worker processes call this during start-up so
+        steady-state traffic never pays a cold compile; returns
+        :meth:`cache_info` after warming.
+        """
+        hidden = heads * head_dim
+        for pattern in patterns:
+            zeros = np.zeros((pattern.n, hidden))
+            self.attend(pattern, zeros, zeros, zeros, heads=heads)
+        return self.cache_info()
+
     def cache_info(self) -> dict:
         """The backend's plan-cache counters (zeros when it has none)."""
         return self.backend.cache_info()

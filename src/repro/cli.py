@@ -47,6 +47,7 @@ _ORDER = [
     "serving_capacity",
     "overload",
     "decode_scaling",
+    "transport_multicore",
 ]
 
 
@@ -335,7 +336,9 @@ def _cmd_simulate(args) -> int:
             probed.append(time.perf_counter() - t0)
         unit_s = dispatch_s = float(np.mean(probed))
     else:
-        unit_s, dispatch_s = service_scales(probe, clock, full_batch=args.batch_size)
+        unit_s, dispatch_s = service_scales(
+            probe, clock, full_batch=args.batch_size, backend=args.backend
+        )
 
     if explicit_slo is not None:
         slo_classes = explicit_slo

@@ -141,7 +141,12 @@ def measured_clock_costs() -> Tuple[Optional[float], Optional[float]]:
     return _calibration
 
 
-def service_scales(spec, clock: "CostModelClock", full_batch: int = 8) -> Tuple[float, float]:
+def service_scales(
+    spec,
+    clock: "CostModelClock",
+    full_batch: int = 8,
+    backend: Optional[str] = None,
+) -> Tuple[float, float]:
     """(amortised unit, dispatch unit) of the cost model, in seconds.
 
     ``spec`` is a :class:`~repro.cluster.arrivals.WorkloadSpec`.  The
@@ -150,14 +155,27 @@ def service_scales(spec, clock: "CostModelClock", full_batch: int = 8) -> Tuple[
     unit* — one request plus one whole batch overhead — is the latency
     floor SLO deadlines are scaled from.  Shared by the CLI ``simulate``
     defaults and the ``serving_capacity`` sweep so the two cannot drift.
+
+    ``backend`` names the registered backend whose cost model the scales
+    are probed from — the **same** model the pool's workers charge
+    service with, which is the whole point: a ``--backend dense``
+    simulation must scale its SLO budgets from the dense cost model, not
+    from the default SALO estimator, or budgets and service times come
+    from two different machines.  ``None`` keeps the default SALO
+    estimator (identical to the default ``functional`` backend's).
     """
     from ..serving.trace import pattern_families
 
     if full_batch < 1:
         raise ValueError(f"full_batch must be >= 1, got {full_batch}")
-    salo = SALO()
+    if backend is None:
+        estimator = SALO()
+    else:
+        from ..api import Runtime
+
+        estimator = Runtime(backend=backend)
     units = [
-        salo.estimate(p, heads=spec.heads, head_dim=spec.head_dim).latency_s
+        estimator.estimate(p, heads=spec.heads, head_dim=spec.head_dim).latency_s
         for p in pattern_families(spec.trace_spec())
     ]
     mean_unit = float(np.mean(units))
@@ -560,7 +578,7 @@ class EnginePool:
         self.steals = 0
 
     # ------------------------------------------------------------------
-    def route(self, request: AttentionRequest, now: Optional[float] = None) -> Worker:
+    def route(self, request: AttentionRequest, now: float) -> Worker:
         """Pick the worker maximising cache-hit probability per queue slot.
 
         Score = P(plan cache hit) / (1 + depth): a warm worker wins until
@@ -571,13 +589,21 @@ class EnginePool:
 
         Workers *marked down* are skipped — but workers that crashed and
         have not yet missed enough heartbeats still receive traffic (the
-        router only knows what detection has told it).  With ``now``
-        given, workers whose circuit breaker is open (grey failures:
-        alive, heartbeating, failing dispatches) are skipped the same
-        way.  If every worker is excluded the request still routes (to
-        the best of the excluded set) and is recovered by the next
-        heartbeat sweep or breaker probe.
+        router only knows what detection has told it).  Workers whose
+        circuit breaker is open at ``now`` (grey failures: alive,
+        heartbeating, failing dispatches) are skipped the same way —
+        which is why ``now`` is **required**: an omitted clock used to
+        silently disable the breaker check, routing traffic straight
+        into tripped workers.  If every worker is excluded the request
+        still routes (to the best of the excluded set) and is recovered
+        by the next heartbeat sweep or breaker probe.
         """
+        if now is None:
+            raise TypeError(
+                "EnginePool.route requires the caller's clock: an omitted "
+                "`now` would silently skip the circuit-breaker check and "
+                "route into tripped workers"
+            )
         key = self.workers[0].queue.group_key(request)
         candidates = [
             w for w in self.workers if w.healthy and not w.breaker_open(now)

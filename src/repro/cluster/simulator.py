@@ -43,6 +43,14 @@ derives from the paper's cycle model (``SALO.estimate``) and the run is
 fully deterministic: same seed, same report, no wall-clock reads (fault
 randomness comes from the injector's own seeded stream).  Ties in the
 event heap break by insertion order, which is itself deterministic.
+
+The *measured* counterpart is :class:`~repro.transport.cluster.
+TransportCluster`: the same routing/retry/requeue semantics and the
+same :class:`~repro.cluster.metrics.MetricsCollector` accounting, but
+driven wall-clock over real :class:`~repro.transport.base.
+WorkerTransport` workers (including out-of-process ones that can
+genuinely be ``kill -9``'d) instead of this event heap.  Claims modelled
+here are cross-checked there; the conservation law is pinned in both.
 """
 
 from __future__ import annotations

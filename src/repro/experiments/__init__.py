@@ -19,6 +19,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     table1_synthesis,
     table2_workloads,
     table3_quantization,
+    transport_multicore,
 )
 from .base import ExperimentResult, all_experiments, format_table, get_experiment
 

@@ -162,7 +162,7 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     num_requests = 2400 if fast else 4800
     clock = CostModelClock()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
-    unit_s, dispatch_s = service_scales(probe, clock)
+    unit_s, dispatch_s = service_scales(probe, clock, backend=backend)
     rate = RHO * workers / unit_s
     horizon_s = num_requests / rate
     crash_at_s = CRASH_AT_FRAC * horizon_s

@@ -148,7 +148,7 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     # inflates the deadline unit until nothing is ever doomed.
     clock = CostModelClock.flat()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
-    unit_s, dispatch_s = service_scales(probe, clock)
+    unit_s, dispatch_s = service_scales(probe, clock, backend=backend)
     capacity = workers / unit_s
     rho_grid = (0.8, 1.5) if fast else (0.8, 1.2, 1.5, 2.0)
 

@@ -86,7 +86,7 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
     # would swamp (deadlines balloon and every policy meets them).
     clock = CostModelClock.flat()
     probe = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
-    unit_s, dispatch_s = service_scales(probe, clock)
+    unit_s, dispatch_s = service_scales(probe, clock, backend=backend)
     num_requests = 240 if fast else 400
     workers_grid = (2,) if fast else (1, 2, 4)
     rho_grid = (0.9,) if fast else (0.6, 0.9, 1.2)

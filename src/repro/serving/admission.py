@@ -87,15 +87,24 @@ def queue_drain_estimate(
     empty queue it charged an overhead no request would wait for.  The
     drain estimate is exact for a FIFO backlog of equal-cost requests,
     and still O(1) and deterministic.
+
+    ``max_batch_size`` is **required**: every admission door knows its
+    scheduler's cap, and an uncapped call silently degenerated to the
+    single-overhead shorthand this function exists to replace (one batch
+    overhead charged for any depth — monotone-in-depth only by luck of
+    the ``unit_s`` term, wrong by ``(ceil(depth/B) - 1) * overhead``
+    under deep queues).
     """
     if depth < 0:
         raise ValueError(f"depth must be >= 0, got {depth}")
+    if max_batch_size is None or max_batch_size < 1:
+        raise ValueError(
+            f"max_batch_size must be a positive batch cap, got {max_batch_size!r}; "
+            "pass the admitting scheduler's max_batch_size"
+        )
     if depth == 0:
         return 0.0
-    if max_batch_size is None or max_batch_size < 1:
-        batches = 1
-    else:
-        batches = -(-depth // max_batch_size)  # ceil
+    batches = -(-depth // max_batch_size)  # ceil
     return depth * unit_s + batches * batch_overhead_s
 
 

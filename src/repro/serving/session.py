@@ -46,7 +46,39 @@ from .admission import AdmissionContext, AdmissionPolicy, queue_drain_estimate
 from .batching import Batch, BatchScheduler
 from .request import AttentionRequest, RequestResult
 
-__all__ = ["ServingSession", "ServingStats", "execute_batch"]
+__all__ = ["ServingSession", "ServingStats", "execute_batch", "stack_batch_operands"]
+
+
+def stack_batch_operands(
+    requests, pattern: AttentionPattern
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Stack member operands into one ``(b, n, hidden)`` dispatch shape.
+
+    Uniform-length members stack directly (``valid_lens`` is ``None``);
+    mixed-length members are zero-padded to ``pattern.n`` (the batch's
+    execution length) with their true lengths returned as ``valid_lens``
+    for tail masking.  This is the *single* packing used by both the
+    local dispatch path (:func:`execute_batch`) and the transport wire
+    format (:func:`repro.transport.base.stacked_operands` re-exports
+    it), so what ships over shared memory cannot drift from what a
+    same-process engine would see.
+    """
+    lens = [r.n for r in requests]
+    if all(n == pattern.n for n in lens):
+        q = np.stack([r.q for r in requests])
+        k = np.stack([r.k for r in requests])
+        v = np.stack([r.v for r in requests])
+        return q, k, v, None
+    hidden = requests[0].hidden
+    b, n_pad = len(requests), pattern.n
+    q = np.zeros((b, n_pad, hidden))
+    k = np.zeros((b, n_pad, hidden))
+    v = np.zeros((b, n_pad, hidden))
+    for i, req in enumerate(requests):
+        q[i, : req.n] = req.q
+        k[i, : req.n] = req.k
+        v[i, : req.n] = req.v
+    return q, k, v, np.asarray(lens, dtype=np.int64)
 
 
 def execute_batch(engine, batch: Batch) -> Tuple[List[np.ndarray], List[object]]:
@@ -87,22 +119,11 @@ def execute_batch(engine, batch: Batch) -> Tuple[List[np.ndarray], List[object]]
         ]
         return [res.output for res in results], results
     pattern = batch.execution_pattern()
-    if not batch.mixed_lengths:
-        q = np.stack([r.q for r in requests])
-        k = np.stack([r.k for r in requests])
-        v = np.stack([r.v for r in requests])
+    q, k, v, lens = stack_batch_operands(requests, pattern)
+    if lens is None:
         result = engine.attend(pattern, q, k, v, heads=batch.heads)
         return [result.output[i] for i in range(batch.size)], [result] * batch.size
     # Padded cross-length batch: one bucket-length plan, masked tails.
-    n_pad, hidden = pattern.n, requests[0].hidden
-    q = np.zeros((batch.size, n_pad, hidden))
-    k = np.zeros((batch.size, n_pad, hidden))
-    v = np.zeros((batch.size, n_pad, hidden))
-    lens = np.asarray([r.n for r in requests], dtype=np.int64)
-    for i, req in enumerate(requests):
-        q[i, : req.n] = req.q
-        k[i, : req.n] = req.k
-        v[i, : req.n] = req.v
     result = engine.attend(pattern, q, k, v, heads=batch.heads, valid_lens=lens)
     outputs = [result.output[i, : requests[i].n] for i in range(batch.size)]
     return outputs, [result] * batch.size

@@ -1,0 +1,141 @@
+"""Shared-memory tensor blocks: zero-copy operand shipping.
+
+One :class:`ShmBatch` backs one in-flight batch.  The parent allocates a
+single ``multiprocessing.shared_memory`` segment laid out as four
+contiguous float64 regions — ``q | k | v | out`` — writes the operands
+in, and ships only the segment *name* plus shape metadata over the
+control queue.  The worker process maps the same physical pages, builds
+``numpy`` views over them (no copy, no pickle for tensor data), runs the
+engine, and writes the stacked output into the ``out`` region before
+sending its tiny completion message.  The parent then reads the output
+view and unlinks the segment.
+
+Ownership is strictly parent-side: workers never *create* segments, so a
+``kill -9``'d worker can leak nothing the parent does not already hold a
+handle to — :meth:`ShmBatch.destroy` (or transport close) reclaims every
+segment of every lost batch.
+
+Python's ``resource_tracker`` complicates the attach side: before 3.13,
+attaching to an existing segment also *registers* it with the resource
+tracker.  For unrelated processes that is the famous premature-unlink
+bug, but our workers are ``multiprocessing`` children sharing the
+parent's tracker process (fork inherits its pipe, spawn is handed it),
+and the tracker's registry is a *set*: the child's attach-register is a
+no-op re-add of the parent's own registration.  The widely circulated
+"unregister after attach" workaround would here remove the parent's
+registration out from under it (the parent's unlink then logs a tracker
+``KeyError``), so :func:`attach` deliberately leaves the registration
+alone — segment lifetime stays a parent-side concern throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShmBatch", "ShmLayout", "attach"]
+
+_FLOAT = np.float64
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment from a worker child (see module docstring)."""
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ShmLayout:
+    """Shape metadata shipped alongside a segment name (picklable, tiny)."""
+
+    shape: Tuple[int, int, int]  # (b, n, hidden) of each region
+
+    @property
+    def region_items(self) -> int:
+        b, n, h = self.shape
+        return b * n * h
+
+    @property
+    def region_bytes(self) -> int:
+        return self.region_items * np.dtype(_FLOAT).itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        return 4 * self.region_bytes  # q | k | v | out
+
+    def region(self, buf: memoryview, index: int) -> np.ndarray:
+        """The ``index``-th region of ``buf`` as a (b, n, hidden) view."""
+        start = index * self.region_bytes
+        return np.ndarray(
+            self.shape, dtype=_FLOAT, buffer=buf, offset=start
+        )
+
+
+class ShmBatch:
+    """Parent-side handle on one batch's shared segment.
+
+    Built by :meth:`pack`; the worker side maps the same segment via
+    :meth:`views`.  ``destroy()`` is idempotent and must eventually be
+    called exactly once per packed batch (normally after the completion
+    is consumed; on worker death, during transport cleanup).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: ShmLayout) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = shm
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(cls, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> "ShmBatch":
+        """Allocate a segment and write the stacked operands into it."""
+        layout = ShmLayout(shape=tuple(q.shape))  # type: ignore[arg-type]
+        shm = shared_memory.SharedMemory(create=True, size=layout.total_bytes)
+        buf = shm.buf
+        layout.region(buf, 0)[...] = q
+        layout.region(buf, 1)[...] = k
+        layout.region(buf, 2)[...] = v
+        return cls(shm, layout)
+
+    @staticmethod
+    def views(
+        shm: shared_memory.SharedMemory, layout: ShmLayout
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(q, k, v, out) views over a mapped segment — worker side."""
+        buf = shm.buf
+        return (
+            layout.region(buf, 0),
+            layout.region(buf, 1),
+            layout.region(buf, 2),
+            layout.region(buf, 3),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        if self.shm is None:
+            raise ValueError("segment already destroyed")
+        return self.shm.name
+
+    def read_output(self) -> np.ndarray:
+        """Copy the worker-written ``out`` region into caller-owned memory.
+
+        A copy on purpose: the caller's result must outlive
+        :meth:`destroy`, and a view over unlinked shared memory would
+        dangle.
+        """
+        if self.shm is None:
+            raise ValueError("segment already destroyed")
+        return np.array(self.layout.region(self.shm.buf, 3))
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self.shm is None:
+            return
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self.shm = None

@@ -283,14 +283,26 @@ class TestQueueDrainEstimate:
                  for d in range(20)]
         assert all(a < b for a, b in zip(waits, waits[1:]))
 
-    def test_no_batch_limit_degenerates_to_one_overhead(self):
-        assert queue_drain_estimate(40, self.UNIT, self.OVERHEAD, None) == (
-            self._shallow(40)
-        )
+    def test_batch_cap_is_required(self):
+        """An uncapped call silently degenerated to the one-overhead
+        shorthand the drain model replaced; it must now be refused."""
+        for bad in (None, 0, -3):
+            with pytest.raises(ValueError, match="max_batch_size"):
+                queue_drain_estimate(40, self.UNIT, self.OVERHEAD, bad)
+
+    def test_monotone_in_depth_for_every_cap(self):
+        """Monotonicity must come from the model, not from luck: for any
+        batch cap, one more queued request never shortens the wait."""
+        for cap in (1, 2, 3, 4, 7, 8, 64):
+            waits = [
+                queue_drain_estimate(d, self.UNIT, self.OVERHEAD, cap)
+                for d in range(50)
+            ]
+            assert all(a < b for a, b in zip(waits, waits[1:]))
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            queue_drain_estimate(-1, self.UNIT)
+            queue_drain_estimate(-1, self.UNIT, self.OVERHEAD, 4)
 
     def test_rejects_doomed_request_the_shallow_model_admitted(self):
         """The strictly-more-precise case: at depth 10 with batches of

@@ -1,0 +1,169 @@
+"""Property-based invariants of the per-worker circuit breaker.
+
+The :class:`~repro.cluster.pool.CircuitBreaker` guards the router
+against grey failures, so its state machine has to be correct under
+*every* outcome sequence, not just the handful the scenario tests walk.
+These properties drive a breaker with hypothesis-drawn outcome/clock
+sequences and pin the laws the cluster relies on:
+
+* **Trips monotone** — the trip counter never decreases, and increments
+  only when a recorded outcome actually opens (or re-opens) the breaker.
+* **Never routable mid-cooldown** — from the moment a trip sets
+  ``open_until_s`` until that instant, ``is_open`` holds at every
+  sampled time; at/after the boundary the breaker is half-open and the
+  worker routable again.
+* **Mid-cooldown outcomes are inert** — dispatch outcomes that race a
+  trip (launched before it, completing during the cooldown) change
+  neither the trip count nor the cooldown window.
+* **Window reset on reclose** — a half-open success recloses with a
+  fresh window seeded only by that success, so at least
+  ``min_samples - 1`` further outcomes are needed before any re-trip.
+* **Half-open re-trip** — a failing half-open probe re-opens for a full
+  cooldown from the probe time and counts as a new trip.
+
+Sequences use small positive time steps so trips, cooldown expiries and
+half-open probes all actually occur within drawn scenarios.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import CircuitBreaker
+
+# Outcome stream: (ok, dt) steps with dt spanning well below and well
+# above the cooldown scales drawn below, so scenarios hit mid-cooldown
+# completions, half-open probes and fully-elapsed windows alike.
+_STEPS = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.floats(min_value=1e-5, max_value=5e-3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+_PARAMS = st.fixed_dictionaries(
+    {
+        "threshold": st.floats(min_value=0.25, max_value=1.0),
+        "min_samples": st.integers(min_value=1, max_value=4),
+        "extra_window": st.integers(min_value=0, max_value=6),
+        "cooldown_s": st.floats(min_value=5e-4, max_value=2e-3),
+    }
+)
+
+
+def _breaker(params) -> CircuitBreaker:
+    return CircuitBreaker(
+        threshold=params["threshold"],
+        window=params["min_samples"] + params["extra_window"],
+        min_samples=params["min_samples"],
+        cooldown_s=params["cooldown_s"],
+    )
+
+
+@settings(max_examples=150)
+@given(steps=_STEPS, params=_PARAMS)
+def test_trips_monotone_and_tied_to_openings(steps, params):
+    """Trips never decrease, and every increment opens the breaker."""
+    breaker = _breaker(params)
+    now, prev_trips = 0.0, breaker.trips
+    for ok, dt in steps:
+        now += dt
+        breaker.record(ok, now)
+        assert breaker.trips >= prev_trips
+        if breaker.trips > prev_trips:
+            # The outcome that trips the breaker opens a full cooldown
+            # anchored at its own clock, never in the past.
+            assert breaker.trips == prev_trips + 1  # one outcome, one trip
+            assert breaker.open_until_s == now + params["cooldown_s"]
+            assert breaker.is_open(now)
+        prev_trips = breaker.trips
+
+
+@settings(max_examples=150)
+@given(steps=_STEPS, params=_PARAMS)
+def test_never_routable_mid_cooldown(steps, params):
+    """Inside every open window ``is_open`` holds; at the boundary the
+    breaker is half-open (routable) without external help."""
+    breaker = _breaker(params)
+    now = 0.0
+    for ok, dt in steps:
+        now += dt
+        trips_before = breaker.trips
+        breaker.record(ok, now)
+        if breaker.trips > trips_before:
+            until = breaker.open_until_s
+            for frac in (1e-6, 0.25, 0.5, 0.999):
+                assert breaker.is_open(now + frac * (until - now))
+            assert not breaker.is_open(until)  # half-open: routable again
+
+
+@settings(max_examples=150)
+@given(steps=_STEPS, params=_PARAMS, racing_ok=st.booleans())
+def test_mid_cooldown_outcomes_are_inert(steps, params, racing_ok):
+    """An outcome completing inside the cooldown (a dispatch launched
+    before the trip) neither re-trips nor extends the window."""
+    breaker = _breaker(params)
+    now = 0.0
+    for ok, dt in steps:
+        now += dt
+        trips_before = breaker.trips
+        breaker.record(ok, now)
+        if breaker.trips > trips_before:
+            until = breaker.open_until_s
+            mid = now + 0.5 * (until - now)
+            breaker.record(racing_ok, mid)
+            assert breaker.trips == trips_before + 1
+            assert breaker.open_until_s == until
+            return  # one trip exercised per drawn scenario
+
+
+@settings(max_examples=150)
+@given(params=_PARAMS, tail=st.lists(st.booleans(), min_size=0, max_size=3))
+def test_window_reset_on_reclose(params, tail):
+    """A half-open success recloses with a window holding only that
+    success: no re-trip is possible for min_samples - 1 more outcomes."""
+    breaker = _breaker(params)
+    # Trip deterministically: min_samples straight failures meet any
+    # threshold <= 1.0.
+    now = 0.0
+    while breaker.trips == 0:
+        now += 1e-4
+        breaker.record(False, now)
+    probe_t = breaker.open_until_s  # boundary: half-open
+    breaker.record(True, probe_t)  # successful probe -> reclose
+    assert breaker.open_until_s is None
+    assert not breaker.is_open(probe_t)
+    # The reclosed window holds exactly the probe success, so however
+    # the next outcomes fall, fewer than min_samples - 1 of them cannot
+    # reach the evaluation quorum (and with them can only trip once the
+    # quorum is met again).
+    trips_after_reclose = breaker.trips
+    now = probe_t
+    # Grace = min_samples - 2 outcomes: the reclose success plus that
+    # many more still sit below the evaluation quorum (empty when
+    # min_samples <= 2 — a quorum of one can re-trip immediately).
+    for ok in tail[: max(params["min_samples"] - 2, 0)]:
+        now += 1e-4
+        breaker.record(ok, now)
+        assert breaker.trips == trips_after_reclose
+
+
+@settings(max_examples=150)
+@given(params=_PARAMS)
+def test_half_open_retrip_opens_full_cooldown(params):
+    """A failing half-open probe re-opens for a full cooldown anchored
+    at the probe and increments the trip count."""
+    breaker = _breaker(params)
+    now = 0.0
+    while breaker.trips == 0:
+        now += 1e-4
+        breaker.record(False, now)
+    probe_t = breaker.open_until_s + 3e-4  # strictly past the boundary
+    assert not breaker.is_open(probe_t)  # half-open: routable
+    breaker.record(False, probe_t)  # failing probe
+    assert breaker.trips == 2
+    assert breaker.open_until_s == probe_t + params["cooldown_s"]
+    assert breaker.is_open(probe_t + 0.5 * params["cooldown_s"])

@@ -453,7 +453,12 @@ class TestCircuitBreaker:
         )
         assert pool.route(req, now=1e-4).wid == 1  # open: skipped
         assert pool.route(req, now=1.0).wid == 0  # cooldown over: back
-        assert pool.route(req).wid == 0  # no clock: breaker not consulted
+        # The clock is required: a clockless call used to silently skip
+        # the breaker check and route into the tripped worker.
+        with pytest.raises(TypeError):
+            pool.route(req)
+        with pytest.raises(TypeError):
+            pool.route(req, now=None)
 
     def test_grey_failure_trips_and_shifts_traffic(self):
         """Worker 0 answers every heartbeat but fails 90% of its

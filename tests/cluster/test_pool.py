@@ -45,30 +45,30 @@ class TestRouting:
     def test_warm_worker_wins_over_idle_cold_one(self):
         pool = EnginePool(workers=2, salo_factory=_small_salo)
         req = _request(0)
-        first = pool.route(req)
+        first = pool.route(req, now=0.0)
         first.warm.add(first.queue.group_key(req))
         # Repeat structure routes back to the warm worker even though the
         # other is equally idle.
         for i in range(1, 5):
-            assert pool.route(_request(i)) is first
+            assert pool.route(_request(i), now=0.0) is first
 
     def test_deep_queue_eventually_overrides_affinity(self):
         pool = EnginePool(workers=2, salo_factory=_small_salo, affinity_miss_prob=0.5)
         req = _request(0)
-        warm = pool.route(req)
+        warm = pool.route(req, now=0.0)
         warm.warm.add(warm.queue.group_key(req))
         # Pile queue depth onto the warm worker until score 0.5/(1+0) beats
         # 1.0/(1+depth) -> depth >= 2 flips the choice.
         warm.queue.enqueue(_request(1))
         warm.queue.enqueue(_request(2))
-        other = pool.route(_request(3))
+        other = pool.route(_request(3), now=0.0)
         assert other is not warm
 
     def test_cold_ties_break_to_shallower_then_lower_id(self):
         pool = EnginePool(workers=3, salo_factory=_small_salo)
-        assert pool.route(_request(0)).wid == 0
+        assert pool.route(_request(0), now=0.0).wid == 0
         pool.workers[0].queue.enqueue(_request(1))
-        assert pool.route(_request(2)).wid == 1
+        assert pool.route(_request(2), now=0.0).wid == 1
 
 
 class TestAffinityEndToEnd:
@@ -230,3 +230,48 @@ class TestServiceClocks:
         batch = worker.queue.next_batch()
         assert clock.service_s(worker, batch, cold=True) == pytest.approx(2.5)
         assert worker.salo.cache_info()["misses"] >= 1  # actually executed
+
+
+class TestServiceScalesBackend:
+    """service_scales must probe the *pool's* cost model, not always SALO.
+
+    The regression: `simulate --backend dense` used to scale its SLO
+    deadline budgets from a bare `SALO()` while its workers charged
+    service from the dense cost model — budgets and service times from
+    two different machines.
+    """
+
+    SPEC = WorkloadSpec(n=256, window=32, heads=2, head_dim=8)
+
+    def test_default_matches_functional_backend(self):
+        from repro.cluster import service_scales
+
+        clock = CostModelClock.flat()
+        assert service_scales(self.SPEC, clock) == service_scales(
+            self.SPEC, clock, backend="functional"
+        )
+
+    def test_dense_backend_uses_dense_cost_model(self):
+        from repro.api import Runtime
+        from repro.cluster import service_scales
+        from repro.serving.trace import pattern_families
+
+        clock = CostModelClock.flat()
+        default_unit, default_dispatch = service_scales(self.SPEC, clock)
+        dense_unit, dense_dispatch = service_scales(self.SPEC, clock, backend="dense")
+        assert (dense_unit, dense_dispatch) != (default_unit, default_dispatch)
+        # And the dense scales are exactly the dense estimator's mean.
+        rt = Runtime(backend="dense")
+        units = [
+            rt.estimate(p, heads=self.SPEC.heads, head_dim=self.SPEC.head_dim).latency_s
+            for p in pattern_families(self.SPEC.trace_spec())
+        ]
+        mean = float(np.mean(units))
+        assert dense_unit == pytest.approx(mean + clock.batch_overhead_s / 8)
+        assert dense_dispatch == pytest.approx(mean + clock.batch_overhead_s)
+
+    def test_full_batch_validation_still_first(self):
+        from repro.cluster import service_scales
+
+        with pytest.raises(ValueError):
+            service_scales(self.SPEC, CostModelClock.flat(), full_batch=0, backend="dense")

@@ -183,3 +183,38 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSimulateBackendScaling:
+    def test_simulate_threads_backend_into_deadline_scaling(self, capsys, monkeypatch):
+        """Regression: `simulate --backend dense` must scale its SLO
+        budgets from the dense cost model (the same one its workers
+        charge service with), not from a default SALO estimator."""
+        import repro.cluster as cluster
+
+        seen = {}
+        real = cluster.service_scales
+
+        def spy(spec, clock, full_batch=8, backend=None):
+            seen["backend"] = backend
+            return real(spec, clock, full_batch=full_batch, backend=backend)
+
+        monkeypatch.setattr(cluster, "service_scales", spy)
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--backend", "dense",
+                    "--workers", "2",
+                    "--requests", "20",
+                    "--n", "64",
+                    "--window", "8",
+                    "--heads", "2",
+                    "--head-dim", "4",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        assert seen["backend"] == "dense"
+        assert "requests completed" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""In-process driver: byte-identity with Runtime, protocol semantics."""
+
+import numpy as np
+import pytest
+
+from repro.api import Runtime
+from repro.patterns.library import longformer_pattern
+from repro.transport import (
+    DISPATCH_ERROR,
+    DISPATCH_OK,
+    InProcessTransport,
+    TransportClosed,
+    TransportRequest,
+)
+
+PATTERN = longformer_pattern(64, 8, (0,))
+
+
+def _request(batch_id=1, b=2, hidden=16, heads=2, seed=0):
+    rng = np.random.default_rng(seed)
+    q, k, v = (rng.standard_normal((b, PATTERN.n, hidden)) for _ in range(3))
+    return TransportRequest(
+        batch_id=batch_id, pattern=PATTERN, q=q, k=k, v=v, heads=heads
+    )
+
+
+class TestExecution:
+    def test_output_byte_identical_to_direct_runtime(self):
+        """The whole point of the in-process driver: transporting adds
+        nothing — same Runtime, same arrays, same bits."""
+        req = _request()
+        reference = Runtime(backend="functional").attend(
+            req.pattern, req.q, req.k, req.v, heads=req.heads
+        )
+        with InProcessTransport() as transport:
+            transport.submit(req)
+            (completion,) = transport.poll()
+        assert completion.ok and completion.outcome == DISPATCH_OK
+        assert np.array_equal(completion.output, reference.output)
+        assert completion.service_s > 0
+
+    def test_engine_failure_is_a_dispatch_error_not_an_exception(self):
+        bad = _request()
+        bad.heads = 5  # hidden=16 not divisible: the engine must reject
+        with InProcessTransport() as transport:
+            transport.submit(bad)  # must not raise
+            (completion,) = transport.poll()
+        assert completion.outcome == DISPATCH_ERROR
+        assert not completion.ok
+        assert completion.output is None and completion.error
+
+    def test_poll_drains_once(self):
+        with InProcessTransport() as transport:
+            transport.submit(_request(1))
+            transport.submit(_request(2, seed=1))
+            assert transport.inflight == 2
+            assert {c.batch_id for c in transport.poll()} == {1, 2}
+            assert transport.poll() == []
+            assert transport.inflight == 0
+
+
+class TestCrashSemantics:
+    def test_kill_drops_unharvested_completions(self):
+        transport = InProcessTransport()
+        transport.submit(_request())
+        transport.kill()
+        assert transport.poll() == []  # the result died with the worker
+        assert not transport.alive
+        assert not transport.probe()
+        with pytest.raises(TransportClosed):
+            transport.submit(_request(2))
+
+    def test_closed_transport_refuses_work(self):
+        transport = InProcessTransport()
+        transport.close()
+        assert not transport.alive
+        with pytest.raises(TransportClosed):
+            transport.submit(_request())
+
+
+class TestRequestValidation:
+    def test_rank_2_operands_rejected(self):
+        rng = np.random.default_rng(0)
+        q, k, v = (rng.standard_normal((PATTERN.n, 16)) for _ in range(3))
+        with pytest.raises(ValueError, match=r"\(b, n, hidden\)"):
+            TransportRequest(batch_id=1, pattern=PATTERN, q=q, k=k, v=v)
+
+    def test_valid_lens_shape_checked(self):
+        req = _request()
+        with pytest.raises(ValueError, match="valid_lens"):
+            TransportRequest(
+                batch_id=1,
+                pattern=PATTERN,
+                q=req.q,
+                k=req.k,
+                v=req.v,
+                valid_lens=np.array([64]),  # b=2 batch needs shape (2,)
+            )
