@@ -29,6 +29,10 @@
 #   make decode-smoke - continuous-batching decode simulation end to
 #                  end: tokens/s, TTFT/ITL percentiles, per-worker
 #                  plan-cache hit rates (fixed seed, deterministic)
+#   make advise-smoke - provisioning advisor end to end: a reduced
+#                  config search against the committed example traffic
+#                  spec (ranked candidates with margins, headroom and
+#                  the winner's ablation matrix; fixed seed)
 #   make transport-smoke - out-of-process worker transport end to end:
 #                  the measured (wall-clock) multi-core ladder plus a
 #                  killed-worker recovery row (a real SIGKILL mid-run,
@@ -42,10 +46,10 @@ PYTHONPATH := src
 
 .PHONY: check test bench bench-gate bench-update simulate-smoke \
 	simulate-overload simulate-faults decode-smoke engines-smoke \
-	transport-smoke
+	transport-smoke advise-smoke
 
 check: test bench-gate engines-smoke simulate-smoke simulate-overload \
-	simulate-faults decode-smoke transport-smoke
+	simulate-faults decode-smoke transport-smoke advise-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -97,6 +101,11 @@ decode-smoke:
 transport-smoke:
 	PYTHONPATH=$(PYTHONPATH) timeout 600 $(PYTHON) -m repro.cli \
 		run transport_multicore --fast
+
+advise-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli advise \
+		--traffic examples/traffic_interactive_bulk.json \
+		--workers 2 4 --policy greedy-fifo edf --top 6 --ablate-top 1
 
 simulate-overload:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli simulate \

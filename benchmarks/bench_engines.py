@@ -661,3 +661,20 @@ def test_attend_end_to_end_vil(benchmark):
     q, k, v = (rng.standard_normal((144, 64)) for _ in range(3))
     res = benchmark.pedantic(lambda: salo.attend(pattern, q, k, v, heads=1), rounds=2, iterations=1)
     assert res.output.shape == (144, 64)
+
+
+def test_advisor_search_small(benchmark):
+    """The advisor pipeline end to end on a reduced search space:
+    enumerate candidates, scan the load grid, rank, ablate the winner.
+    Tracks the cost of a provisioning decision — dozens of cost-model
+    simulations — not any single engine path."""
+    from repro.advisor import SearchSpace, TrafficSpec, advise
+
+    traffic = TrafficSpec(num_requests=60, rho=1.2)
+    space = SearchSpace(workers=(2, 4), policies=("greedy-fifo", "edf"))
+    advice = benchmark.pedantic(
+        lambda: advise(traffic, space, ablate_top=1), rounds=2, iterations=1
+    )
+    assert advice.winner.feasible
+    assert advice.winner.candidate.workers == 4
+    assert advice.ablation_of(advice.winner), "winner ablation matrix empty"

@@ -1,0 +1,126 @@
+"""Automated component ablation: which knobs earn their keep?
+
+For a ranked candidate, the ablation matrix re-runs the *same traffic*
+with exactly one component toggled off at a time:
+
+* ``admission``  — the admission policy replaced by ``admit-all``;
+* ``stealing``   — work stealing disabled;
+* ``shedding``   — ``drop_expired`` off (expired requests are served
+  late instead of dropped);
+* ``policy``     — the batch policy replaced by plain ``greedy-fifo``.
+
+A component already off in the candidate (``admit-all`` admission,
+``steal=False``, ...) is *not applicable* and is skipped rather than
+scored as a no-op — the matrix only contains informative rows.
+
+Each row's **importance** is the relative goodput the component is
+responsible for at nominal load: ``(base - ablated) / base`` on
+``goodput_rps``.  Positive means the component helps; a component whose
+removal *improves* goodput beyond a small tolerance is flagged
+**harmful** — the overload sweep's admit+shed-at-moderate-rho story
+shows real configurations do carry such components, and surfacing them
+is the point of running the matrix instead of trusting the narrative.
+
+Ablated runs share the search's run-id scheme and cache: the ablation
+of component X is itself a candidate, so if the search already
+simulated that configuration the matrix reuses it for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from .search import Candidate, CandidateResult, RunCache, evaluate
+from .spec import TrafficSpec
+
+__all__ = ["COMPONENTS", "ComponentScore", "toggled", "ablate", "HARMFUL_TOLERANCE"]
+
+COMPONENTS: Tuple[str, ...] = ("admission", "stealing", "shedding", "policy")
+
+# A component is harmful only when removing it wins more than this
+# relative goodput — below it, the delta is tie-break noise.
+HARMFUL_TOLERANCE = 0.01
+
+
+def toggled(candidate: Candidate, component: str) -> Optional[Candidate]:
+    """The candidate with one component off; None when not applicable."""
+    if component == "admission":
+        if candidate.admission == "admit-all":
+            return None
+        return replace(candidate, admission="admit-all")
+    if component == "stealing":
+        if not candidate.steal or candidate.workers == 1:
+            return None  # a 1-worker pool has nobody to steal from
+        return replace(candidate, steal=False)
+    if component == "shedding":
+        if not candidate.drop_expired:
+            return None
+        return replace(candidate, drop_expired=False)
+    if component == "policy":
+        if candidate.policy == "greedy-fifo":
+            return None
+        return replace(candidate, policy="greedy-fifo")
+    raise KeyError(f"unknown component {component!r}; known: {COMPONENTS}")
+
+
+@dataclass(frozen=True)
+class ComponentScore:
+    """One ablation row: what removing one component costs (or wins)."""
+
+    component: str
+    run_id: str  # of the ablated configuration
+    base_goodput_rps: float
+    ablated_goodput_rps: float
+    importance: float  # (base - ablated) / base
+    feasible_without: bool  # still feasible at nominal load when off?
+    harmful: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "run_id": self.run_id,
+            "base_goodput_rps": self.base_goodput_rps,
+            "ablated_goodput_rps": self.ablated_goodput_rps,
+            "importance": self.importance,
+            "feasible_without": self.feasible_without,
+            "harmful": self.harmful,
+        }
+
+
+def ablate(
+    result: CandidateResult,
+    traffic: TrafficSpec,
+    cache: Optional[RunCache] = None,
+    components: Sequence[str] = COMPONENTS,
+) -> List[ComponentScore]:
+    """Score every applicable component of one ranked candidate.
+
+    Rows come back sorted by importance (descending) then component
+    name — the order a reader wants: biggest contributor first, harmful
+    components at the bottom.
+    """
+    base = result.nominal.metrics["goodput_rps"]
+    scores: List[ComponentScore] = []
+    for component in components:
+        variant = toggled(result.candidate, component)
+        if variant is None:
+            continue
+        # Nominal load only: importance is a statement about the
+        # operating point, not about the whole headroom scan.
+        ablated = evaluate(variant, traffic, scales=(1.0,), cache=cache)
+        abl_goodput = ablated.nominal.metrics["goodput_rps"]
+        importance = (base - abl_goodput) / base if base else 0.0
+        scores.append(
+            ComponentScore(
+                component=component,
+                run_id=ablated.run_id,
+                base_goodput_rps=base,
+                ablated_goodput_rps=abl_goodput,
+                importance=round(importance, 6),
+                feasible_without=ablated.nominal.feasible,
+                harmful=importance < -HARMFUL_TOLERANCE,
+            )
+        )
+    scores.sort(key=lambda s: (-s.importance, s.component))
+    return scores

@@ -1,0 +1,149 @@
+"""The advisor's entry point: traffic spec in, ranked advice out.
+
+:func:`advise` is the one call the CLI, the registered experiment and
+the tests share: evaluate every candidate in the search space against
+the traffic spec (feasibility scan included), rank them, then run the
+component-ablation matrix over the top ``ablate_top`` ranked candidates.
+Everything downstream — the rendered table, the JSON view, the exported
+decision pack — is a projection of the returned :class:`Advice`.
+
+Determinism contract (pinned by ``tests/advisor/``): the same traffic
+spec and search space produce byte-identical ranked order, run ids and
+rendered output across invocations and processes.  Nothing in the
+pipeline reads a wall clock or an unseeded RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.base import stable_run_id
+from .ablation import ComponentScore, ablate
+from .ranking import rank
+from .search import (
+    DEFAULT_SCALE_GRID,
+    CandidateResult,
+    RunCache,
+    SearchSpace,
+    evaluate,
+)
+from .spec import TrafficSpec
+
+__all__ = ["Advice", "advise"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Everything one ``advise`` call decided, in rank order."""
+
+    traffic: TrafficSpec
+    space: SearchSpace
+    ranked: Tuple[CandidateResult, ...]
+    ablations: Dict[str, Tuple[ComponentScore, ...]]  # run_id -> matrix
+    scale_grid: Tuple[float, ...]
+
+    @property
+    def winner(self) -> CandidateResult:
+        return self.ranked[0]
+
+    @property
+    def advice_id(self) -> str:
+        """Content hash of the whole decision's inputs."""
+        return stable_run_id(
+            "advice",
+            {
+                "traffic": self.traffic.to_dict(),
+                "space": self.space.to_dict(),
+                "scale_grid": list(self.scale_grid),
+            },
+        )
+
+    def ablation_of(self, result: CandidateResult) -> Tuple[ComponentScore, ...]:
+        return self.ablations.get(result.run_id, ())
+
+    def to_dict(self) -> dict:
+        return {
+            "advice_id": self.advice_id,
+            "traffic": self.traffic.to_dict(),
+            "traffic_id": self.traffic.traffic_id,
+            "space": self.space.to_dict(),
+            "scale_grid": list(self.scale_grid),
+            "winner_run_id": self.winner.run_id,
+            "ranked": [r.to_dict() for r in self.ranked],
+            "ablations": {
+                run_id: [s.to_dict() for s in scores]
+                for run_id, scores in sorted(self.ablations.items())
+            },
+        }
+
+    def render(self, top: Optional[int] = None) -> str:
+        """Aligned text table of the ranked candidates + winner matrix."""
+        from ..experiments.base import format_table
+
+        rows = []
+        shown = self.ranked[:top] if top else self.ranked
+        for i, r in enumerate(shown):
+            rows.append(
+                {
+                    "rank": i + 1,
+                    "config": r.candidate.label,
+                    "feasible": "yes" if r.feasible else "NO",
+                    "headroom": f"x{r.headroom:g}" if r.headroom else "-",
+                    "binding": r.binding.name,
+                    "margin": round(r.binding.margin, 4),
+                    "goodput_rps": round(r.goodput_rps),
+                    "met_rate": round(r.nominal.metrics["deadline_met_rate"], 4),
+                    "run_id": r.run_id,
+                }
+            )
+        lines = [
+            f"== advise: {self.traffic.traffic_id} ==  [{self.advice_id}]",
+            format_table(rows),
+        ]
+        matrix = self.ablation_of(self.winner)
+        if matrix:
+            lines.append("")
+            lines.append(f"winner ablation ({self.winner.candidate.label}):")
+            lines.append(
+                format_table(
+                    [
+                        {
+                            "component": s.component,
+                            "importance": round(s.importance, 4),
+                            "goodput_without": round(s.ablated_goodput_rps),
+                            "feasible_without": "yes" if s.feasible_without else "NO",
+                            "harmful": "HARMFUL" if s.harmful else "",
+                        }
+                        for s in matrix
+                    ]
+                )
+            )
+        return "\n".join(lines)
+
+
+def advise(
+    traffic: TrafficSpec,
+    space: Optional[SearchSpace] = None,
+    scales: Sequence[float] = DEFAULT_SCALE_GRID,
+    cache: Optional[RunCache] = None,
+    ablate_top: int = 3,
+) -> Advice:
+    """Search, rank and ablate: the full advisor pipeline."""
+    space = space or SearchSpace()
+    cache = cache if cache is not None else RunCache()
+    results = [
+        evaluate(candidate, traffic, scales=scales, cache=cache)
+        for candidate in space.candidates()
+    ]
+    ranked = rank(results)
+    ablations: Dict[str, Tuple[ComponentScore, ...]] = {}
+    for result in ranked[: max(0, ablate_top)]:
+        ablations[result.run_id] = tuple(ablate(result, traffic, cache=cache))
+    return Advice(
+        traffic=traffic,
+        space=space,
+        ranked=tuple(ranked),
+        ablations=ablations,
+        scale_grid=tuple(sorted(set(float(s) for s in scales) | {1.0})),
+    )

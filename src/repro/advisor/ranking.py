@@ -1,0 +1,48 @@
+"""Deterministic candidate ranking: cheapest feasible config first.
+
+The order encodes the provisioning objective, not a single score:
+
+1. **Feasible before infeasible** — a config that misses an SLO at
+   nominal load is not a smaller win, it is not an answer.
+2. Among feasible candidates, **fewest workers** — workers are the cost
+   axis, and a feasible 2-worker config beats a feasible 4-worker one
+   regardless of throughput to spare.
+3. Then **headroom** (descending): at equal cost, prefer the config
+   that survives the most load growth before its binding constraint
+   fails.
+4. Then **nominal goodput** (descending) and the worst nominal margin
+   (descending) as quality tiebreaks.
+5. Finally the **run id** (ascending) — a content hash, so the complete
+   order is reproducible across processes even between exact ties.
+
+Infeasible candidates sort by how close they are to feasible (worst
+nominal margin, descending) then by workers — the top infeasible row is
+the natural "what to relax" suggestion when nothing passes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .search import CandidateResult
+
+__all__ = ["rank", "sort_key"]
+
+
+def sort_key(result: CandidateResult) -> Tuple:
+    feasible = result.feasible
+    worst = result.nominal.worst.margin
+    if feasible:
+        return (
+            0,
+            result.candidate.workers,
+            -(result.headroom or 0.0),
+            -result.goodput_rps,
+            -worst,
+            result.run_id,
+        )
+    return (1, -worst, result.candidate.workers, -result.goodput_rps, result.run_id)
+
+
+def rank(results: Sequence[CandidateResult]) -> List[CandidateResult]:
+    return sorted(results, key=sort_key)

@@ -10,6 +10,7 @@ Usage::
     salo-repro serve --requests 64       # replay a synthetic serving trace
     salo-repro simulate --workers 4      # discrete-event cluster simulation
     salo-repro decode --max-lanes 8      # continuous-batching decode simulation
+    salo-repro advise --traffic spec.json --out pack/   # provisioning advisor
 
 ``run``, ``serve`` and ``simulate`` accept ``--backend NAME`` to select
 any registered execution backend (see ``engines list``); serving paths
@@ -48,6 +49,7 @@ _ORDER = [
     "overload",
     "decode_scaling",
     "transport_multicore",
+    "advisor_search",
 ]
 
 
@@ -117,6 +119,56 @@ def _cmd_engines(args) -> int:
             f"{'yes' if getattr(spec.capabilities, attr) else '-':6s}" for _, attr in flags
         )
         print(f"{name:{width}s}  {cells}  {spec.summary}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    """Run the provisioning advisor on a declarative traffic spec."""
+    import json as _json
+
+    from .advisor import RunCache, SearchSpace, TrafficSpec, advise, export_pack
+
+    if args.traffic is not None:
+        try:
+            traffic = TrafficSpec.load(args.traffic)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            print(f"bad traffic spec {args.traffic!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        traffic = TrafficSpec()
+    space = SearchSpace(
+        workers=tuple(args.workers),
+        policies=tuple(args.policy),
+        admissions=tuple(args.admission),
+        backends=(args.backend,),
+        batch_caps=tuple(args.batch_size),
+    )
+    rc = _validate_backend(args.backend, require_executing=True, require_cost_model=True)
+    if rc:
+        return rc
+    cache = RunCache(args.cache) if args.cache else RunCache()
+    t0 = time.perf_counter()
+    advice = advise(traffic, space, cache=cache, ablate_top=args.ablate_top)
+    elapsed = time.perf_counter() - t0
+    manifest = None
+    if args.out:
+        manifest = export_pack(advice, args.out)
+    if args.json:
+        payload = advice.to_dict()
+        if manifest is not None:
+            payload["pack"] = manifest
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(advice.render(top=args.top))
+    if manifest is not None:
+        print(
+            f"\ndecision pack -> {args.out} "
+            f"(manifest {manifest['manifest_hash']})"
+        )
+    print(
+        f"\n[advise finished in {elapsed:.1f}s; "
+        f"{cache.misses} simulations, {cache.hits} cache hits]"
+    )
     return 0
 
 
@@ -430,6 +482,24 @@ def _cmd_simulate(args) -> int:
 
     t0 = time.perf_counter()
     report = simulate(source, config)
+    if args.json:
+        # One JSON document on stdout, nothing else: the machine-readable
+        # path the provisioning advisor (and any script) consumes.
+        import json as _json
+
+        payload = report.to_dict()
+        payload["workload"] = {
+            "requests": args.requests,
+            "arrival": args.arrival,
+            "rate_rps": None if args.arrival == "closed" else rate,
+            "policy": args.policy,
+            "admission": args.admission,
+            "workers": args.workers,
+            "backend": args.backend,
+            "seed": args.seed,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         f"workload: {args.requests} requests, {args.arrival} arrivals"
         + (f" @ {rate:.0f} req/s" if args.arrival != "closed" else f", {args.clients} clients")
@@ -627,6 +697,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="functional",
         help="execution backend serving the trace (see 'engines list')",
     )
+    serve_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the replay report as one JSON document instead of text",
+    )
 
     sim_p = sub.add_parser(
         "simulate",
@@ -772,6 +847,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution backend of every worker engine (see 'engines list')",
     )
     sim_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the cluster report as one JSON document instead of text",
+    )
+    sim_p.add_argument(
         "--fault-crash",
         action="append",
         metavar="WID:AT_MS[:DOWN_MS]",
@@ -851,6 +931,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=2.0,
         help="circuit breaker: open duration before the half-open probe "
         "(simulated ms; default 2.0)",
+    )
+
+    adv_p = sub.add_parser(
+        "advise",
+        help="provisioning advisor: search configs against a traffic spec",
+        description=(
+            "Searches the configuration space (workers x batch policy x "
+            "admission x backend x batch cap) against a declarative traffic "
+            "spec on the deterministic cost-model clock, ranks candidates "
+            "cheapest-feasible-first with per-SLO margins, load headroom and "
+            "the binding constraint, ablates the top candidates component by "
+            "component, and optionally exports a manifest-hashed decision "
+            "pack.  Without --traffic, a built-in interactive/bulk example "
+            "spec at rho 1.2 is used (the committed copy lives at "
+            "examples/traffic_interactive_bulk.json)."
+        ),
+    )
+    adv_p.add_argument(
+        "--traffic",
+        default=None,
+        metavar="FILE",
+        help="JSON traffic spec (see examples/traffic_interactive_bulk.json)",
+    )
+    adv_p.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts to search (default: 1 2 4)",
+    )
+    adv_p.add_argument(
+        "--policy",
+        nargs="+",
+        choices=("greedy-fifo", "max-wait", "edf", "size-latency", "weighted-fair"),
+        default=["greedy-fifo", "edf", "weighted-fair"],
+        help="batch policies to search",
+    )
+    adv_p.add_argument(
+        "--admission",
+        nargs="+",
+        choices=("admit-all", "queue-depth", "est-wait"),
+        default=["admit-all", "est-wait"],
+        help="admission policies to search",
+    )
+    adv_p.add_argument(
+        "--batch-size",
+        type=int,
+        nargs="+",
+        default=[8],
+        help="max batch sizes to search (default: 8)",
+    )
+    adv_p.add_argument(
+        "--backend",
+        default="functional",
+        help="execution backend candidates are configured with",
+    )
+    adv_p.add_argument(
+        "--top", type=int, default=None, help="show only the top K ranked candidates"
+    )
+    adv_p.add_argument(
+        "--ablate-top",
+        type=int,
+        default=3,
+        help="run the component-ablation matrix on the top K candidates",
+    )
+    adv_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="export the decision pack (candidates.json, comparison.csv, "
+        "DECISION_REPORT.md, manifest.json) to this directory",
+    )
+    adv_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="persist per-simulation results keyed by run id; a re-run "
+        "with unchanged configuration replays from disk",
+    )
+    adv_p.add_argument(
+        "--json", action="store_true", help="emit the full advice as JSON"
     )
 
     dec_p = sub.add_parser(
@@ -1030,12 +1191,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             compare_sequential=not args.no_baseline,
             backend=args.backend,
         )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            return 0
         print(report.render())
         print(f"\n[serve finished in {time.perf_counter() - t0:.1f}s]")
         return 0
 
     if args.command == "simulate":
         return _cmd_simulate(args)
+
+    if args.command == "advise":
+        return _cmd_advise(args)
 
     if args.command == "decode":
         return _cmd_decode(args)

@@ -27,7 +27,7 @@ reports byte-identical to the pre-fault simulator's output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
@@ -134,6 +134,10 @@ class WorkerReport:
     detect_s: float = 0.0  # mean crash -> marked-down latency
     breaker_trips: int = 0  # circuit-breaker opens (grey failures)
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (plan-cache counters flattened alongside)."""
+        return asdict(self)
+
 
 @dataclass
 class ClassReport:
@@ -161,6 +165,13 @@ class ClassReport:
     def submitted(self) -> int:
         """Arrivals of this class: completed + rejected + shed + failed."""
         return self.completed + self.rejected + self.shed + self.failed
+
+    def to_dict(self) -> dict:
+        """JSON-ready view; the derived ``submitted`` rides along so
+        consumers can check per-class conservation without re-deriving."""
+        out = asdict(self)
+        out["submitted"] = self.submitted
+        return out
 
 
 @dataclass
@@ -210,6 +221,44 @@ class ClusterReport:
             if cls.name == name:
                 return cls
         raise KeyError(f"no SLO class {name!r} in report")
+
+    def to_dict(self, include_series: bool = False) -> dict:
+        """JSON-ready view of the whole report.
+
+        The machine-readable twin of :meth:`render` — what the CLI's
+        ``--json`` mode prints and the provisioning advisor consumes.
+        Per-class and per-worker sub-blocks are nested dicts (see
+        :meth:`ClassReport.to_dict` / :meth:`WorkerReport.to_dict`);
+        every value is a plain int/float/str/bool, so the result
+        round-trips through ``json`` without custom encoders.  The event
+        time series is omitted unless ``include_series`` (it is the one
+        block that grows with run length, not configuration size).
+        """
+        out = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "failed": self.failed,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "deadline_met_rate": self.deadline_met_rate,
+            "mean_batch_size": self.mean_batch_size,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "fairness_index": self.fairness_index,
+            "steals": self.steals,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "availability": self.availability,
+            "fault_activity": self.fault_activity,
+            "classes": [cls.to_dict() for cls in self.classes],
+            "workers": [w.to_dict() for w in self.workers],
+        }
+        if include_series:
+            out["series"] = [asdict(p) for p in self.series]
+        return out
 
     def render(self) -> str:
         lines = [

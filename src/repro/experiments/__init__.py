@@ -7,6 +7,7 @@ Importing this package registers every experiment; use
 
 from . import (  # noqa: F401  (imports register the experiments)
     ablations,
+    advisor,
     decode_scaling,
     faults,
     fig7_energy,

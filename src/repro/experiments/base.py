@@ -1,33 +1,109 @@
-"""Experiment infrastructure: results, tables, registry.
+"""Experiment infrastructure: results, tables, registry, run identity.
 
 Every paper artefact (table/figure/section claim) has one experiment
 module exposing ``run(fast: bool = False) -> ExperimentResult``.  Results
 are row-oriented so they can be printed as aligned text tables (the shape
 the paper reports) and asserted on by tests and benchmarks.
+
+Run identity: :func:`stable_run_id` hashes the *configuration* of a run
+(experiment name + every code-relevant knob, seed included) into a short
+content id, and :func:`manifest_hash` reduces a table of artefact hashes
+to one pack-level digest.  One scheme is shared by the legacy sweeps
+(an ``ExperimentResult`` built with ``config=...`` stamps its id into
+the rendered header) and the provisioning advisor's candidate matrix
+(``repro.advisor``), so a cached advisor run and a committed sweep row
+that executed the same configuration carry the same identity.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "register", "get_experiment", "all_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "stable_run_id",
+    "manifest_hash",
+]
+
+
+def _canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift, no NaN.
+
+    ``allow_nan=False`` because NaN breaks round-tripping (json emits a
+    non-standard literal) and a NaN knob in a run config is a bug worth
+    surfacing at hash time, not a value to silently identify runs by.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def stable_run_id(kind: str, config: Mapping) -> str:
+    """Content-hashed identity of one run: ``kind`` + config -> short id.
+
+    The id is the first 12 hex digits of the SHA-256 of the canonical
+    JSON encoding of ``{"kind": kind, "config": config}``: stable across
+    processes and sessions (no timestamps, no object identity), order-
+    insensitive in the config mapping, and sensitive to every knob that
+    changes what the run computes.  Callers must put *all* code-relevant
+    knobs — seeds included — into ``config``; two runs with equal ids
+    are claims of identical outputs, which is what makes the advisor's
+    run matrix resumable and cacheable.
+    """
+    digest = hashlib.sha256(
+        _canonical_json({"kind": kind, "config": dict(config)}).encode()
+    ).hexdigest()
+    return f"{kind}-{digest[:12]}"
+
+
+def manifest_hash(hashes: Mapping[str, str]) -> str:
+    """One digest over a table of per-artefact hashes (a decision pack).
+
+    The manifest lists each exported file's SHA-256; hashing the sorted
+    table yields a single id that changes iff any artefact changed —
+    what a regression test pins instead of N separate file hashes.
+    """
+    digest = hashlib.sha256(_canonical_json(dict(hashes)).encode()).hexdigest()
+    return digest[:16]
 
 
 @dataclass
 class ExperimentResult:
-    """Structured output of one experiment."""
+    """Structured output of one experiment.
+
+    ``config`` (optional) is the mapping of code-relevant knobs the run
+    was invoked with; providing it gives the result a stable
+    :attr:`run_id` stamped into :meth:`render`'s header — the same
+    identity scheme the provisioning advisor keys its run cache on.
+    """
 
     experiment: str
     title: str
     rows: List[dict] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    config: Optional[dict] = None
+
+    @property
+    def run_id(self) -> Optional[str]:
+        """Stable content id of this run's configuration (None: no config)."""
+        if self.config is None:
+            return None
+        return stable_run_id(self.experiment, self.config)
 
     def table(self) -> str:
         return format_table(self.rows)
 
     def render(self) -> str:
         head = f"== {self.experiment}: {self.title} =="
+        if self.config is not None:
+            head += f"  [{self.run_id}]"
         parts = [head, self.table()]
         if self.notes:
             parts.append("")

@@ -91,4 +91,10 @@ def run(fast: bool = False) -> ExperimentResult:
         title="Decode continuous batching: tokens/s vs lanes x workers",
         rows=rows,
         notes=notes,
+        config={
+            "fast": fast,
+            "sequences": sequences,
+            "grid": [list(cell) for cell in (FAST_GRID if fast else GRID)],
+            "seed": spec.seed,
+        },
     )

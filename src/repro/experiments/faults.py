@@ -223,4 +223,16 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
         title="Fault tolerance: crash-at-peak recovery vs retry/requeue/steal mode",
         rows=rows,
         notes=notes,
+        config={
+            "fast": fast,
+            "backend": backend,
+            "workers": workers,
+            "num_requests": num_requests,
+            "rho": RHO,
+            "modes": list(MODES),
+            "crash_at_frac": CRASH_AT_FRAC,
+            "down_for_units": DOWN_FOR_UNITS,
+            "seed": 11,
+            "fault_seed": 7,
+        },
     )

@@ -203,4 +203,13 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
         title="Overload control: admission, shedding and weighted fairness vs rho",
         rows=rows,
         notes=notes,
+        config={
+            "fast": fast,
+            "backend": backend,
+            "workers": workers,
+            "num_requests": num_requests,
+            "rho_grid": list(rho_grid),
+            "modes": list(MODES),
+            "seed": 11,
+        },
     )

@@ -151,4 +151,13 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
         title="Cluster capacity frontier: workers x load x batch policy",
         rows=rows,
         notes=notes,
+        config={
+            "fast": fast,
+            "backend": backend,
+            "num_requests": num_requests,
+            "workers_grid": list(workers_grid),
+            "rho_grid": list(rho_grid),
+            "policies": [name for name, _ in _POLICY_GRID],
+            "seed": 7,
+        },
     )

@@ -153,4 +153,10 @@ def run(fast: bool = False, backend: str = "functional") -> ExperimentResult:
         title="Out-of-process transport: measured multi-core throughput + chaos",
         rows=rows,
         notes=notes,
+        config={
+            "fast": fast,
+            "backend": backend,
+            "num_requests": num_requests,
+            "ladder": list(LADDER),
+        },
     )

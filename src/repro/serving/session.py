@@ -145,6 +145,12 @@ class ServingStats:
     plan_cache: dict
     rejected: int = 0  # turned away by the session's admission policy
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``serve --json`` payload core)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
     def render(self) -> str:
         lines = [
             f"requests completed   {self.completed} (rejected {self.rejected})",

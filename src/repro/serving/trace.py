@@ -134,6 +134,15 @@ class ReplayReport:
             return None
         return self.sequential_s / self.batched_s
 
+    def to_dict(self) -> dict:
+        """JSON-ready view: serving stats plus the baseline comparison."""
+        return {
+            "stats": self.stats.to_dict(),
+            "sequential_s": self.sequential_s,
+            "batched_s": self.batched_s,
+            "speedup": self.speedup,
+        }
+
     def render(self) -> str:
         lines = [self.stats.render()]
         if self.sequential_s is not None:

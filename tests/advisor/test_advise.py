@@ -1,0 +1,180 @@
+"""The advise pipeline: determinism, ranking order, ablation matrix,
+and the hypothesis property that the reported binding constraint is
+real — it actually fails when the load is pushed to its failure scale.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import (
+    COMPONENTS,
+    Candidate,
+    RunCache,
+    SearchSpace,
+    TrafficSpec,
+    advise,
+    evaluate,
+    rank,
+    toggled,
+)
+
+TRAFFIC = TrafficSpec(num_requests=60, rho=1.2)
+SPACE = SearchSpace(workers=(2, 4), policies=("greedy-fifo", "edf"))
+
+
+@pytest.fixture(scope="module")
+def advice():
+    return advise(TRAFFIC, SPACE, ablate_top=2)
+
+
+class TestDeterminism:
+    def test_two_invocations_are_byte_identical(self, advice):
+        """Same traffic + space => identical ranked order, run ids and
+        rendered output — the contract a cached decision pack rests on."""
+        again = advise(TRAFFIC, SPACE, ablate_top=2)
+        assert [r.run_id for r in again.ranked] == [r.run_id for r in advice.ranked]
+        assert again.render() == advice.render()
+        assert again.to_dict() == advice.to_dict()
+        assert again.advice_id == advice.advice_id
+
+    def test_run_ids_are_stable_across_processes(self, advice):
+        """Content hashes, not object identity: recomputing a ranked
+        candidate's run id from its parts reproduces it exactly."""
+        for r in advice.ranked:
+            assert r.run_id == r.candidate.run_id(TRAFFIC)
+
+    def test_cache_makes_second_advise_simulation_free(self):
+        cache = RunCache()
+        advise(TRAFFIC, SPACE, cache=cache, ablate_top=1)
+        misses_first = cache.misses
+        advise(TRAFFIC, SPACE, cache=cache, ablate_top=1)
+        assert cache.misses == misses_first  # everything replayed
+
+
+class TestRanking:
+    def test_feasible_candidates_rank_above_infeasible(self, advice):
+        flags = [r.feasible for r in advice.ranked]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_feasible_ranked_by_cost_then_headroom(self, advice):
+        feasible = [r for r in advice.ranked if r.feasible]
+        keys = [(r.candidate.workers, -(r.headroom or 0)) for r in feasible]
+        assert keys == sorted(keys)
+
+    def test_rank_is_input_order_independent(self, advice):
+        assert rank(list(reversed(advice.ranked))) == list(advice.ranked)
+
+    def test_winner_is_first(self, advice):
+        assert advice.winner is advice.ranked[0]
+
+
+class TestAblationMatrix:
+    def test_matrix_covers_applicable_components_exactly_once(self, advice):
+        """aumai-ablation shape: baseline + one run per toggled
+        component, skipping components the candidate already has off."""
+        for result in advice.ranked[:2]:
+            matrix = advice.ablation_of(result)
+            expected = [
+                c for c in COMPONENTS if toggled(result.candidate, c) is not None
+            ]
+            assert sorted(s.component for s in matrix) == sorted(expected)
+
+    def test_non_applicable_toggles_are_skipped(self):
+        bare = Candidate(
+            policy="greedy-fifo", admission="admit-all",
+            drop_expired=False, steal=False,
+        )
+        assert all(toggled(bare, c) is None for c in COMPONENTS)
+        single = Candidate(workers=1)  # nobody to steal from
+        assert toggled(single, "stealing") is None
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            toggled(Candidate(), "quantum")
+
+    def test_importance_is_relative_goodput_delta(self, advice):
+        result = advice.ranked[0]
+        for score in advice.ablation_of(result):
+            base, abl = score.base_goodput_rps, score.ablated_goodput_rps
+            assert score.importance == pytest.approx((base - abl) / base, abs=1e-6)
+
+    def test_harmful_flag_matches_sign_and_tolerance(self, advice):
+        from repro.advisor.ablation import HARMFUL_TOLERANCE
+
+        for result in advice.ranked[:2]:
+            for score in advice.ablation_of(result):
+                assert score.harmful == (score.importance < -HARMFUL_TOLERANCE)
+
+    def test_known_harmful_component_is_flagged(self, advice):
+        """Pinned behaviour: under this uniformly-overloaded mix,
+        stealing migrates work off plan-affine workers and its cold
+        compiles cost goodput — the matrix must catch it."""
+        matrix = {s.component: s for s in advice.ablation_of(advice.winner)}
+        assert matrix["stealing"].harmful
+        assert matrix["stealing"].ablated_goodput_rps > matrix["stealing"].base_goodput_rps
+
+    def test_ablation_rows_share_run_id_scheme(self, advice):
+        result = advice.ranked[0]
+        for score in advice.ablation_of(result):
+            variant = toggled(result.candidate, score.component)
+            assert score.run_id == variant.run_id(TRAFFIC)
+
+
+# Small, cheap strategy space: each example is a few ~60-request
+# simulations on the flat clock (~10 ms each).
+CANDIDATES = st.builds(
+    Candidate,
+    workers=st.sampled_from([1, 2, 4]),
+    policy=st.sampled_from(["greedy-fifo", "edf", "weighted-fair"]),
+    admission=st.sampled_from(["admit-all", "est-wait"]),
+    drop_expired=st.booleans(),
+)
+TRAFFICS = st.builds(
+    TrafficSpec,
+    num_requests=st.sampled_from([40, 60]),
+    rho=st.sampled_from([0.9, 1.2, 1.8]),
+    arrival=st.sampled_from(["poisson", "bursty"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestBindingConstraintProperty:
+    @given(candidate=CANDIDATES, traffic=TRAFFICS)
+    @settings(max_examples=12, deadline=None)
+    def test_binding_constraint_actually_fails_past_the_margin(
+        self, candidate, traffic
+    ):
+        """The advisor's headroom claim is falsifiable and true: re-run
+        the simulation (no cache) at the scale the scan blamed, and the
+        named binding constraint is indeed violated there — while every
+        scale up to the reported headroom stays feasible."""
+        result = evaluate(candidate, traffic, scales=(1.0, 1.5, 2.0))
+        if result.binding_scale is None:
+            # Never failed inside the grid: headroom is the grid top.
+            assert result.headroom == result.scan[-1].scale
+            return
+        fresh = evaluate(
+            candidate, traffic, scales=(1.0,),
+            cache=None,
+        )
+        # Nominal point reproduces (determinism half of the property).
+        assert fresh.nominal == result.nominal
+        # Push exactly to the failure scale the advisor reported.
+        replay = _point(candidate, traffic, result.binding_scale)
+        margins = {c.name: c.margin for c in replay.constraints}
+        assert margins[result.binding.name] < 0
+        assert not replay.feasible
+        # And the reported headroom really was feasible.
+        if result.headroom is not None:
+            assert _point(candidate, traffic, result.headroom).feasible
+
+
+def _point(candidate, traffic, scale):
+    """One fresh simulation at an arbitrary scale, bypassing the
+    evaluate() grid rule that scans start at nominal load."""
+    from repro.advisor.search import _evaluate_point
+
+    return _evaluate_point(candidate, traffic, scale, cache=None)

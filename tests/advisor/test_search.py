@@ -1,0 +1,134 @@
+"""Candidate search: run ids, constraints, feasibility scan, cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.advisor import (
+    Candidate,
+    RunCache,
+    SearchSpace,
+    TrafficSpec,
+    evaluate,
+)
+from repro.advisor.search import fair_weights
+
+TRAFFIC = TrafficSpec(num_requests=60, rho=1.2)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return evaluate(Candidate(workers=2), TRAFFIC, scales=(1.0, 2.0))
+
+
+class TestCandidate:
+    def test_round_trip(self):
+        cand = Candidate(workers=4, policy="weighted-fair", steal=False)
+        assert Candidate.from_dict(cand.to_dict()) == cand
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_batch_size": 0},
+            {"policy": "nope"},
+            {"admission": "nope"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Candidate(**kwargs)
+
+    def test_run_id_covers_traffic_and_candidate(self):
+        cand = Candidate()
+        base = cand.run_id(TRAFFIC)
+        assert base == cand.run_id(TRAFFIC)  # pure function
+        assert dataclasses.replace(cand, workers=3).run_id(TRAFFIC) != base
+        assert cand.run_id(dataclasses.replace(TRAFFIC, seed=99)) != base
+
+    def test_label_marks_disabled_components(self):
+        assert "no-steal" in Candidate(steal=False).label
+        assert "no-shed" in Candidate(drop_expired=False).label
+
+    def test_fair_weights_favour_tight_deadlines(self):
+        weights = fair_weights(TRAFFIC)
+        assert weights["interactive"] > weights["bulk"] == 1.0
+
+
+class TestSearchSpace:
+    def test_enumeration_is_deterministic_and_complete(self):
+        space = SearchSpace()
+        cands = space.candidates()
+        assert cands == space.candidates()
+        assert len(cands) == (
+            len(space.workers) * len(space.policies) * len(space.admissions)
+            * len(space.backends) * len(space.batch_caps)
+        )
+        assert len({c.run_id(TRAFFIC) for c in cands}) == len(cands)
+
+    def test_round_trip(self):
+        space = SearchSpace(workers=(2,), batch_caps=(4, 8))
+        assert SearchSpace.from_dict(space.to_dict()) == space
+
+
+class TestEvaluate:
+    def test_constraints_cover_every_class_plus_loss(self, small_result):
+        names = {c.name for c in small_result.nominal.constraints}
+        assert names == {"slo:interactive", "slo:bulk", "loss"}
+
+    def test_scan_is_ascending_and_stops_at_first_failure(self, small_result):
+        scales = [e.scale for e in small_result.scan]
+        assert scales == sorted(scales) and scales[0] == 1.0
+        # every point before the last is feasible; only the last may fail
+        for point in small_result.scan[:-1]:
+            assert point.feasible
+
+    def test_binding_scale_consistency(self, small_result):
+        r = small_result
+        if r.binding_scale is None:
+            assert r.headroom == r.scan[-1].scale
+            assert all(p.feasible for p in r.scan)
+        else:
+            assert not r.scan[-1].feasible
+            assert r.binding == r.scan[-1].worst
+            assert r.binding_scale == r.scan[-1].scale
+
+    def test_scale_grid_must_reach_down_to_nominal(self):
+        with pytest.raises(ValueError):
+            evaluate(Candidate(), TRAFFIC, scales=(0.5, 1.0))
+
+    def test_deterministic_across_calls(self, small_result):
+        again = evaluate(Candidate(workers=2), TRAFFIC, scales=(1.0, 2.0))
+        assert again == small_result
+
+    def test_to_dict_is_json_ready(self, small_result):
+        import json
+
+        payload = json.loads(json.dumps(small_result.to_dict()))
+        assert payload["run_id"] == small_result.run_id
+        assert payload["nominal"]["constraints"]
+
+
+class TestRunCache:
+    def test_memory_cache_hits_on_reevaluation(self):
+        cache = RunCache()
+        evaluate(Candidate(), TRAFFIC, scales=(1.0,), cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        evaluate(Candidate(), TRAFFIC, scales=(1.0,), cache=cache)
+        assert cache.hits == 1
+
+    def test_disk_cache_survives_a_fresh_instance(self, tmp_path):
+        first = RunCache(tmp_path)
+        result = evaluate(Candidate(), TRAFFIC, scales=(1.0,), cache=first)
+        assert first.misses == 1
+        fresh = RunCache(tmp_path)
+        resumed = evaluate(Candidate(), TRAFFIC, scales=(1.0,), cache=fresh)
+        assert fresh.misses == 0 and fresh.hits == 1
+        assert resumed == result
+
+    def test_different_scales_are_different_entries(self):
+        cache = RunCache()
+        # 4 workers are feasible at nominal load, so the scan reaches x1.5.
+        evaluate(Candidate(workers=4), TRAFFIC, scales=(1.0, 1.5), cache=cache)
+        assert cache.misses == 2
+        assert RunCache.key("x", 1.5) != RunCache.key("x", 1.0)

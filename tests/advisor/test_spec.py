@@ -1,0 +1,140 @@
+"""Traffic specs: validation, round-trip, identity, load scaling."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.advisor import SLOTarget, TrafficSpec, reference_scales
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "traffic_interactive_bulk.json"
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = TrafficSpec()
+        assert spec.arrival == "poisson" and spec.rho > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_requests": 0},
+            {"arrival": "uniform"},
+            {"rho": 0.0},
+            {"rho": -1.0},
+            {"slo": ()},
+            {"max_loss_frac": 0.0},
+            {"max_loss_frac": 1.5},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs)
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(
+                slo=(
+                    SLOTarget("a", deadline_units=10.0),
+                    SLOTarget("a", deadline_units=20.0),
+                )
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_units": 0.0},
+            {"share": -1.0},
+            {"min_met_rate": 0.0},
+            {"min_met_rate": 1.1},
+        ],
+    )
+    def test_bad_slo_target_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTarget("x", **{"deadline_units": 10.0, **kwargs})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        spec = TrafficSpec(arrival="bursty", rho=1.7, seed=3)
+        assert TrafficSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_preserves_traffic_id(self, tmp_path):
+        spec = TrafficSpec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert TrafficSpec.load(path).traffic_id == spec.traffic_id
+
+    def test_committed_example_matches_experiment_default(self):
+        """examples/traffic_interactive_bulk.json IS the experiment's
+        traffic — drift between the two would silently unpin the test."""
+        from repro.experiments.advisor import example_traffic
+
+        assert TrafficSpec.load(EXAMPLE) == example_traffic(fast=False)
+
+    def test_traffic_id_ignores_field_order(self):
+        spec = TrafficSpec()
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        assert TrafficSpec.from_dict(shuffled).traffic_id == spec.traffic_id
+
+    def test_traffic_id_sensitive_to_every_knob(self):
+        base = TrafficSpec()
+        seen = {base.traffic_id}
+        for change in (
+            {"num_requests": 161},
+            {"rho": 1.3},
+            {"arrival": "bursty"},
+            {"seed": 12},
+            {"max_loss_frac": 0.3},
+        ):
+            variant = dataclasses.replace(base, **change)
+            assert variant.traffic_id not in seen, change
+            seen.add(variant.traffic_id)
+
+
+class TestSources:
+    def test_same_spec_same_arrivals(self):
+        spec = TrafficSpec(num_requests=40)
+        a = [r.arrival_s for r in spec.source().requests]
+        b = [r.arrival_s for r in spec.source().requests]
+        assert a == b
+
+    def test_scaling_compresses_poisson_arrivals_exactly(self):
+        """Scale x2 halves every arrival time: the load-margin scan
+        replays the same trace faster, not a different trace."""
+        spec = TrafficSpec(num_requests=40)
+        t1 = np.array([r.arrival_s for r in spec.source(1.0).requests])
+        t2 = np.array([r.arrival_s for r in spec.source(2.0).requests])
+        np.testing.assert_allclose(t2, t1 / 2.0, rtol=1e-12)
+
+    def test_scaling_preserves_request_mix(self):
+        spec = TrafficSpec(num_requests=30)
+        p1 = [r.pattern.n for r in spec.source(1.0).requests]
+        p2 = [r.pattern.n for r in spec.source(3.0).requests]
+        assert p1 == p2
+
+    def test_bursty_source_is_deterministic_and_monotone(self):
+        spec = TrafficSpec(num_requests=40, arrival="bursty")
+        times = [r.arrival_s for r in spec.source().requests]
+        assert times == sorted(times)
+        assert times == [r.arrival_s for r in spec.source().requests]
+
+    def test_rate_follows_rho_and_scale(self):
+        spec = TrafficSpec(rho=1.5)
+        unit_s, _ = reference_scales(spec)
+        assert spec.rate_rps() == pytest.approx(1.5 / unit_s)
+        assert spec.rate_rps(2.0) == pytest.approx(2 * spec.rate_rps())
+        with pytest.raises(ValueError):
+            spec.rate_rps(0.0)
+
+    def test_workload_carries_slo_deadlines_in_dispatch_units(self):
+        spec = TrafficSpec()
+        _, dispatch_s = reference_scales(spec)
+        workload = spec.workload()
+        by_name = {c.name: c for c in workload.slo_classes}
+        for target in spec.slo:
+            assert by_name[target.name].deadline_s == pytest.approx(
+                target.deadline_units * dispatch_s
+            )

@@ -275,3 +275,113 @@ class TestServiceScalesBackend:
 
         with pytest.raises(ValueError):
             service_scales(self.SPEC, CostModelClock.flat(), full_batch=0, backend="dense")
+
+
+class TestStealNeverTouchesInflight:
+    """Work stealing moves queue *tails*, never a batch mid-service.
+
+    The contract: dispatch removes a batch's requests from the worker's
+    queue (they live only in the simulator's in-flight table until the
+    completion event), so a thief — even one that goes idle exactly
+    while its victim is executing — can only ever see the victim's
+    *queued* remainder.  These tests pin both halves: the pool-level
+    donor selection and the end-to-end simulation.
+    """
+
+    def _pool(self):
+        return EnginePool(workers=2, salo_factory=_small_salo, max_batch_size=4)
+
+    def _dispatch_batch(self, worker, first_rid, count=4):
+        """Enqueue + take a batch like the simulator's dispatch does."""
+        reqs = [_request(first_rid + i) for i in range(count)]
+        for r in reqs:
+            worker.queue.enqueue(r)
+        key = worker.queue.group_key(reqs[0])
+        batch = worker.queue.take(key)
+        assert batch is not None and batch.size == count
+        worker.note_dispatch(batch, service_s=1e-3, cold=True)
+        return batch
+
+    def test_idle_thief_finds_nothing_when_victim_work_is_all_inflight(self):
+        """Victim busy, queue empty (whole backlog executing): the thief
+        comes up empty instead of robbing the running batch."""
+        pool = self._pool()
+        victim, thief = pool.workers
+        batch = self._dispatch_batch(victim, first_rid=0)
+        assert victim.busy and victim.queue.pending == 0
+        assert pool.steal_into(thief, now=0.0) == 0
+        assert pool.steals == 0 and thief.stolen_in == 0
+        assert thief.queue.pending == 0
+        # The executing batch is intact: same requests, same order.
+        assert [r.request_id for r in batch.requests] == [0, 1, 2, 3]
+
+    def test_steal_takes_only_the_queued_tail(self):
+        """Victim busy with requests 0-3 in flight and 4-9 queued: the
+        thief gets queued requests only, in arrival order."""
+        pool = self._pool()
+        victim, thief = pool.workers
+        batch = self._dispatch_batch(victim, first_rid=0)
+        queued = [_request(rid) for rid in range(4, 10)]
+        for r in queued:
+            victim.queue.enqueue(r)
+        moved = pool.steal_into(thief, now=0.0)
+        assert moved == 4  # capped at the thief's max_batch_size
+        inflight_ids = {r.request_id for r in batch.requests}
+        stolen_ids = {
+            r.request_id for group in thief.queue._queues.values() for r in group
+        }
+        assert stolen_ids.isdisjoint(inflight_ids)
+        assert stolen_ids <= set(range(4, 10))
+        assert victim.queue.pending == len(queued) - moved
+
+    def test_simulation_steals_never_overlap_inflight(self, monkeypatch):
+        """End to end: a burst saturates the affine worker so the peer
+        repeatedly goes idle mid-victim-service and steals.  Every
+        stolen request id must be disjoint from the simulator's
+        in-flight table at the moment of the steal."""
+        from repro.cluster.simulator import ClusterSimulator
+
+        spec = WorkloadSpec(
+            num_requests=48, n=64, window=8, heads=2, head_dim=4, mixed=False, seed=9
+        )
+        source = open_loop(spec, PoissonProcess(rate_rps=5e6))
+        sim = ClusterSimulator(
+            SimConfig(
+                workers=2,
+                max_batch_size=4,
+                affinity_miss_prob=0.001,
+                policy=GreedyFIFOPolicy(),
+                salo_factory=_small_salo,
+            )
+        )
+        overlaps = []
+        steals_seen = []
+        real_steal_into = type(sim.pool).steal_into
+
+        def queued_ids(worker):
+            return {
+                r.request_id
+                for group in worker.queue._queues.values()
+                for r in group
+            }
+
+        def checked_steal_into(pool, thief, now):
+            before = queued_ids(thief)
+            moved = real_steal_into(pool, thief, now)
+            if moved:
+                gained = queued_ids(thief) - before
+                inflight = {
+                    r.request_id
+                    for batch, _, _ in sim._inflight.values()
+                    for r in batch.requests
+                }
+                steals_seen.append(moved)
+                if gained & inflight:
+                    overlaps.append(gained & inflight)
+            return moved
+
+        monkeypatch.setattr(type(sim.pool), "steal_into", checked_steal_into)
+        report = sim.run(source)
+        assert steals_seen, "burst never triggered a steal; scenario broken"
+        assert not overlaps, f"steal touched in-flight requests: {overlaps}"
+        assert report.submitted == report.completed  # nothing lost in transit
